@@ -1,0 +1,98 @@
+"""E5 -- Eqn. 11 compute-to-memory analysis and blocking ablation.
+
+Reproduces Sec. 4.3.2's reasoning: the 128x128 blocking has ratio 85.3
+(above the KNL capability of 45 -> compute bound), 64x64 has 42.7
+(below -> memory bound), and the autotuner therefore prefers large
+C_blk/C'_blk whenever the channels allow it.
+"""
+
+from __future__ import annotations
+
+from conftest import format_table, write_csv
+from repro.core.blocking import BlockingConfig, candidate_blockings
+from repro.core.fmr import FmrSpec
+from repro.machine.cost import WinogradCostModel
+from repro.machine.spec import KNL_7210
+from repro.nets.layers import get_layer
+
+
+def test_eqn11_ratio_table(benchmark, results_dir):
+    """[model] Compute-to-memory ratio across blocking choices."""
+
+    def build():
+        rows = []
+        for cb, cpb in [(32, 32), (64, 64), (64, 128), (128, 64), (128, 128)]:
+            cfg = BlockingConfig(n_blk=28, c_blk=cb, cprime_blk=cpb)
+            rows.append(
+                [
+                    f"{cb}x{cpb}",
+                    f"{cfg.compute_to_memory_ratio(0):.2f}",
+                    f"{cfg.compute_to_memory_ratio(1):.2f}",
+                    cfg.v_bytes() // 1024,
+                    "compute" if cfg.compute_to_memory_ratio(1)
+                    > KNL_7210.compute_to_memory_capability else "memory",
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    headers = ["C_blk x C'_blk", "ratio_b0", "ratio_b1", "V_KB", "bound"]
+    print("\nEqn. 11 [model] -- compute-to-memory ratio (KNL capability: "
+          f"{KNL_7210.compute_to_memory_capability:.1f})")
+    print(format_table(headers, rows))
+    write_csv(results_dir / "eqn11_blocking.csv", headers, rows)
+
+    table = {r[0]: r for r in rows}
+    assert table["128x128"][4] == "compute"
+    assert table["64x64"][4] == "memory"
+    assert abs(float(table["128x128"][2]) - 85.33) < 0.01
+    assert abs(float(table["64x64"][2]) - 42.67) < 0.01
+
+
+def test_blocking_ablation_on_layer(benchmark, results_dir):
+    """[model] End-to-end effect of the blocking choice on VGG 4.2."""
+    layer = get_layer("VGG", "4.2")
+    fmr = FmrSpec.uniform(2, 4, 3)
+    model = WinogradCostModel(KNL_7210, threads_per_core=2)
+
+    def build():
+        rows = []
+        for cfg in [
+            BlockingConfig(n_blk=28, c_blk=32, cprime_blk=32),
+            BlockingConfig(n_blk=28, c_blk=64, cprime_blk=64),
+            BlockingConfig(n_blk=28, c_blk=128, cprime_blk=128),
+            BlockingConfig(n_blk=6, c_blk=128, cprime_blk=128),
+            BlockingConfig(n_blk=14, c_blk=128, cprime_blk=128),
+        ]:
+            cost = model.layer_cost(layer, fmr, cfg)
+            gemm = cost.stage("gemm")
+            rows.append(
+                [
+                    cfg.n_blk,
+                    f"{cfg.c_blk}x{cfg.cprime_blk}",
+                    f"{gemm.compute_s * 1e3:.2f}",
+                    f"{gemm.memory_s * 1e3:.2f}",
+                    f"{cost.seconds * 1e3:.2f}",
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    headers = ["n_blk", "C_blk x C'_blk", "gemm_comp_ms", "gemm_mem_ms", "total_ms"]
+    print("\nBlocking ablation [model] -- VGG 4.2, F(4^2,3^2)")
+    print(format_table(headers, rows))
+    write_csv(results_dir / "blocking_ablation.csv", headers, rows)
+
+    t = {(r[0], r[1]): float(r[4]) for r in rows}
+    # 128x128 beats 32x32 end to end; n_blk=28 beats n_blk=6.
+    assert t[(28, "128x128")] < t[(28, "32x32")]
+    assert t[(28, "128x128")] < t[(6, "128x128")]
+
+
+def test_candidate_enumeration(benchmark):
+    """[model] The search space for a 512-channel layer is non-trivial
+    but bounded (what the wisdom file amortizes)."""
+    cands = benchmark.pedantic(
+        lambda: candidate_blockings(512, 512), rounds=1, iterations=1
+    )
+    assert 50 < len(cands) < 2000

@@ -1,0 +1,94 @@
+"""E10 (extension) -- interpolation-point sensitivity of the fp32 error.
+
+Sec. 5.3's errors are not intrinsic to "Winograd F(m, r)": every choice
+of distinct interpolation points gives an algebraically exact algorithm,
+but float32 conditioning varies by orders of magnitude.  This ablation
+measures the real fp32 error of F(6, 3) under three point families:
+
+* the curated default (small magnitudes, symmetric signs, exact halves),
+* naive non-negative integers 0, 1, 2, ..., 6,
+* symmetric but large integers 0, +-3, +-6, +-9.
+
+This grounds EXPERIMENTS.md's explanation of why our absolute Table-3
+errors differ from the paper's while the trends match: the paper's
+Wincnn-derived matrices are one member of the equivalence family.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import numpy as np
+
+from conftest import format_table, write_csv
+from repro.core.fmr import FmrSpec
+from repro.core.transforms import winograd_1d
+from repro.core.convolution import winograd_convolution
+from repro.nets.reference import reference_convolution
+
+POINT_FAMILIES = {
+    "curated (default)": None,  # use the library default
+    "naive 0..6": tuple(Fraction(i) for i in range(7)),
+    "symmetric large": tuple(
+        Fraction(i) for i in (0, 3, -3, 6, -6, 9, -9)
+    ),
+}
+
+
+def _measure(points) -> tuple[float, float]:
+    """(max_abs_matrix_entry, fp32 avg error) for F(6,3) with ``points``."""
+    t = winograd_1d(6, 3, points=points)
+    # Build a custom 2D F(6x6,3x3) conv using these matrices via the
+    # transform cache: easiest is a 1D convolution driven through the
+    # N-D pipeline with a rank-1 spec.
+    rng = np.random.default_rng(0)
+    images = rng.uniform(-0.1, 0.1, size=(1, 64, 50)).astype(np.float32)
+    kernels = rng.normal(size=(64, 64, 3)).astype(np.float32) * 0.1
+    spec = FmrSpec(m=(6,), r=(3,))
+    # Temporarily monkey-free: winograd_1d caches per-points, and the
+    # plan pulls from the same cache via winograd_nd -- so we inject by
+    # computing directly with the generated triple.
+    from repro.core.transforms import transform_tensor
+    from repro.core.tiling import assemble_output, extract_tiles, plan_tiles
+
+    a, b, g = t.as_arrays(np.float32)
+    grid = plan_tiles(spec, (50,))
+    tiles = extract_tiles(images, grid)
+    u = transform_tensor(tiles, [b])
+    w = transform_tensor(kernels, [g])
+    n = grid.total_tiles
+    tt = spec.tile_elements
+    u_m = u.reshape(1, 64, n, tt).transpose(3, 0, 2, 1).reshape(tt, n, 64)
+    w_m = w.reshape(64, 64, tt).transpose(2, 0, 1)
+    x = np.matmul(u_m, w_m)
+    out_tiles = x.reshape(tt, 1, n, 64).transpose(1, 3, 2, 0)
+    out_tiles = transform_tensor(out_tiles, [a])
+    out = assemble_output(out_tiles, grid)
+    ref = reference_convolution(images, kernels)
+    err = float(np.abs(out.astype(np.longdouble) - ref).mean())
+    return t.max_abs_entry(), err
+
+
+def test_point_sensitivity(benchmark, results_dir):
+    """[real] fp32 error of F(6,3) under different point families."""
+
+    def build():
+        rows = []
+        for name, points in POINT_FAMILIES.items():
+            max_entry, err = _measure(points)
+            rows.append([name, f"{max_entry:.1f}", f"{err:.2E}"])
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    headers = ["point family", "max |matrix entry|", "fp32 avg error"]
+    print("\nInterpolation-point sensitivity [real] -- F(6,3)")
+    print(format_table(headers, rows))
+    write_csv(results_dir / "point_sensitivity.csv", headers, rows)
+
+    errs = {r[0]: float(r[2]) for r in rows}
+    entries = {r[0]: float(r[1]) for r in rows}
+    # The curated points are orders of magnitude better conditioned.
+    assert errs["curated (default)"] * 10 < errs["naive 0..6"]
+    assert errs["curated (default)"] * 10 < errs["symmetric large"]
+    # Error tracks the matrix-entry magnitude (the conditioning proxy).
+    assert entries["curated (default)"] < entries["naive 0..6"]

@@ -1,0 +1,83 @@
+"""E8 -- throughput comparison against Budden et al. (paper Sec. 5.1).
+
+The paper compares against Budden et al.'s reported numbers on their
+sample network (3 layers, 32 channels each, 4x4 kernels):
+
+* Budden et al. on an 18-core Xeon E7-8890: 10.9 MVox/s,
+* MKL-DNN direct on the same CPU: > 12 MVox/s,
+* the paper's implementation on KNL: ~100 MVox/s (9x), i.e. ~3x better
+  hardware utilization once the ~3x FLOPs gap between the chips is
+  normalized out.
+
+We model our implementation on both chips; the 4x4-kernel support
+itself is the capability no other library has.
+"""
+
+from __future__ import annotations
+
+from conftest import format_table, write_csv
+from repro.baselines.direct import DirectConvBaseline
+from repro.core.autotune import autotune_layer
+from repro.core.fmr import FmrSpec
+from repro.machine.cost import WinogradCostModel
+from repro.machine.spec import KNL_7210, XEON_E7_8890
+from repro.nets.layers import BUDDEN_NET
+
+#: F(3x3, 4x4) -- an arbitrary-kernel tile choice only our method supports.
+FMR = FmrSpec.uniform(2, 3, 4)
+
+
+def _net_mvox_per_s(machine, wisdom) -> float:
+    total_s = 0.0
+    total_vox = 0
+    for layer in BUDDEN_NET:
+        tune = autotune_layer(
+            layer, FMR, machine, wisdom=wisdom,
+            threads_per_core_options=(1, 2),
+        )
+        model = WinogradCostModel(
+            machine, threads_per_core=tune.threads_per_core
+        )
+        total_s += model.layer_cost(layer, FMR, tune.blocking).seconds
+        total_vox += layer.output_voxels
+    return total_vox / total_s / 1e6
+
+
+def test_budden_comparison(benchmark, results_dir, shared_wisdom):
+    """[model] MVox/s on the Budden sample network."""
+
+    def build():
+        ours_knl = _net_mvox_per_s(KNL_7210, shared_wisdom)
+        # MKL-DNN direct on the Haswell (the paper's >12 MVox/s point).
+        direct = DirectConvBaseline(
+            "MKL-DNN direct", machine=XEON_E7_8890, efficiency=0.70
+        )
+        direct_s = sum(direct.predicted_seconds(l) for l in BUDDEN_NET)
+        direct_mvox = sum(l.output_voxels for l in BUDDEN_NET) / direct_s / 1e6
+        return [
+            ["Budden et al. (paper-reported)", "E7-8890", "10.9"],
+            ["MKL-DNN direct [model]", "E7-8890", f"{direct_mvox:.1f}"],
+            ["ours F(3^2,4^2) [model]", "KNL 7210", f"{ours_knl:.1f}"],
+        ]
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    headers = ["implementation", "CPU", "MVox/s"]
+    print("\nBudden et al. comparison [model] (paper: ours 9x Budden, ~3x")
+    print("normalized utilization; absolute MVox/s are not comparable --")
+    print("Budden et al. do not publish their image extent, see EXPERIMENTS.md)")
+    print(format_table(headers, rows))
+    write_csv(results_dir / "budden_mvox.csv", headers, rows)
+
+    ours = float(rows[2][2])
+    budden = float(rows[0][2])
+    direct_haswell = float(rows[1][2])
+    # The reproducible claims are relative:
+    # 1. Ours on KNL clears Budden's reported throughput by far more than
+    #    the paper's 9x (their network extent is unknown; ours is memory
+    #    bound on the guessed 256^2 extent, so this is a weak lower bound).
+    assert ours > 9 * budden
+    # 2. Ours beats the direct convolution even on this unusual 4x4-kernel
+    #    workload, on FLOPs-normalized terms: utilization ratio vs the
+    #    Haswell direct model exceeds the ~3x peak-FLOPs gap.
+    flops_gap = KNL_7210.peak_flops / XEON_E7_8890.peak_flops
+    assert ours / direct_haswell > flops_gap

@@ -1,0 +1,55 @@
+"""E19 (extension) -- arithmetic-complexity ledger for Table-2 layers.
+
+The theoretical per-tile reduction (Sec. 2.2: ``prod(m*r) / prod(m+r-1)``)
+versus the *effective* reduction once tile padding and transform
+multiplications are charged (Sec. 5.1's two caveats), computed exactly
+from the generated codelets.  No machine model involved -- this is pure
+operation counting.
+"""
+
+from __future__ import annotations
+
+from conftest import format_table, write_csv
+from repro.core.complexity import direct_counts, effective_reduction, winograd_counts
+from repro.core.fmr import FmrSpec
+from repro.nets.layers import TABLE2_LAYERS
+
+
+def test_complexity_ledger(benchmark, results_dir):
+    """[exact] Theoretical vs effective multiplication reduction."""
+
+    def build():
+        rows = []
+        for layer in TABLE2_LAYERS:
+            ms = (2, 4, 6) if layer.ndim == 2 else (2, 4)
+            for m in ms:
+                fmr = FmrSpec.uniform(layer.ndim, m, 3)
+                eff = effective_reduction(layer, fmr)
+                rows.append(
+                    [
+                        layer.label,
+                        str(fmr),
+                        f"{fmr.multiplication_reduction:.2f}",
+                        f"{eff:.2f}",
+                        f"{eff / fmr.multiplication_reduction * 100:.0f}%",
+                    ]
+                )
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    headers = ["layer", "F(m,r)", "theoretical_x", "effective_x", "realized"]
+    print("\nArithmetic complexity [exact] -- multiplication reduction vs direct")
+    print(format_table(headers, rows))
+    write_csv(results_dir / "complexity_ledger.csv", headers, rows)
+
+    for r in rows:
+        theo, eff = float(r[2]), float(r[3])
+        # Effective is always positive and never exceeds theoretical.
+        assert 0 < eff <= theo + 1e-9, r
+    # The paper's Sec. 5.1 case: on VGG-5.2 (14x14) the realized share of
+    # F(6^2)'s reduction collapses from tile padding ...
+    vgg52 = {r[1]: float(r[4].rstrip("%")) for r in rows if r[0] == "VGG-5.2"}
+    assert vgg52["F(6x6,3x3)"] < 70
+    # ... while on VGG-3.2 (56x56, divisible extents) it stays high.
+    vgg32 = {r[1]: float(r[4].rstrip("%")) for r in rows if r[0] == "VGG-3.2"}
+    assert vgg32["F(4x4,3x3)"] > 80

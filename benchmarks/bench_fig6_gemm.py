@@ -1,0 +1,94 @@
+"""Fig. 6 -- JIT batched matrix-multiply speedups over MKL/LIBXSMM (E2).
+
+The simulated table sweeps the paper's V-hat shapes (multiples of S=16,
+at most 128^2 elements); our kernel picks its best register blocking per
+shape, exactly as the paper's protocol records "the fastest one".
+
+Real wall-clock benchmarks compare the executable engines (blocked GEMM,
+the JIT kernel cache) against ``numpy.matmul`` on the stage-2 problem
+shape, validating that the blocked loop structure adds no asymptotic
+overhead in the real implementation.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+import numpy as np
+import pytest
+
+from conftest import format_table, write_csv
+from repro.baselines.gemm_libs import FIG6_SHAPES, speedup_table
+from repro.core.blocking import BlockingConfig
+from repro.core.gemm import blocked_gemm
+from repro.core.jit_gemm import JitGemm
+
+
+def test_fig6_simulated_speedups(benchmark, results_dir):
+    """[model] Speedup of our JIT GEMM over the MKL/LIBXSMM models."""
+    rows_raw = benchmark.pedantic(
+        lambda: speedup_table(FIG6_SHAPES), rounds=1, iterations=1
+    )
+    headers = [
+        "v_shape", "ours_gflops", "ours_n_blk",
+        "mkl_gflops", "libxsmm_gflops", "speedup_vs_mkl", "speedup_vs_libxsmm",
+    ]
+    rows = [
+        [
+            r["v_shape"], f"{r['ours_gflops']:.1f}", r["ours_n_blk"],
+            f"{r['mkl_gflops']:.1f}", f"{r['libxsmm_gflops']:.1f}",
+            f"{r['speedup_vs_mkl']:.2f}", f"{r['speedup_vs_libxsmm']:.2f}",
+        ]
+        for r in rows_raw
+    ]
+    print("\nFig. 6 [model] -- JIT batched GEMM speedups (per core)")
+    print(format_table(headers, rows))
+    write_csv(results_dir / "fig6_gemm.csv", headers, rows)
+
+    mkl = [r["speedup_vs_mkl"] for r in rows_raw]
+    xsmm = [r["speedup_vs_libxsmm"] for r in rows_raw]
+    # Paper: averages of 1.6x (MKL) and 1.7x (LIBXSMM); larger wins on
+    # smaller V-hat.  Validate the band and the trend.
+    assert 1.2 < statistics.mean(mkl) < 2.0
+    assert 1.4 < statistics.mean(xsmm) < 2.4
+    assert max(mkl) == mkl[0] or max(mkl) == mkl[2]  # a smallest shape wins
+    assert min(mkl) == mkl[-1]  # 128x128 benefits least
+    assert all(s > 1.0 for s in mkl + xsmm)
+
+
+# ----------------------------------------------------------------------
+# Real execution benchmarks.
+# ----------------------------------------------------------------------
+BLK = BlockingConfig(n_blk=30, c_blk=64, cprime_blk=64)
+
+
+@pytest.fixture(scope="module")
+def stage2_problem():
+    rng = np.random.default_rng(0)
+    t, nb, c, cp = 16, 720, 64, 64
+    u = rng.normal(size=(t, nb, c)).astype(np.float32)
+    v = rng.normal(size=(t, c, cp)).astype(np.float32)
+    return u, v
+
+
+def test_real_numpy_matmul(benchmark, stage2_problem):
+    """[real] Baseline: one fused numpy batched matmul."""
+    u, v = stage2_problem
+    benchmark(np.matmul, u, v)
+
+
+def test_real_blocked_gemm(benchmark, stage2_problem):
+    """[real] The paper's blocked loop nest (Fig. 3) in numpy."""
+    u, v = stage2_problem
+    x = benchmark(blocked_gemm, u, v, BLK)
+    np.testing.assert_allclose(x, np.matmul(u, v), rtol=1e-4, atol=1e-5)
+
+
+def test_real_jit_gemm_cache(benchmark, stage2_problem):
+    """[real] The JIT kernel-cache path (compile once, reuse)."""
+    u, v = stage2_problem
+    jit = JitGemm()
+    jit.batched(u, v, BLK)  # warm the kernel cache (instantiation time)
+    x = benchmark(jit.batched, u, v, BLK)
+    assert jit.compile_count <= 2
+    np.testing.assert_allclose(x, np.matmul(u, v), rtol=1e-4, atol=1e-5)

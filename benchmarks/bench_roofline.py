@@ -1,0 +1,58 @@
+"""E13 (extension) -- roofline table for the competing algorithms.
+
+Places direct, Winograd, im2col and FFT convolution on the KNL roofline
+for representative Table-2 layers: FLOPs, main-memory traffic,
+arithmetic intensity, the binding resource, and the attainable time.
+Makes the paper's FLOPs-vs-intensity trade quantitative.
+"""
+
+from __future__ import annotations
+
+from conftest import format_table, write_csv
+from repro.core.fmr import FmrSpec
+from repro.machine.roofline import layer_roofline
+from repro.machine.spec import KNL_7210
+from repro.nets.layers import get_layer
+
+LAYERS = [("VGG", "3.2"), ("VGG", "5.2"), ("FusionNet", "2.2"), ("C3D", "C3b")]
+
+
+def test_roofline_table(benchmark, results_dir):
+    """[model] Roofline positions of all algorithms per layer."""
+
+    def build():
+        rows = []
+        for net, name in LAYERS:
+            layer = get_layer(net, name)
+            fmr = FmrSpec.uniform(layer.ndim, 4, 3)
+            for p in layer_roofline(layer, fmr, KNL_7210):
+                rows.append(
+                    [
+                        layer.label,
+                        p.algorithm,
+                        f"{p.flops / 1e9:.1f}",
+                        f"{p.bytes_moved / 1e6:.1f}",
+                        f"{p.arithmetic_intensity:.1f}",
+                        p.bound(KNL_7210),
+                        f"{p.attainable_seconds(KNL_7210) * 1e3:.2f}",
+                    ]
+                )
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    headers = ["layer", "algorithm", "GFLOP", "MB moved", "AI (F/B)",
+               "bound", "attainable_ms"]
+    print("\nRoofline table [model] -- KNL ridge point "
+          f"{KNL_7210.peak_flops / KNL_7210.mem_bandwidth:.1f} FLOP/byte")
+    print(format_table(headers, rows))
+    write_csv(results_dir / "roofline.csv", headers, rows)
+
+    by = {(r[0], r[1].split()[0]): r for r in rows}
+    for net, name in LAYERS:
+        label = get_layer(net, name).label
+        # Winograd attains the best time on every one of these layers.
+        assert float(by[(label, "winograd")][6]) <= float(by[(label, "direct")][6])
+        # ... with fewer FLOPs ...
+        assert float(by[(label, "winograd")][2]) < float(by[(label, "direct")][2])
+        # ... but lower arithmetic intensity (the trade).
+        assert float(by[(label, "winograd")][4]) < float(by[(label, "direct")][4])

@@ -1,0 +1,74 @@
+"""E12 (extension) -- per-stage time breakdown, training vs inference.
+
+Supports two textual claims around Fig. 5:
+
+* "For most of the layers, the kernel transformations only require a
+  small percentage of the total execution time.  However, for layers
+  with a large number of input/output channels, the kernel
+  transformations can take significant time ... especially when the
+  batch size is one.  This is notable for FusionNet (layers 4.2 and
+  5.2)."
+* Stage 2 (GEMM) dominates, which is why the JIT GEMM is the paper's
+  central optimization.
+"""
+
+from __future__ import annotations
+
+from conftest import format_table, write_csv
+from repro.core.blocking import BlockingConfig
+from repro.core.fmr import FmrSpec
+from repro.machine.cost import WinogradCostModel
+from repro.machine.spec import KNL_7210
+from repro.nets.layers import TABLE2_LAYERS
+
+def layer_blocking(layer):
+    """64x64 where the channels allow it, else the largest legal block."""
+    return BlockingConfig(
+        n_blk=28,
+        c_blk=min(64, layer.c_in),
+        cprime_blk=min(64, layer.c_out),
+    )
+
+
+def test_stage_breakdown(benchmark, results_dir):
+    """[model] Stage shares per Table-2 layer with F(4,3) tiles."""
+
+    def build():
+        model = WinogradCostModel(KNL_7210, threads_per_core=2)
+        rows = []
+        for layer in TABLE2_LAYERS:
+            fmr = FmrSpec.uniform(layer.ndim, 4, 3)
+            cost = model.layer_cost(layer, fmr, layer_blocking(layer))
+            total = cost.seconds
+            shares = {
+                s.name: s.seconds / total for s in cost.stages
+            }
+            rows.append(
+                [
+                    layer.label,
+                    f"{total * 1e3:.2f}",
+                    f"{shares['input_transform'] * 100:.1f}%",
+                    f"{shares['kernel_transform'] * 100:.1f}%",
+                    f"{shares['gemm'] * 100:.1f}%",
+                    f"{shares['inverse_transform'] * 100:.1f}%",
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    headers = ["layer", "total_ms", "input_tf", "kernel_tf", "gemm", "inverse_tf"]
+    print("\nStage breakdown [model] -- F(4,3) tiles, 64x64 blocking")
+    print(format_table(headers, rows))
+    write_csv(results_dir / "stage_breakdown.csv", headers, rows)
+
+    shares = {r[0]: [float(x.rstrip("%")) for x in r[2:]] for r in rows}
+
+    # GEMM dominates on every layer.
+    for label, (it, kt, gemm, inv) in shares.items():
+        assert gemm == max(it, kt, gemm, inv), label
+
+    # Kernel transform share: small for big-batch VGG, significant for
+    # batch-1 many-channel FusionNet 4.2/5.2.
+    assert shares["VGG-1.2"][1] < 2.0
+    assert shares["FusionNet-5.2"][1] > 5.0
+    assert shares["FusionNet-5.2"][1] > 4 * shares["VGG-4.2"][1]

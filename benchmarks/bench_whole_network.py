@@ -1,0 +1,85 @@
+"""E18 (extension) -- whole-network estimates.
+
+Table 2 benchmarks layers; the networks motivate them.  This bench
+computes, for each full architecture: the Table-2 coverage of total
+FLOPs, the simulated end-to-end Winograd time on KNL (inference, tuned
+per layer), the direct-convolution roofline time, and the Sec. 4.4
+shared-workspace size.
+"""
+
+from __future__ import annotations
+
+from math import prod
+
+from conftest import format_table, write_csv
+from repro.baselines.direct import mkldnn_direct
+from repro.core.convolution import WinogradPlan, max_workspace_bytes
+from repro.core.fmr import FmrSpec
+from repro.machine.spec import KNL_7210
+from repro.nets.architectures import ARCHITECTURES, benchmarked_fraction
+from repro.nets.network import network_model_time
+
+
+def _executable(layers):
+    """Rows the fast path can run (SIMD-divisible channels)."""
+    return [l for l in layers if l.c_in % 16 == 0 and l.c_out % 16 == 0]
+
+
+def test_whole_network_estimates(benchmark, results_dir, shared_wisdom):
+    """[model] Per-network: coverage, Winograd vs direct time, workspace."""
+
+    def build():
+        rows = []
+        direct = mkldnn_direct()
+        for name, builder in sorted(ARCHITECTURES.items()):
+            layers = _executable(builder())
+            pairs = [
+                (l, FmrSpec.uniform(l.ndim, 4 if l.ndim == 2 else 2, 3))
+                for l in layers
+            ]
+            wino_s = network_model_time(
+                pairs, KNL_7210, wisdom=shared_wisdom, inference_only=True
+            )
+            direct_s = sum(direct.predicted_seconds(l) for l in layers)
+            plans = [
+                WinogradPlan(
+                    spec=fmr,
+                    input_shape=(l.batch, l.c_in) + l.image,
+                    c_out=l.c_out,
+                    padding=l.padding,
+                )
+                for l, fmr in pairs
+            ]
+            ws_mb = max_workspace_bytes(plans) / 1e6
+            act_mb = sum(
+                l.batch * l.c_in * prod(l.image) * 4 for l in layers
+            ) / 1e6
+            rows.append(
+                [
+                    name,
+                    len(layers),
+                    f"{benchmarked_fraction(name) * 100:.0f}%",
+                    f"{wino_s * 1e3:.1f}",
+                    f"{direct_s * 1e3:.1f}",
+                    f"{direct_s / wino_s:.2f}",
+                    f"{ws_mb:.0f}",
+                    f"{act_mb:.0f}",
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    headers = [
+        "network", "conv layers", "Table2 FLOP share", "wino_ms", "direct_ms",
+        "speedup", "workspace_MB", "activations_MB",
+    ]
+    print("\nWhole-network estimates [model] -- KNL, inference")
+    print(format_table(headers, rows))
+    write_csv(results_dir / "whole_network.csv", headers, rows)
+
+    for r in rows:
+        # Winograd wins end to end on every network.
+        assert float(r[5]) > 1.0, r
+        # Sec. 4.4: workspace is of the same order as (not vastly beyond)
+        # the activation footprint of a deep network.
+        assert float(r[6]) < 20 * float(r[7]), r

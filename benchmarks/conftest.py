@@ -1,0 +1,49 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``bench_*.py`` regenerates one table or figure of the paper (see
+DESIGN.md's experiment index).  Two kinds of measurements coexist:
+
+* **simulated** numbers from the machine model (the Fig. 5 / Fig. 6
+  analogs -- tagged ``[model]`` in all output), and
+* **wall-clock** numbers of the real numpy execution on laptop-scale
+  surrogates, measured by pytest-benchmark (tagged ``[real]``).
+
+The two are never mixed in one table.
+"""
+
+from __future__ import annotations
+
+import atexit
+from pathlib import Path
+
+import pytest
+
+from repro.util.wisdom import Wisdom
+
+RESULTS_DIR = Path(__file__).parent / "results"
+WISDOM_PATH = RESULTS_DIR / "wisdom.json"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def shared_wisdom(results_dir) -> Wisdom:
+    """Session-wide wisdom store, persisted across benchmark runs so the
+    autotuning search (the expensive part) happens once per layer shape."""
+    if WISDOM_PATH.exists():
+        try:
+            wisdom = Wisdom.load(WISDOM_PATH)
+        except ValueError:
+            wisdom = Wisdom()
+    else:
+        wisdom = Wisdom()
+    atexit.register(lambda: wisdom.save(WISDOM_PATH))
+    return wisdom
+
+
+# Reporting helpers shared with the CLI (single implementation).
+from repro.util.reporting import format_table, write_csv  # noqa: E402,F401

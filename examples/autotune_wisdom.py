@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Autotuning walkthrough: blocking search, Eqn. 11, and wisdom files.
+
+Shows what happens inside ``autotune_layer`` for one VGG layer on the
+simulated Xeon Phi 7210: candidate blockings and their compute-to-memory
+ratios, the predicted runtime for a few representative points, the
+chosen configuration, and how the result is persisted to (and served
+from) an FFTW-style wisdom file.
+
+Usage::
+
+    python examples/autotune_wisdom.py [wisdom.json]
+"""
+
+import sys
+import time
+from pathlib import Path
+
+from repro.core.autotune import autotune_layer, layer_key
+from repro.core.blocking import BlockingConfig, candidate_blockings
+from repro.core.fmr import FmrSpec
+from repro.machine.cost import WinogradCostModel
+from repro.machine.spec import KNL_7210
+from repro.nets.layers import get_layer
+from repro.util.wisdom import Wisdom
+
+
+def main():
+    wisdom_path = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("wisdom.json")
+    layer = get_layer("VGG", "4.2")
+    fmr = FmrSpec.uniform(2, 4, 3)
+
+    print(f"Layer   : {layer.label}  B={layer.batch} C={layer.c_in} "
+          f"C'={layer.c_out} image={layer.image}")
+    print(f"F(m,r)  : {fmr}  ({fmr.multiplication_reduction:.2f}x fewer mults)")
+    print(f"Machine : {KNL_7210.name} "
+          f"(capability {KNL_7210.compute_to_memory_capability:.0f} flop/float)\n")
+
+    print("Eqn. 11 view of the candidate blockings (n_blk=28):")
+    seen = set()
+    for cfg in candidate_blockings(layer.c_in, layer.c_out):
+        shape = (cfg.c_blk, cfg.cprime_blk)
+        if shape in seen or cfg.n_blk != 28:
+            continue
+        seen.add(shape)
+        ratio = cfg.compute_to_memory_ratio(1)
+        bound = "compute" if ratio > KNL_7210.compute_to_memory_capability else "memory "
+        print(f"  C_blk x C'_blk = {cfg.c_blk:3d}x{cfg.cprime_blk:3d}  "
+              f"ratio={ratio:6.2f}  -> {bound} bound  "
+              f"(V = {cfg.v_bytes() // 1024} KB of L2)")
+
+    print("\nPredicted layer time for representative points:")
+    model = WinogradCostModel(KNL_7210, threads_per_core=2)
+    for cfg in (
+        BlockingConfig(n_blk=6, c_blk=64, cprime_blk=64),
+        BlockingConfig(n_blk=28, c_blk=64, cprime_blk=64),
+        BlockingConfig(n_blk=28, c_blk=128, cprime_blk=128),
+    ):
+        cost = model.layer_cost(layer, fmr, cfg)
+        print(f"  {cfg.describe():60s} -> {cost.seconds * 1e3:7.2f} ms")
+
+    wisdom = Wisdom()
+    t0 = time.perf_counter()
+    result = autotune_layer(layer, fmr, KNL_7210, wisdom=wisdom)
+    search_s = time.perf_counter() - t0
+    print(f"\nAutotuner searched {result.candidates_evaluated} candidates "
+          f"in {search_s:.1f}s:")
+    print(f"  chose {result.blocking.describe()}")
+    print(f"  threads/core = {result.threads_per_core}")
+    print(f"  predicted    = {result.predicted_seconds * 1e3:.2f} ms")
+
+    wisdom.save(wisdom_path)
+    print(f"\nWisdom saved to {wisdom_path} "
+          f"(key: {layer_key(layer, fmr, KNL_7210)})")
+
+    reloaded = Wisdom.load(wisdom_path)
+    t0 = time.perf_counter()
+    cached = autotune_layer(layer, fmr, KNL_7210, wisdom=reloaded)
+    cached_s = time.perf_counter() - t0
+    print(f"Re-tuning with wisdom: {cached.candidates_evaluated} candidates "
+          f"evaluated, {cached_s * 1e3:.2f} ms (served from the file)")
+    assert cached.blocking == result.blocking
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Training with Winograd convolutions end to end.
+
+The paper's Table-3 "train" rows exist because Winograd layers are used
+*inside training loops* (batch sizes 32/64, Sec. 3.3).  This example
+closes that loop: a two-layer convolutional network is trained by SGD on
+a synthetic edge-detection task where the forward pass, the data
+gradient and the weight gradient all run through this library --
+demonstrating that F(4x4,3x3)'s float32 error is indeed harmless for
+training, exactly as Sec. 5.3 concludes.
+
+Usage::
+
+    python examples/train_convnet.py
+"""
+
+import numpy as np
+
+from repro.core.fmr import FmrSpec
+from repro.core.gradients import weight_gradient, winograd_data_gradient
+from repro.core.convolution import winograd_convolution
+
+FMR = FmrSpec.uniform(2, 4, 3)
+PAD = (1, 1)
+
+
+def forward(x, w1, w2):
+    h_pre = winograd_convolution(x, w1, FMR, padding=PAD)
+    h = np.maximum(h_pre, 0.0)
+    y = winograd_convolution(h, w2, FMR, padding=PAD)
+    return y, (x, h_pre, h)
+
+
+def backward(grad_y, cache, w1, w2):
+    x, h_pre, h = cache
+    gw2 = weight_gradient(h, grad_y, (3, 3), padding=PAD)
+    gh = winograd_data_gradient(grad_y, w2, FMR, padding=PAD, dtype=np.float32)
+    gh_pre = gh * (h_pre > 0)
+    gw1 = weight_gradient(x, gh_pre, (3, 3), padding=PAD)
+    return gw1, gw2
+
+
+def target_task(rng, batch=8, size=24):
+    """Inputs: random smooth images. Targets: their Sobel-x edges."""
+    x = rng.normal(size=(batch, 8, size, size)).astype(np.float32)
+    # Smooth the noise a little so edges are learnable.
+    x = (x + np.roll(x, 1, -1) + np.roll(x, 1, -2)) / 3.0
+    sobel = np.array([[-1, 0, 1], [-2, 0, 2], [-1, 0, 1]], dtype=np.float32)
+    k = np.zeros((8, 8, 3, 3), dtype=np.float32)
+    for c in range(8):
+        k[c, c] = sobel * 0.2
+    y = winograd_convolution(x, k, FMR, padding=PAD)
+    return x, y
+
+
+def main():
+    rng = np.random.default_rng(0)
+    w1 = (rng.normal(size=(8, 8, 3, 3)) * 0.15).astype(np.float32)
+    w2 = (rng.normal(size=(8, 8, 3, 3)) * 0.15).astype(np.float32)
+    lr = 0.08
+
+    x_val, y_val = target_task(rng)
+    losses = []
+    for step in range(120):
+        x, y_true = target_task(rng)
+        y, cache = forward(x, w1, w2)
+        diff = y - y_true
+        loss = float((diff**2).mean())
+        grad_y = (2.0 / diff.size) * diff
+        gw1, gw2 = backward(grad_y.astype(np.float32), cache, w1, w2)
+        w1 -= lr * gw1.astype(np.float32)
+        w2 -= lr * gw2.astype(np.float32)
+        losses.append(loss)
+        if step % 20 == 0:
+            yv, _ = forward(x_val, w1, w2)
+            val = float(((yv - y_val) ** 2).mean())
+            print(f"step {step:3d}  train loss {loss:.5f}  val loss {val:.5f}")
+
+    yv, _ = forward(x_val, w1, w2)
+    final = float(((yv - y_val) ** 2).mean())
+    print(f"\ninitial loss {losses[0]:.5f} -> final val loss {final:.5f}")
+    assert final < 0.5 * losses[0], "training did not converge"
+    print("Converged: Winograd F(4x4,3x3) forward + backward trains stably,")
+    print("matching the paper's Table-3 conclusion for this tile size.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""3D workloads: C3D-style video features and 3D U-Net-style
+segmentation with anisotropic tiles.
+
+The paper's second headline is N-dimensional support: existing Winograd
+libraries stop at 2D 3x3, while 3D ConvNets (video understanding,
+biomedical volumes) are exactly where the arithmetic savings are largest
+-- F(4x6x6, 3^3) saves 13.7x multiplications versus direct.
+
+This example runs scaled 3D layers with isotropic and anisotropic tile
+sizes, verifies against the direct reference, and reports the savings
+and accuracy for each choice, mirroring how a practitioner would pick a
+tile size per layer.
+
+Usage::
+
+    python examples/video_segmentation_3d.py
+"""
+
+import numpy as np
+
+from repro import FmrSpec, direct_convolution, winograd_convolution
+from repro.nets.layers import get_layer
+
+#: Tile choices the paper benchmarks for 3D (Fig. 5 / Table 3).
+TILE_CHOICES = [
+    FmrSpec.uniform(3, 2, 3),
+    FmrSpec.uniform(3, 4, 3),
+    FmrSpec(m=(2, 4, 4), r=(3, 3, 3)),
+    FmrSpec(m=(4, 6, 6), r=(3, 3, 3)),
+]
+
+
+def run_layer(title, layer, seed):
+    rng = np.random.default_rng(seed)
+    images = rng.uniform(
+        -0.1, 0.1, size=(layer.batch, layer.c_in) + layer.image
+    ).astype(np.float32)
+    kernels = (
+        rng.normal(size=(layer.c_in, layer.c_out) + layer.kernel) * 0.05
+    ).astype(np.float32)
+    reference = direct_convolution(
+        images.astype(np.float64), kernels.astype(np.float64),
+        padding=layer.padding,
+    )
+
+    print(f"{title}: B={layer.batch} C={layer.c_in}->{layer.c_out} "
+          f"image={layer.image} pad={layer.padding}")
+    print(f"  {'F(m,r)':22s} {'mults/tile':>10s} {'reduction':>9s} "
+          f"{'pad waste':>9s} {'max error':>10s}")
+    for spec in TILE_CHOICES:
+        out = winograd_convolution(
+            images, kernels, spec, padding=layer.padding
+        )
+        err = float(np.abs(out - reference).max())
+        waste = spec.padding_overhead(
+            tuple(
+                i + 2 * p - r + 1
+                for i, p, r in zip(layer.image, layer.padding, layer.kernel)
+            )
+        )
+        print(
+            f"  {str(spec):22s} {spec.winograd_multiplications:10d} "
+            f"{spec.multiplication_reduction:8.1f}x {waste * 100:8.1f}% "
+            f"{err:10.2e}"
+        )
+        assert err < 1e-2
+    print()
+
+
+def main():
+    c3d = get_layer("C3D", "C3b").scaled(
+        batch=1, channels_divisor=8, image_divisor=2
+    )
+    run_layer("C3D video-feature layer (scaled)", c3d, seed=0)
+
+    unet = get_layer("3DUNet", "2.2").scaled(channels_divisor=4, image_divisor=3)
+    run_layer("3D U-Net segmentation layer (scaled)", unet, seed=1)
+
+    print("Note how anisotropic tiles (e.g. F(2x4x4) or F(4x6x6)) trade")
+    print("padding waste against arithmetic reduction when the depth")
+    print("extent is small -- the choice the autotuner makes per layer.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""repro -- N-dimensional Winograd-based convolution for manycore CPUs.
+
+A full reproduction of Jia, Zlateski, Durand & Li, *Optimizing
+N-Dimensional, Winograd-Based Convolution for Manycore CPUs* (PPoPP
+2018): the N-D arbitrary-kernel Winograd algorithm, its transform
+generation, data layouts, JIT codelets/GEMM, autotuning and static
+scheduling -- plus a simulated Xeon Phi substrate for the performance
+evaluation and every baseline the paper compares against.
+
+Quickstart::
+
+    import numpy as np
+    from repro import winograd_convolution
+
+    images = np.random.randn(2, 16, 32, 32).astype(np.float32)   # B,C,H,W
+    kernels = np.random.randn(16, 32, 3, 3).astype(np.float32)   # C,C',r,r
+    out = winograd_convolution(images, kernels, "F(4x4,3x3)", padding=(1, 1))
+
+See ``examples/`` for planned execution, 3D video networks, autotuning
+and the accuracy study.
+"""
+
+from repro.core.convolution import (
+    TransformedKernels,
+    WinogradPlan,
+    winograd_convolution,
+)
+from repro.core.channel_padding import winograd_convolution_padded_channels
+from repro.core.fmr import FmrSpec
+from repro.core.gradients import weight_gradient, winograd_data_gradient
+from repro.core.transforms import winograd_1d, winograd_nd
+from repro.nets.layers import TABLE2_LAYERS, ConvLayerSpec, get_layer, layers_for_network
+from repro.nets.reference import direct_convolution, reference_convolution
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FmrSpec",
+    "winograd_convolution",
+    "WinogradPlan",
+    "TransformedKernels",
+    "winograd_1d",
+    "winograd_nd",
+    "winograd_convolution_padded_channels",
+    "winograd_data_gradient",
+    "weight_gradient",
+    "direct_convolution",
+    "reference_convolution",
+    "ConvLayerSpec",
+    "TABLE2_LAYERS",
+    "get_layer",
+    "layers_for_network",
+    "__version__",
+]

@@ -1,0 +1,37 @@
+"""Baseline implementations and comparators for the Fig. 5 / Fig. 6
+benchmarks."""
+
+from repro.baselines.base import BaselineCrash, ConvImplementation, UnsupportedLayer
+from repro.baselines.direct import DirectConvBaseline, mkldnn_direct, zlateski_direct
+from repro.baselines.fft import FftConvBaseline, fft_convolution
+from repro.baselines.gpu import CudnnFft3D, CudnnImplicitGemm, CudnnWinograd2D
+from repro.baselines.im2col import Im2colBaseline, im2col, im2col_convolution
+from repro.baselines.ours import OursWinograd
+from repro.baselines.vendor import (
+    WinogradLibraryBaseline,
+    falcon,
+    libxsmm_winograd,
+    mkldnn_winograd,
+)
+
+__all__ = [
+    "BaselineCrash",
+    "ConvImplementation",
+    "UnsupportedLayer",
+    "DirectConvBaseline",
+    "mkldnn_direct",
+    "zlateski_direct",
+    "FftConvBaseline",
+    "fft_convolution",
+    "CudnnFft3D",
+    "CudnnImplicitGemm",
+    "CudnnWinograd2D",
+    "Im2colBaseline",
+    "im2col",
+    "im2col_convolution",
+    "OursWinograd",
+    "WinogradLibraryBaseline",
+    "falcon",
+    "libxsmm_winograd",
+    "mkldnn_winograd",
+]

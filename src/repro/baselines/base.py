@@ -1,0 +1,69 @@
+"""Common interface for convolution implementations (ours + baselines).
+
+Every implementation compared in Fig. 5 is expressed as a
+:class:`ConvImplementation`:
+
+* ``supports(layer)`` -- the capability envelope (existing Winograd
+  libraries are 2D, 3x3-only; cuDNN's Winograd is 2D-only; ...), raising
+  :class:`UnsupportedLayer` with the paper's stated reason otherwise;
+* ``execute(images, kernels)`` -- the real numpy computation (all CPU
+  implementations compute real numbers; GPU comparators are model-only);
+* ``predicted_seconds(layer)`` -- the simulated-KNL (or roofline-GPU)
+  runtime used for the Fig. 5 comparison.
+
+:class:`BaselineCrash` reproduces the paper's observed behaviour that
+"MKL-DNN's Winograd-based convolution produces segmentation faults for 4
+of 5 FusionNet layers".
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.nets.layers import ConvLayerSpec
+
+
+class UnsupportedLayer(Exception):
+    """The implementation cannot run this layer (capability envelope)."""
+
+
+class BaselineCrash(Exception):
+    """The implementation crashes on this layer (paper Fig. 5 footnote)."""
+
+
+class ConvImplementation(ABC):
+    """One bar of Fig. 5."""
+
+    #: Short display name used in benchmark tables.
+    name: str = "base"
+
+    @abstractmethod
+    def supports(self, layer: ConvLayerSpec) -> None:
+        """Raise :class:`UnsupportedLayer`/:class:`BaselineCrash` if the
+        layer is outside this implementation's envelope."""
+
+    @abstractmethod
+    def predicted_seconds(self, layer: ConvLayerSpec) -> float:
+        """Simulated runtime of one layer invocation."""
+
+    def execute(
+        self, images: np.ndarray, kernels: np.ndarray, layer: ConvLayerSpec
+    ) -> np.ndarray:
+        """Real numpy execution (semantics identical to the reference).
+
+        Model-only comparators (GPU rooflines) raise
+        ``NotImplementedError``.
+        """
+        raise NotImplementedError(f"{self.name} is a performance model only")
+
+    def check_layer_arrays(
+        self, images: np.ndarray, kernels: np.ndarray, layer: ConvLayerSpec
+    ) -> None:
+        expected_i = (layer.batch, layer.c_in) + layer.image
+        expected_k = (layer.c_in, layer.c_out) + layer.kernel
+        if tuple(images.shape) != expected_i:
+            raise ValueError(f"images shape {images.shape} != layer {expected_i}")
+        if tuple(kernels.shape) != expected_k:
+            raise ValueError(f"kernels shape {kernels.shape} != layer {expected_k}")

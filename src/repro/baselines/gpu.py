@@ -1,0 +1,149 @@
+"""cuDNN-style GPU comparators (roofline models on a Titan X Pascal).
+
+Fig. 5 includes three cuDNN algorithms: Winograd-based for 2D,
+matrix-multiply (implicit GEMM) based for 3D, and FFT based for 3D.
+cuDNN is closed source; the paper itself reasons about these columns at
+the FLOPs-ratio level ("a GPU that is capable of roughly 2.5x more
+FLOPS"), so rooflines over the algorithms' operation counts and memory
+traffic are the faithful substitute (see DESIGN.md).
+
+Efficiencies are single calibration constants per algorithm family,
+fixed here at values consistent with published cuDNN benchmarks (Lavin &
+Gray [34] report ~50-60%% of peak for cuDNN Winograd on Maxwell/Pascal;
+implicit GEMM sits near 45%%; FFT-based 3D convolution is bandwidth
+crippled by image-sized spectra).
+"""
+
+from __future__ import annotations
+
+from math import prod
+
+from repro.baselines.base import ConvImplementation, UnsupportedLayer
+from repro.baselines.fft import FftConvBaseline
+from repro.core.fmr import FmrSpec
+from repro.machine.memory import MemoryModel
+from repro.machine.spec import TITAN_X_PASCAL, MachineSpec
+from repro.nets.layers import ConvLayerSpec
+
+
+class CudnnWinograd2D(ConvImplementation):
+    """cuDNN's 2D Winograd (speculated F(4x4,3x3), Sec. 5.1/5.3)."""
+
+    name = "cuDNN wino"
+
+    def __init__(self, machine: MachineSpec = TITAN_X_PASCAL, efficiency: float = 0.55):
+        self.machine = machine
+        self.efficiency = efficiency
+        self._memory = MemoryModel(machine)
+
+    def supports(self, layer: ConvLayerSpec) -> None:
+        if layer.ndim != 2:
+            raise UnsupportedLayer(
+                "cuDNN's Winograd implementation supports only 2D data"
+            )
+        if layer.kernel != (3, 3):
+            raise UnsupportedLayer("cuDNN Winograd supports only 3x3 kernels")
+
+    def predicted_seconds(self, layer: ConvLayerSpec) -> float:
+        self.supports(layer)
+        fmr = FmrSpec.uniform(2, 4, 3)  # the speculated tile size
+        out = layer.output_image
+        tiles = prod(fmr.tile_counts(out))
+        gemm_flops = (
+            2 * fmr.tile_elements * tiles * layer.batch * layer.c_in * layer.c_out
+        )
+        # Transform FLOPs are minor; fold them into a 10% surcharge.
+        compute_s = 1.1 * gemm_flops / (self.machine.peak_flops * self.efficiency)
+        transformed_bytes = 4 * fmr.tile_elements * tiles * layer.batch * (
+            layer.c_in + layer.c_out
+        )
+        traffic = self._memory.combine(
+            self._memory.read_traffic(transformed_bytes),
+            self._memory.store_traffic(transformed_bytes, streaming=True),
+        )
+        return max(compute_s, traffic.seconds(self.machine))
+
+
+class CudnnImplicitGemm(ConvImplementation):
+    """cuDNN's matrix-multiply based convolution (any dimensionality)."""
+
+    name = "cuDNN gemm"
+
+    def __init__(self, machine: MachineSpec = TITAN_X_PASCAL, efficiency: float = 0.45):
+        self.machine = machine
+        self.efficiency = efficiency
+        self._memory = MemoryModel(machine)
+
+    def supports(self, layer: ConvLayerSpec) -> None:
+        return None
+
+    def predicted_seconds(self, layer: ConvLayerSpec) -> float:
+        compute_s = layer.direct_flops() / (self.machine.peak_flops * self.efficiency)
+        io_bytes = 4 * (
+            layer.batch * layer.c_in * prod(layer.image) + layer.output_voxels
+        )
+        traffic = self._memory.read_traffic(2 * io_bytes)
+        return max(compute_s, traffic.seconds(self.machine))
+
+
+def _next_pow2(n: int) -> int:
+    p = 1
+    while p < n:
+        p *= 2
+    return p
+
+
+class CudnnFft3D(ConvImplementation):
+    """cuDNN's FFT-based convolution for 3D data.
+
+    Two mechanisms make this path lose badly on 3D ConvNet layers
+    (matching the paper's >8x deficit):
+
+    * cuFFT wants power-of-two extents, so each padded image dimension is
+      rounded up -- a 18x58x58 C3D layer computes on 32x64x64 spectra
+      (2.2x the points; 3D U-Net layers fare far worse);
+    * the per-frequency pointwise stage is a batched *complex* GEMM of
+      tiny ``C x C'`` matrices -- exactly the tall-and-skinny problem
+      GPUs handle poorly, at a few percent of peak.
+    """
+
+    name = "cuDNN FFT"
+
+    def __init__(
+        self,
+        machine: MachineSpec = TITAN_X_PASCAL,
+        fft_efficiency: float = 0.35,
+        pointwise_efficiency: float = 0.05,
+    ):
+        self.machine = machine
+        self.fft_efficiency = fft_efficiency
+        self.pointwise_efficiency = pointwise_efficiency
+        self._memory = MemoryModel(machine)
+
+    def supports(self, layer: ConvLayerSpec) -> None:
+        if layer.ndim != 3:
+            raise UnsupportedLayer("benchmarked as cuDNN's 3D FFT path")
+
+    def predicted_seconds(self, layer: ConvLayerSpec) -> float:
+        from math import log2
+
+        self.supports(layer)
+        n = prod(
+            _next_pow2(i + 2 * p) for i, p in zip(layer.image, layer.padding)
+        )
+        n_transforms = (
+            layer.batch * layer.c_in
+            + layer.c_in * layer.c_out
+            + layer.batch * layer.c_out
+        )
+        fft_flops = 5.0 * n * log2(n) * n_transforms
+        pointwise_flops = 8.0 * layer.batch * layer.c_in * layer.c_out * (n / 2)
+        compute_s = fft_flops / (self.machine.peak_flops * self.fft_efficiency) + (
+            pointwise_flops / (self.machine.peak_flops * self.pointwise_efficiency)
+        )
+        spectra_bytes = 4 * n * n_transforms
+        traffic = self._memory.combine(
+            self._memory.read_traffic(spectra_bytes),
+            self._memory.store_traffic(spectra_bytes, streaming=False),
+        )
+        return max(compute_s, traffic.seconds(self.machine))

@@ -1,0 +1,84 @@
+"""The paper's implementation packaged as a :class:`ConvImplementation`.
+
+Supports any dimensionality, kernel and tile size (the headline
+capability).  The blocking parameters and threads-per-core are chosen by
+the autotuner (wisdom-cached); the FX variant memoizes kernel transforms
+(inference-only mode of Fig. 5).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import ConvImplementation, UnsupportedLayer
+from repro.core.autotune import autotune_layer
+from repro.core.convolution import winograd_convolution
+from repro.core.fmr import FmrSpec
+from repro.machine.cost import ExecutionFeatures, WinogradCostModel
+from repro.machine.spec import KNL_7210, MachineSpec
+from repro.nets.layers import ConvLayerSpec
+from repro.util.wisdom import Wisdom
+
+
+class OursWinograd(ConvImplementation):
+    """The paper's N-D Winograd convolution."""
+
+    def __init__(
+        self,
+        m: tuple[int, ...] | int,
+        machine: MachineSpec = KNL_7210,
+        *,
+        inference_only: bool = False,
+        wisdom: Wisdom | None = None,
+        features: ExecutionFeatures | None = None,
+    ):
+        self.m = m
+        self.machine = machine
+        self.inference_only = inference_only
+        self.wisdom = wisdom if wisdom is not None else Wisdom()
+        self.features = features if features is not None else ExecutionFeatures()
+        suffix = " FX" if inference_only else ""
+        self.name = f"ours {self._m_label()}{suffix}"
+
+    def _m_label(self) -> str:
+        if isinstance(self.m, int):
+            return f"F(m={self.m})"
+        return "F(" + "x".join(map(str, self.m)) + ")"
+
+    def _fmr(self, layer: ConvLayerSpec) -> FmrSpec:
+        return layer.fmr(self.m)
+
+    def supports(self, layer: ConvLayerSpec) -> None:
+        if not isinstance(self.m, int) and len(self.m) != layer.ndim:
+            raise UnsupportedLayer(
+                f"{self.name}: tile rank {len(self.m)} != layer rank {layer.ndim}"
+            )
+        s = self.machine.vector_width
+        if layer.c_in % s or layer.c_out % s:
+            raise UnsupportedLayer(
+                f"{self.name}: channels must be divisible by S={s} (Sec. 4.1)"
+            )
+
+    def predicted_seconds(self, layer: ConvLayerSpec) -> float:
+        self.supports(layer)
+        fmr = self._fmr(layer)
+        tune = autotune_layer(
+            layer, fmr, self.machine, wisdom=self.wisdom,
+            features=self.features,
+            transform_kernels=not self.inference_only,
+        )
+        model = WinogradCostModel(
+            self.machine, threads_per_core=tune.threads_per_core,
+            features=self.features,
+        )
+        return model.layer_cost(
+            layer, fmr, tune.blocking,
+            transform_kernels=not self.inference_only,
+        ).seconds
+
+    def execute(self, images, kernels, layer):
+        self.check_layer_arrays(images, kernels, layer)
+        return winograd_convolution(
+            images, kernels, self._fmr(layer), padding=layer.padding,
+            dtype=np.float32,
+        )

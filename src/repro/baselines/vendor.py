@@ -1,0 +1,173 @@
+"""Winograd baselines: FALCON, MKL-DNN and LIBXSMM look-alikes.
+
+All three existing CPU Winograd libraries share the paper's critique
+targets (Sec. 1.1): 2D-only, a single supported tile size, generic GEMM
+back ends that underperform on tall-and-skinny matrices, no streaming
+stores, and OpenMP-style synchronization.  Each look-alike is the same
+three-stage cost model as ours with the corresponding features disabled,
+plus the library's capability envelope:
+
+================  ==========  =======================================
+Library           F(m, r)     Model features
+================  ==========  =======================================
+FALCON [1]        F(2^2,3^2)  MKL GEMM calls (packing + call overhead),
+                              generic layouts, OpenMP barriers
+MKL-DNN [2]       F(4^2,3^2)  blocked nChw16c layout but unfused
+                              scatter, no NT stores, OpenMP barriers;
+                              segfaults on 4/5 FusionNet layers (Fig. 5)
+LIBXSMM [10]      F(4^2,3^2)  JIT small-GEMM kernels with fixed 16-row
+                              register blocking and simpler prefetch
+================  ==========  =======================================
+
+Numerically, each executes our pipeline restricted to the library's tile
+size (which is what those libraries compute, up to rounding).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import BaselineCrash, ConvImplementation, UnsupportedLayer
+from repro.core.autotune import autotune_layer
+from repro.core.convolution import winograd_convolution
+from repro.core.fmr import FmrSpec
+from repro.machine.cost import ExecutionFeatures, WinogradCostModel
+from repro.machine.spec import KNL_7210, MachineSpec
+from repro.nets.layers import ConvLayerSpec
+from repro.util.wisdom import Wisdom
+
+
+class WinogradLibraryBaseline(ConvImplementation):
+    """A 2D, fixed-tile-size Winograd library model."""
+
+    def __init__(
+        self,
+        name: str,
+        m: int,
+        features: ExecutionFeatures,
+        machine: MachineSpec = KNL_7210,
+        *,
+        crash_predicate=None,
+    ):
+        self.name = name
+        self.m = m
+        self.features = features
+        self.machine = machine
+        self.crash_predicate = crash_predicate
+        self._wisdom = Wisdom()
+
+    def _fmr(self, layer: ConvLayerSpec) -> FmrSpec:
+        return FmrSpec.uniform(2, self.m, 3)
+
+    def supports(self, layer: ConvLayerSpec) -> None:
+        if layer.ndim != 2:
+            raise UnsupportedLayer(
+                f"{self.name} only supports 2D convolutions (Sec. 1.1)"
+            )
+        if layer.kernel != (3, 3):
+            raise UnsupportedLayer(
+                f"{self.name} only supports 3x3 kernels, got {layer.kernel}"
+            )
+        if layer.c_in % 16 or layer.c_out % 16:
+            raise UnsupportedLayer(f"{self.name} requires channels % 16 == 0")
+        if self.crash_predicate is not None and self.crash_predicate(layer):
+            raise BaselineCrash(
+                f"{self.name} produces a segmentation fault on {layer.label} "
+                f"(observed in the paper's Fig. 5)"
+            )
+
+    def predicted_seconds(self, layer: ConvLayerSpec) -> float:
+        self.supports(layer)
+        fmr = self._fmr(layer)
+        tune = autotune_layer(
+            layer, fmr, self.machine, wisdom=self._wisdom,
+            features=self.features,
+            threads_per_core_options=(1, 2),
+        )
+        model = WinogradCostModel(
+            self.machine, threads_per_core=tune.threads_per_core,
+            features=self.features,
+        )
+        return model.layer_cost(layer, fmr, tune.blocking).seconds
+
+    def execute(self, images, kernels, layer):
+        self.supports(layer)
+        self.check_layer_arrays(images, kernels, layer)
+        return winograd_convolution(
+            images, kernels, self._fmr(layer), padding=layer.padding,
+            dtype=np.float32,
+        )
+
+
+def falcon(machine: MachineSpec = KNL_7210) -> WinogradLibraryBaseline:
+    """FALCON: F(2x2, 3x3) Winograd over MKL GEMM calls."""
+    return WinogradLibraryBaseline(
+        name="FALCON",
+        m=2,
+        machine=machine,
+        features=ExecutionFeatures(
+            streaming_stores=False,
+            fused_scatter=False,
+            blocked_layout=False,
+            static_scheduling=False,
+            barrier_cycles=20000,
+            gemm_load_ahead=1,
+            gemm_prefetches=2,
+            gemm_fixed_n_blk=16,
+            gemm_call_overhead_cycles=2000,
+            gemm_packing_passes=1,
+        ),
+    )
+
+
+def _mkldnn_crashes(layer: ConvLayerSpec) -> bool:
+    # The paper observed segfaults on 4 of 5 FusionNet layers (the B=1,
+    # large-image configurations); the smallest (40x40) survived.
+    return (
+        layer.network == "FusionNet" and max(layer.image) > 40
+    )
+
+
+def mkldnn_winograd(machine: MachineSpec = KNL_7210) -> WinogradLibraryBaseline:
+    """MKL-DNN: F(4x4, 3x3) Winograd in the nChw16c layout."""
+    return WinogradLibraryBaseline(
+        name="MKL-DNN wino",
+        m=4,
+        machine=machine,
+        features=ExecutionFeatures(
+            streaming_stores=False,
+            fused_scatter=False,
+            blocked_layout=True,
+            static_scheduling=False,
+            barrier_cycles=20000,
+            gemm_load_ahead=1,
+            gemm_prefetches=2,
+            gemm_fixed_n_blk=16,
+            gemm_call_overhead_cycles=300,
+        ),
+        crash_predicate=_mkldnn_crashes,
+    )
+
+
+def libxsmm_winograd(machine: MachineSpec = KNL_7210) -> WinogradLibraryBaseline:
+    """LIBXSMM: F(4x4, 3x3) Winograd over its JIT small-GEMM kernels.
+
+    LIBXSMM's kernels are good (JIT, low overhead) but use a fixed
+    16-register blocking and a simpler prefetch scheme (Sec. 5.2).
+    """
+    return WinogradLibraryBaseline(
+        name="LIBXSMM wino",
+        m=4,
+        machine=machine,
+        features=ExecutionFeatures(
+            streaming_stores=False,
+            fused_scatter=False,
+            blocked_layout=True,
+            static_scheduling=False,
+            barrier_cycles=20000,
+            gemm_load_ahead=0,
+            gemm_prefetches=1,
+            gemm_fixed_n_blk=16,
+            gemm_call_overhead_cycles=100,
+        ),
+    )

@@ -1,0 +1,289 @@
+"""Command-line interface mirroring the paper's artifact workflow.
+
+The original artifact (appendix A.5) drives everything through bash
+scripts: ``bench_xeon_7210_specific.sh`` (pre-tuned layer benchmarks
+producing ``measurements.csv``), ``bench_exhaustive.sh $CORES $MEMORY``
+(full parameter search) and ``measure_accuracy.sh`` (an ASCII accuracy
+table).  This CLI reproduces those entry points::
+
+    python -m repro bench [--exhaustive] [--network VGG] [-o measurements.csv]
+    python -m repro accuracy [--net VGG|C3D|both]
+    python -m repro gemm
+    python -m repro tune --network VGG --layer 4.2 --fmr "F(4x4,3x3)"
+    python -m repro info
+
+All performance numbers are from the simulated machine substrate and
+are labelled as such; ``accuracy`` is a real float32 measurement.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.baselines import (
+    BaselineCrash,
+    CudnnFft3D,
+    CudnnImplicitGemm,
+    CudnnWinograd2D,
+    OursWinograd,
+    UnsupportedLayer,
+    falcon,
+    libxsmm_winograd,
+    mkldnn_direct,
+    mkldnn_winograd,
+    zlateski_direct,
+)
+from repro.core.autotune import DEFAULT_N_BLK_VALUES, autotune_layer
+from repro.core.fmr import FmrSpec
+from repro.machine.spec import KNL_7210
+from repro.nets.layers import TABLE2_LAYERS, get_layer
+from repro.util.wisdom import Wisdom
+
+
+def _print_table(headers, rows, file=None):
+    from repro.util.reporting import format_table
+
+    # Resolve stdout at call time (default-argument binding would freeze
+    # the stream at import and break output capture/redirection).
+    print(format_table(headers, rows), file=file if file is not None else sys.stdout)
+
+
+# ----------------------------------------------------------------------
+def cmd_bench(args) -> int:
+    wisdom = Wisdom()
+    if args.wisdom:
+        try:
+            wisdom = Wisdom.load(args.wisdom)
+        except (FileNotFoundError, ValueError):
+            pass
+    layers = [l for l in TABLE2_LAYERS if not args.network or l.network == args.network]
+    if not layers:
+        print(f"error: no layers in network {args.network!r}", file=sys.stderr)
+        return 2
+    n_blk = tuple(range(6, 31)) if args.exhaustive else DEFAULT_N_BLK_VALUES
+
+    rows = []
+    t0 = time.perf_counter()
+    for layer in layers:
+        tiles = [2, 4, 6] if layer.ndim == 2 else [2, 4]
+        impls = [OursWinograd(m=m, wisdom=wisdom) for m in tiles]
+        impls.append(OursWinograd(m=tiles[-1], wisdom=wisdom, inference_only=True))
+        if layer.ndim == 2:
+            impls += [falcon(), mkldnn_winograd(), libxsmm_winograd(),
+                      CudnnWinograd2D()]
+        else:
+            impls += [CudnnImplicitGemm(), CudnnFft3D()]
+        impls += [mkldnn_direct(), zlateski_direct()]
+        for impl in impls:
+            try:
+                ms = impl.predicted_seconds(layer) * 1e3
+                rows.append([layer.label, impl.name, f"{ms:.2f}", ""])
+            except BaselineCrash:
+                rows.append([layer.label, impl.name, "", "segfault"])
+            except UnsupportedLayer:
+                continue
+        print(f"benchmarked {layer.label} "
+              f"({time.perf_counter() - t0:.1f}s elapsed)", file=sys.stderr)
+    headers = ["layer", "implementation", "time_ms[model]", "note"]
+    _print_table(headers, rows)
+    if args.output:
+        with open(args.output, "w") as f:
+            f.write(",".join(headers) + "\n")
+            for r in rows:
+                f.write(",".join(map(str, r)) + "\n")
+        print(f"\nwrote {args.output}", file=sys.stderr)
+    if args.wisdom:
+        wisdom.save(args.wisdom)
+    return 0
+
+
+def cmd_accuracy(args) -> int:
+    from repro.nets.accuracy import (
+        C3D_ACCURACY_SURROGATE,
+        C3D_SPECS,
+        VGG_ACCURACY_SURROGATE,
+        VGG_SPECS,
+        measure_accuracy,
+    )
+
+    targets = []
+    if args.net in ("VGG", "both"):
+        targets.append(("VGG", VGG_ACCURACY_SURROGATE, VGG_SPECS))
+    if args.net in ("C3D", "both"):
+        targets.append(("C3D", C3D_ACCURACY_SURROGATE, C3D_SPECS))
+    rows = []
+    for name, layer, specs in targets:
+        train = {r.algorithm: r.stats for r in measure_accuracy(layer, specs, "train")}
+        infer = {r.algorithm: r.stats for r in measure_accuracy(layer, specs, "infer")}
+        for algo in train:
+            rows.append(
+                [
+                    name, algo,
+                    f"{train[algo].max_error:.2E}", f"{train[algo].avg_error:.2E}",
+                    f"{infer[algo].max_error:.2E}", f"{infer[algo].avg_error:.2E}",
+                ]
+            )
+    _print_table(
+        ["net", "algorithm", "train_max", "train_avg", "infer_max", "infer_avg"],
+        rows,
+    )
+    return 0
+
+
+def cmd_gemm(args) -> int:
+    from repro.baselines.gemm_libs import FIG6_SHAPES, speedup_table
+
+    rows = [
+        [
+            r["v_shape"], f"{r['ours_gflops']:.1f}", r["ours_n_blk"],
+            f"{r['mkl_gflops']:.1f}", f"{r['libxsmm_gflops']:.1f}",
+            f"{r['speedup_vs_mkl']:.2f}", f"{r['speedup_vs_libxsmm']:.2f}",
+        ]
+        for r in speedup_table(FIG6_SHAPES)
+    ]
+    _print_table(
+        ["V_shape", "ours_GF[model]", "n_blk", "MKL_GF", "XSMM_GF",
+         "vs_MKL", "vs_XSMM"],
+        rows,
+    )
+    return 0
+
+
+def cmd_tune(args) -> int:
+    try:
+        layer = get_layer(args.network, args.layer)
+    except KeyError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    fmr = FmrSpec.parse(args.fmr)
+    wisdom = Wisdom()
+    if args.wisdom:
+        try:
+            wisdom = Wisdom.load(args.wisdom)
+        except (FileNotFoundError, ValueError):
+            pass
+    n_blk = tuple(range(6, 31)) if args.exhaustive else DEFAULT_N_BLK_VALUES
+    result = autotune_layer(
+        layer, fmr, KNL_7210, wisdom=wisdom, n_blk_values=n_blk
+    )
+    print(f"layer            : {layer.label}")
+    print(f"F(m,r)           : {fmr}")
+    print(f"candidates tried : {result.candidates_evaluated}")
+    print(f"chosen blocking  : {result.blocking.describe()}")
+    print(f"threads per core : {result.threads_per_core}")
+    print(f"predicted [model]: {result.predicted_seconds * 1e3:.3f} ms")
+    if args.wisdom:
+        wisdom.save(args.wisdom)
+        print(f"wisdom saved to  : {args.wisdom}")
+    return 0
+
+
+def cmd_select(args) -> int:
+    """Recommend tile sizes for a layer (Sec. 5.1's analysis, automated)."""
+    from repro.core.tile_selection import select_tile_size
+
+    try:
+        layer = get_layer(args.network, args.layer)
+    except KeyError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    choices = select_tile_size(layer, KNL_7210, mode=args.mode, top_k=args.top)
+    rows = [
+        [
+            str(c.spec),
+            f"{c.predicted_seconds * 1e3:.2f}",
+            f"{c.multiplication_reduction:.2f}x",
+            f"{c.padding_overhead * 100:.1f}%",
+        ]
+        for c in choices
+    ]
+    print(f"tile-size ranking for {layer.label} (mode={args.mode}):")
+    _print_table(["F(m,r)", "time_ms[model]", "mult_reduction", "pad_waste"], rows)
+    return 0
+
+
+def cmd_analyze(args) -> int:
+    """Per-stage utilization report for one layer."""
+    from repro.machine.report import analyze_layer, render_report
+
+    try:
+        layer = get_layer(args.network, args.layer)
+    except KeyError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    fmr = FmrSpec.parse(args.fmr)
+    _, stages, meta = analyze_layer(layer, fmr, KNL_7210)
+    print(render_report(layer, fmr, KNL_7210, stages, meta))
+    return 0
+
+
+def cmd_info(args) -> int:
+    for spec in (KNL_7210,):
+        print(f"{spec.name}")
+        print(f"  cores x threads      : {spec.cores} x {spec.max_threads_per_core}")
+        print(f"  peak FP32            : {spec.peak_flops / 1e12:.2f} TFLOPS")
+        print(f"  memory bandwidth     : {spec.mem_bandwidth / 1e9:.0f} GB/s")
+        print(f"  compute/memory ratio : {spec.compute_to_memory_capability:.1f}")
+        print(f"  L1 / L2 (pair)       : {spec.l1_bytes // 1024} KB / "
+              f"{spec.l2_bytes // 1024} KB")
+        print(f"  FMA latency          : {spec.fma_latency} cycles")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="N-D Winograd convolution reproduction (PPoPP'18) CLI",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    b = sub.add_parser("bench", help="Fig. 5 layer benchmarks [model]")
+    b.add_argument("--network", help="restrict to one network (VGG, FusionNet, C3D, 3DUNet)")
+    b.add_argument("--exhaustive", action="store_true",
+                   help="search the full n_blk range (slow; artifact's bench_exhaustive.sh)")
+    b.add_argument("-o", "--output", help="write measurements.csv")
+    b.add_argument("--wisdom", help="wisdom file to load/update")
+    b.set_defaults(fn=cmd_bench)
+
+    a = sub.add_parser("accuracy", help="Table 3 accuracy measurement [real]")
+    a.add_argument("--net", choices=["VGG", "C3D", "both"], default="both")
+    a.set_defaults(fn=cmd_accuracy)
+
+    g = sub.add_parser("gemm", help="Fig. 6 batched-GEMM comparison [model]")
+    g.set_defaults(fn=cmd_gemm)
+
+    t = sub.add_parser("tune", help="autotune one layer shape")
+    t.add_argument("--network", required=True)
+    t.add_argument("--layer", required=True)
+    t.add_argument("--fmr", required=True, help='e.g. "F(4x4,3x3)"')
+    t.add_argument("--exhaustive", action="store_true")
+    t.add_argument("--wisdom", help="wisdom file to load/update")
+    t.set_defaults(fn=cmd_tune)
+
+    s = sub.add_parser("select", help="recommend tile sizes for a layer")
+    s.add_argument("--network", required=True)
+    s.add_argument("--layer", required=True)
+    s.add_argument("--mode", choices=["train", "infer"], default="train")
+    s.add_argument("--top", type=int, default=3)
+    s.set_defaults(fn=cmd_select)
+
+    a2 = sub.add_parser("analyze", help="per-stage utilization report")
+    a2.add_argument("--network", required=True)
+    a2.add_argument("--layer", required=True)
+    a2.add_argument("--fmr", required=True, help='e.g. "F(4x4,3x3)"')
+    a2.set_defaults(fn=cmd_analyze)
+
+    i = sub.add_parser("info", help="simulated machine specifications")
+    i.set_defaults(fn=cmd_info)
+    return p
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,46 @@
+"""Core algorithm: the paper's primary contribution.
+
+Submodules follow the three-stage pipeline of Fig. 1 plus the supporting
+machinery (layouts, codelets, JIT GEMM, autotuning, static scheduling).
+"""
+
+from repro.core.blocked_pipeline import BlockedWinogradExecutor
+from repro.core.blocking import BlockingConfig
+from repro.core.convolution import WinogradPlan, winograd_convolution
+from repro.core.fmr import FmrSpec
+from repro.core.channel_padding import winograd_convolution_padded_channels
+from repro.core.complexity import complexity_table, effective_reduction
+from repro.core.gradients import weight_gradient, winograd_data_gradient
+from repro.core.pointsearch import search_points
+from repro.core.tile_selection import select_tile_size
+from repro.core.parallel_convolution import ParallelWinogradExecutor
+from repro.core.transforms import (
+    Transform1D,
+    TransformND,
+    mode_n_multiply,
+    transform_tensor,
+    winograd_1d,
+    winograd_nd,
+)
+
+__all__ = [
+    "BlockedWinogradExecutor",
+    "BlockingConfig",
+    "FmrSpec",
+    "ParallelWinogradExecutor",
+    "Transform1D",
+    "TransformND",
+    "WinogradPlan",
+    "mode_n_multiply",
+    "transform_tensor",
+    "winograd_1d",
+    "winograd_convolution",
+    "winograd_data_gradient",
+    "weight_gradient",
+    "winograd_nd",
+    "winograd_convolution_padded_channels",
+    "complexity_table",
+    "effective_reduction",
+    "search_points",
+    "select_tile_size",
+]

@@ -1,0 +1,137 @@
+"""Blocking parameters for the stage-2 batched GEMM (paper Sec. 4.3).
+
+The three parameters ``n_blk``, ``C_blk`` and ``C'_blk`` control the
+cache-blocked decomposition of the tall-and-skinny matrix multiplications
+(Fig. 3) and the register-blocked microkernel (Fig. 4).  The paper's
+constraints (Sec. 4.2.1 and 4.3.2):
+
+* ``6 <= n_blk <= 30`` -- fewer than 6 rows cannot hide the 6-cycle FMA
+  latency on two VPUs; more than 30 exceeds the 32 AVX-512 registers
+  (the microkernel needs 2 auxiliary registers).
+* ``C_blk`` and ``C'_blk`` are multiples of the SIMD width ``S``;
+  the searched range is 32..512 with 64+ preferred for a good
+  compute-to-memory ratio.
+* ``C_blk * C'_blk <= 128**2`` so that the stationary sub-matrix ``V``
+  fits comfortably in the 1 MB shared L2 with room for ``U``/``X``
+  streams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+N_BLK_MIN = 6
+N_BLK_MAX = 30
+C_BLK_MIN = 32
+C_BLK_MAX = 512
+C_BLK_PRODUCT_MAX = 128 * 128
+
+
+@dataclass(frozen=True)
+class BlockingConfig:
+    """A validated (n_blk, C_blk, C'_blk) triple."""
+
+    n_blk: int
+    c_blk: int
+    cprime_blk: int
+    simd_width: int = 16
+
+    def __post_init__(self) -> None:
+        if not N_BLK_MIN <= self.n_blk <= N_BLK_MAX:
+            raise ValueError(
+                f"n_blk={self.n_blk} outside [{N_BLK_MIN}, {N_BLK_MAX}] "
+                f"(FMA-latency floor and register-file ceiling, Sec. 4.3.2)"
+            )
+        for name, val in (("C_blk", self.c_blk), ("C'_blk", self.cprime_blk)):
+            if val % self.simd_width != 0:
+                raise ValueError(
+                    f"{name}={val} must be a multiple of S={self.simd_width}"
+                )
+            # The paper's *searched* range is [32, 512]; the hard floor is
+            # one SIMD vector (layers with fewer channels than 32 exist
+            # in full architectures, e.g. the 3D U-Net input block).
+            if not self.simd_width <= val <= C_BLK_MAX:
+                raise ValueError(
+                    f"{name}={val} outside [{self.simd_width}, {C_BLK_MAX}]"
+                )
+        if self.c_blk * self.cprime_blk > C_BLK_PRODUCT_MAX:
+            raise ValueError(
+                f"C_blk * C'_blk = {self.c_blk * self.cprime_blk} exceeds "
+                f"{C_BLK_PRODUCT_MAX} (L2 capacity constraint, Sec. 4.3.2)"
+            )
+
+    # ------------------------------------------------------------------
+    # Eqn. 11: compute-to-memory ratio of one microkernel invocation.
+    # ------------------------------------------------------------------
+    def compute_to_memory_ratio(self, beta: int = 1) -> float:
+        """FLOPs per float moved for X = beta*X + U*V (paper Eqn. 11).
+
+        Each invocation performs ``2 * n_blk * C_blk * C'_blk`` FLOPs,
+        loads ``n_blk * C_blk`` of U plus (when ``beta == 1``)
+        ``n_blk * C'_blk`` of X, and stores ``n_blk * C'_blk`` of X;
+        V stays in L2.  The n_blk factors cancel.
+        """
+        if beta not in (0, 1):
+            raise ValueError(f"beta must be 0 or 1, got {beta}")
+        return (2.0 * self.c_blk * self.cprime_blk) / (
+            (beta + 1) * self.cprime_blk + self.c_blk
+        )
+
+    def v_bytes(self, itemsize: int = 4) -> int:
+        """Bytes of the stationary sub-matrix V kept in L2."""
+        return self.c_blk * self.cprime_blk * itemsize
+
+    def u_tile_bytes(self, itemsize: int = 4) -> int:
+        """Bytes of one streaming U sub-matrix."""
+        return self.n_blk * self.c_blk * itemsize
+
+    def x_tile_bytes(self, itemsize: int = 4) -> int:
+        """Bytes of one streaming X sub-matrix."""
+        return self.n_blk * self.cprime_blk * itemsize
+
+    def describe(self) -> str:
+        return (
+            f"n_blk={self.n_blk} C_blk={self.c_blk} C'_blk={self.cprime_blk} "
+            f"(ratio beta=1: {self.compute_to_memory_ratio(1):.2f} flop/float)"
+        )
+
+
+def candidate_blockings(
+    c: int, cprime: int, simd_width: int = 16,
+    n_blk_range: tuple[int, int] = (N_BLK_MIN, N_BLK_MAX),
+) -> list[BlockingConfig]:
+    """Enumerate all legal blockings for a ``C x C'`` kernel matrix.
+
+    The paper requires ``C`` divisible by ``C_blk`` and ``C'`` by
+    ``C'_blk`` (``n_blk`` is unconstrained by the problem because the last
+    U sub-matrix is padded).  Candidates are ordered by descending
+    compute-to-memory ratio so greedy consumers can stop early.
+    """
+    if c % simd_width or cprime % simd_width:
+        raise ValueError(
+            f"C={c} and C'={cprime} must be multiples of S={simd_width}"
+        )
+    configs: list[BlockingConfig] = []
+    c_divs = [d for d in range(C_BLK_MIN, min(c, C_BLK_MAX) + 1, simd_width) if c % d == 0]
+    cp_divs = [
+        d for d in range(C_BLK_MIN, min(cprime, C_BLK_MAX) + 1, simd_width)
+        if cprime % d == 0
+    ]
+    # Channels below the preferred search floor (Sec. 4.3.2 prefers
+    # >= 32, "greater than 64 when possible") fall back to the whole
+    # channel extent as a single block.
+    if not c_divs:
+        c_divs = [c]
+    if not cp_divs:
+        cp_divs = [cprime]
+    lo, hi = n_blk_range
+    for cb in c_divs:
+        for cpb in cp_divs:
+            if cb * cpb > C_BLK_PRODUCT_MAX:
+                continue
+            for nb in range(lo, hi + 1):
+                configs.append(
+                    BlockingConfig(n_blk=nb, c_blk=cb, cprime_blk=cpb, simd_width=simd_width)
+                )
+    configs.sort(key=lambda cfg: (-cfg.compute_to_memory_ratio(1), cfg.n_blk))
+    return configs

@@ -1,0 +1,61 @@
+"""Channel-padding fallback for channel counts not divisible by S.
+
+The paper assumes ``C`` and ``C'`` divisible by the SIMD width ("which
+is true for all modern ConvNets", Sec. 4.1), and the blocked layouts
+enforce it.  For completeness this module provides the standard
+fallback: zero-pad the channel axes up to the next multiple, run the
+fast path, and crop.  Zero channels contribute exact zeros through the
+linear pipeline, so the result is bit-identical to the unpadded
+computation up to float summation of zeros (i.e. identical).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.convolution import GemmFn, winograd_convolution
+from repro.core.fmr import FmrSpec
+from repro.util.alignment import round_up
+
+
+def pad_channel_axis(array: np.ndarray, axis: int, target: int) -> np.ndarray:
+    """Zero-pad ``axis`` of ``array`` up to length ``target``."""
+    current = array.shape[axis]
+    if current > target:
+        raise ValueError(f"axis {axis} has {current} > target {target}")
+    if current == target:
+        return array
+    width = [(0, 0)] * array.ndim
+    width[axis] = (0, target - current)
+    return np.pad(array, width, mode="constant")
+
+
+def winograd_convolution_padded_channels(
+    images: np.ndarray,
+    kernels: np.ndarray,
+    fmr: FmrSpec | str | None = None,
+    padding: tuple[int, ...] | None = None,
+    dtype=np.float32,
+    simd_width: int = 16,
+    gemm: GemmFn | None = None,
+) -> np.ndarray:
+    """Winograd convolution for arbitrary channel counts.
+
+    Same contract as :func:`repro.core.convolution.winograd_convolution`,
+    but ``C`` and ``C'`` need not be divisible by ``simd_width``; they
+    are padded internally and the output is cropped back.
+    """
+    images = np.asarray(images)
+    kernels = np.asarray(kernels)
+    c, cprime = kernels.shape[:2]
+    c_pad = round_up(c, simd_width)
+    cp_pad = round_up(cprime, simd_width)
+    padded_images = pad_channel_axis(images, 1, c_pad)
+    padded_kernels = pad_channel_axis(
+        pad_channel_axis(kernels, 0, c_pad), 1, cp_pad
+    )
+    out = winograd_convolution(
+        padded_images, padded_kernels, fmr, padding=padding, dtype=dtype,
+        gemm=gemm,
+    )
+    return np.ascontiguousarray(out[:, :cprime])

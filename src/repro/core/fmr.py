@@ -1,0 +1,187 @@
+"""F(m, r) specifications and N-dimensional tile geometry.
+
+The paper (Sec. 3.1-3.2) uses Budden et al.'s notation
+``F(m_1 x m_2 ... x m_n, r_1 x r_2 x ... x r_n)`` for a Winograd FIR
+filtering operation that produces an ``m_1 x ... x m_n`` output tile from
+an ``r_1 x ... x r_n`` kernel.  Each input tile has size
+``T_d = m_d + r_d - 1`` along dimension ``d`` and adjacent tiles overlap
+by ``r_d - 1`` elements (overlap-add / OLA decomposition, Sec. 3.1).
+
+This module holds the shape bookkeeping shared by the transform
+generator, the tiler, the codelet generator and the planner.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from math import ceil, prod
+
+
+@dataclass(frozen=True)
+class FmrSpec:
+    """An N-dimensional ``F(m, r)`` Winograd operation specification.
+
+    Attributes
+    ----------
+    m:
+        Output-tile size per dimension, e.g. ``(6, 6)`` for F(6x6, 3x3).
+    r:
+        Kernel size per dimension, e.g. ``(3, 3)``.
+    """
+
+    m: tuple[int, ...]
+    r: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.m) != len(self.r):
+            raise ValueError(
+                f"m and r must have equal rank, got m={self.m} (rank {len(self.m)}) "
+                f"and r={self.r} (rank {len(self.r)})"
+            )
+        if len(self.m) == 0:
+            raise ValueError("F(m, r) must have at least one dimension")
+        for d, (md, rd) in enumerate(zip(self.m, self.r)):
+            if md < 1:
+                raise ValueError(f"m[{d}]={md} must be >= 1")
+            if rd < 1:
+                raise ValueError(f"r[{d}]={rd} must be >= 1")
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+    @property
+    def ndim(self) -> int:
+        """Number of spatial dimensions N."""
+        return len(self.m)
+
+    @property
+    def tile_shape(self) -> tuple[int, ...]:
+        """Input-tile size ``T_d = m_d + r_d - 1`` per dimension."""
+        return tuple(md + rd - 1 for md, rd in zip(self.m, self.r))
+
+    @property
+    def tile_elements(self) -> int:
+        """Total elements ``T`` per (transformed) tile."""
+        return prod(self.tile_shape)
+
+    @property
+    def output_tile_elements(self) -> int:
+        """Elements per output tile (``prod(m)``)."""
+        return prod(self.m)
+
+    @property
+    def kernel_elements(self) -> int:
+        """Elements per kernel (``prod(r)``)."""
+        return prod(self.r)
+
+    @property
+    def overlap(self) -> tuple[int, ...]:
+        """Tile overlap ``r_d - 1`` per dimension."""
+        return tuple(rd - 1 for rd in self.r)
+
+    # ------------------------------------------------------------------
+    # Arithmetic-complexity bookkeeping (Sec. 2.2)
+    # ------------------------------------------------------------------
+    @property
+    def direct_multiplications(self) -> int:
+        """Multiplications per output tile for direct convolution: prod(m)*prod(r)."""
+        return self.output_tile_elements * self.kernel_elements
+
+    @property
+    def winograd_multiplications(self) -> int:
+        """Multiplications per output tile with Winograd: prod(m + r - 1)."""
+        return self.tile_elements
+
+    @property
+    def multiplication_reduction(self) -> float:
+        """The headline arithmetic reduction factor of the Winograd method."""
+        return self.direct_multiplications / self.winograd_multiplications
+
+    # ------------------------------------------------------------------
+    # Image tiling
+    # ------------------------------------------------------------------
+    def tile_counts(self, output_shape: tuple[int, ...]) -> tuple[int, ...]:
+        """Number of tiles ``N_d = ceil(out_d / m_d)`` per dimension.
+
+        ``output_shape`` is the shape of the *output* image (the input
+        shape minus ``r - 1`` when unpadded).  The last tile row/column is
+        zero-padded when ``out_d`` is not divisible by ``m_d`` (paper
+        Sec. 5.1, "Effects of F(m, r)").
+        """
+        if len(output_shape) != self.ndim:
+            raise ValueError(
+                f"output_shape rank {len(output_shape)} != spec rank {self.ndim}"
+            )
+        for d, od in enumerate(output_shape):
+            if od < 1:
+                raise ValueError(f"output_shape[{d}]={od} must be >= 1")
+        return tuple(ceil(od / md) for od, md in zip(output_shape, self.m))
+
+    def padded_output_shape(self, output_shape: tuple[int, ...]) -> tuple[int, ...]:
+        """Output shape rounded up to a whole number of tiles."""
+        counts = self.tile_counts(output_shape)
+        return tuple(n * md for n, md in zip(counts, self.m))
+
+    def padded_input_shape(self, output_shape: tuple[int, ...]) -> tuple[int, ...]:
+        """Input extent required to cover all (possibly padded) tiles."""
+        padded_out = self.padded_output_shape(output_shape)
+        return tuple(po + rd - 1 for po, rd in zip(padded_out, self.r))
+
+    def padding_overhead(self, output_shape: tuple[int, ...]) -> float:
+        """Fraction of wasted output work due to tile padding.
+
+        This quantifies reason (1) in Sec. 5.1 for why larger ``m`` does
+        not always win: when the output extent is not divisible by ``m``
+        the image is zero padded, increasing operations in both the
+        transform and matrix-multiplication stages.
+        """
+        real = prod(output_shape)
+        padded = prod(self.padded_output_shape(output_shape))
+        return (padded - real) / real
+
+    # ------------------------------------------------------------------
+    # Naming / parsing
+    # ------------------------------------------------------------------
+    def __str__(self) -> str:
+        return f"F({self._axis_str(self.m)},{self._axis_str(self.r)})"
+
+    @staticmethod
+    def _axis_str(axes: tuple[int, ...]) -> str:
+        return "x".join(str(a) for a in axes)
+
+    @classmethod
+    def parse(cls, text: str) -> "FmrSpec":
+        """Parse strings like ``"F(6x6,3x3)"``, ``"F(4x6x6, 3x3x3)"``.
+
+        Also accepts the paper's power shorthand: ``"F(6^2,3^2)"`` means
+        ``F(6x6, 3x3)`` and ``"F(8x6^2,3^3)"`` means ``F(8x6x6, 3x3x3)``.
+        """
+        match = re.fullmatch(r"\s*F\(\s*([^,]+?)\s*,\s*([^)]+?)\s*\)\s*", text)
+        if not match:
+            raise ValueError(f"cannot parse F(m,r) spec from {text!r}")
+        m = cls._parse_axes(match.group(1))
+        r = cls._parse_axes(match.group(2))
+        return cls(m=m, r=r)
+
+    @staticmethod
+    def _parse_axes(text: str) -> tuple[int, ...]:
+        axes: list[int] = []
+        for part in text.split("x"):
+            part = part.strip()
+            power_match = re.fullmatch(r"(\d+)\^(\d+)", part)
+            if power_match:
+                base, exp = int(power_match.group(1)), int(power_match.group(2))
+                axes.extend([base] * exp)
+            elif re.fullmatch(r"\d+", part):
+                axes.append(int(part))
+            else:
+                raise ValueError(f"cannot parse axis spec {part!r}")
+        return tuple(axes)
+
+    @classmethod
+    def uniform(cls, ndim: int, m: int, r: int) -> "FmrSpec":
+        """Build an isotropic spec, e.g. ``uniform(2, 6, 3) == F(6x6,3x3)``."""
+        if ndim < 1:
+            raise ValueError(f"ndim must be >= 1, got {ndim}")
+        return cls(m=(m,) * ndim, r=(r,) * ndim)

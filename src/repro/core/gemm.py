@@ -1,0 +1,106 @@
+"""Cache-blocked batched matrix multiplication (paper Sec. 4.3, Fig. 3).
+
+Stage 2 multiplies ``T`` tall-and-skinny matrices ``U`` (``NB x C``) by
+the stationary kernel matrices ``V`` (``C x C'``).  The paper decomposes
+each multiplication into sub-matrices of size ``n_blk x C_blk`` (U),
+``C_blk x C'_blk`` (V) and ``n_blk x C'_blk`` (X), computed via
+
+    ``X_ij = sum_k  U_ik * V_kj``            (Eqn. 10)
+
+in an order that keeps ``V_kj`` resident in L2 while streaming the many
+``U_ik`` blocks past it: for each ``(k, j)``, loop over all row blocks
+``i`` performing ``X_ij = beta * X_ij + U_ik V_kj`` with ``beta = 0`` on
+the first ``k`` and 1 afterwards.
+
+This module is the *executable* engine (real numpy arithmetic, loop
+structure identical to the paper's); the cycle-level view of the
+register-blocked microkernel lives in :mod:`repro.core.jit_gemm`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil
+
+import numpy as np
+
+from repro.core.blocking import BlockingConfig
+
+
+@dataclass(frozen=True)
+class GemmShape:
+    """Problem shape of one batched stage-2 multiplication."""
+
+    t: int
+    rows: int  # NB
+    c: int
+    cprime: int
+
+    def validate_blocking(self, blocking: BlockingConfig) -> None:
+        if self.c % blocking.c_blk != 0:
+            raise ValueError(
+                f"C={self.c} not divisible by C_blk={blocking.c_blk} (Sec. 4.3.2)"
+            )
+        if self.cprime % blocking.cprime_blk != 0:
+            raise ValueError(
+                f"C'={self.cprime} not divisible by C'_blk={blocking.cprime_blk}"
+            )
+
+    def microkernel_invocations(self, blocking: BlockingConfig) -> int:
+        """Total ``X_ij += U_ik V_kj`` microkernel calls across the batch."""
+        self.validate_blocking(blocking)
+        row_blocks = ceil(self.rows / blocking.n_blk)
+        return (
+            self.t
+            * row_blocks
+            * (self.c // blocking.c_blk)
+            * (self.cprime // blocking.cprime_blk)
+        )
+
+    @property
+    def flops(self) -> int:
+        return 2 * self.t * self.rows * self.c * self.cprime
+
+
+def blocked_gemm(
+    u: np.ndarray, v: np.ndarray, blocking: BlockingConfig
+) -> np.ndarray:
+    """Batched blocked GEMM: ``(T, NB, C) x (T, C, C') -> (T, NB, C')``.
+
+    Implements the paper's loop nest literally (Fig. 3): the stationary
+    block ``V_kj`` is sliced once per ``(t, k, j)`` and reused across all
+    row blocks ``i``, and the final ragged row block is handled by numpy
+    slicing (the paper zero-pads it; the arithmetic is identical).
+    """
+    if u.ndim != 3 or v.ndim != 3:
+        raise ValueError(f"expected 3-D operands, got {u.shape} and {v.shape}")
+    t, rows, c = u.shape
+    tv, cv, cprime = v.shape
+    if tv != t or cv != c:
+        raise ValueError(f"operand mismatch: U {u.shape} vs V {v.shape}")
+    shape = GemmShape(t=t, rows=rows, c=c, cprime=cprime)
+    shape.validate_blocking(blocking)
+
+    nb, cb, cpb = blocking.n_blk, blocking.c_blk, blocking.cprime_blk
+    x = np.empty((t, rows, cprime), dtype=np.result_type(u, v))
+    for ti in range(t):
+        for j in range(0, cprime, cpb):
+            for k_index, k in enumerate(range(0, c, cb)):
+                v_kj = v[ti, k : k + cb, j : j + cpb]  # stays "in L2"
+                for i in range(0, rows, nb):
+                    u_ik = u[ti, i : i + nb, k : k + cb]
+                    block = u_ik @ v_kj
+                    if k_index == 0:  # beta = 0: overwrite
+                        x[ti, i : i + nb, j : j + cpb] = block
+                    else:  # beta = 1: accumulate
+                        x[ti, i : i + nb, j : j + cpb] += block
+    return x
+
+
+def make_blocked_gemm(blocking: BlockingConfig):
+    """A ``GemmFn`` closure for :class:`repro.core.convolution.WinogradPlan`."""
+
+    def gemm(u: np.ndarray, v: np.ndarray) -> np.ndarray:
+        return blocked_gemm(u, v, blocking)
+
+    return gemm

@@ -1,0 +1,128 @@
+"""Backward passes for training loops (paper Sec. 3.3 context).
+
+The paper evaluates training configurations (batch sizes 32/64, Xavier
+kernels, Table-3 "train" rows) but only specifies the forward primitive;
+a training framework needs the two gradients as well.  Both reduce to
+convolutions and therefore run through the same Winograd machinery:
+
+* **data gradient** -- ``dL/dI`` is the *full*-mode convolution of the
+  output gradient with the spatially flipped, channel-transposed
+  kernels.  Full mode is valid mode after padding by ``r - 1``, so the
+  N-D Winograd forward primitive computes it directly.
+* **weight gradient** -- ``dL/dW[c, c']`` is the valid correlation of
+  each input channel with each output-gradient channel, summed over the
+  batch.  Structurally this is a convolution whose "batch" axis is the
+  channel pair and whose "channels" are the batch -- computed here with
+  the memory-bounded direct method (kernels are tiny; Winograd's tile
+  arithmetic does not pay off for an ``r``-sized output).
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+import numpy as np
+
+from repro.core.convolution import winograd_convolution
+from repro.core.fmr import FmrSpec
+from repro.nets.reference import pad_images
+
+
+def flip_kernels(kernels: np.ndarray) -> np.ndarray:
+    """Spatially reverse and channel-transpose ``(C, C', *r)`` kernels."""
+    ndim = kernels.ndim - 2
+    flipped = kernels[(slice(None), slice(None)) + (slice(None, None, -1),) * ndim]
+    return np.ascontiguousarray(np.swapaxes(flipped, 0, 1))
+
+
+def winograd_data_gradient(
+    grad_output: np.ndarray,
+    kernels: np.ndarray,
+    fmr: FmrSpec | None = None,
+    padding: tuple[int, ...] | None = None,
+    dtype=np.float32,
+) -> np.ndarray:
+    """Gradient w.r.t. the input images.
+
+    Parameters
+    ----------
+    grad_output:
+        ``(B, C', *out)`` gradient of the loss w.r.t. the layer output.
+    kernels:
+        The layer's ``(C, C', *r)`` kernels.
+    fmr:
+        Tile sizes for the backward convolution (kernel sizes must equal
+        the layer's ``r``); defaults to ``m = 2`` per dimension.
+    padding:
+        The *forward* padding.  The backward convolution pads by
+        ``r - 1 - p`` per dimension (full mode cropped by the forward
+        padding).
+
+    Returns
+    -------
+    ``(B, C, *in)`` gradient w.r.t. the forward input.
+    """
+    ndim = grad_output.ndim - 2
+    r = kernels.shape[2:]
+    if padding is None:
+        padding = (0,) * ndim
+    back_pad = tuple(rd - 1 - p for rd, p in zip(r, padding))
+    if any(p < 0 for p in back_pad):
+        raise ValueError(
+            f"forward padding {padding} exceeds kernel-1 {tuple(rd - 1 for rd in r)}"
+        )
+    flipped = flip_kernels(kernels)  # (C', C, *r)
+    if fmr is None:
+        fmr = FmrSpec(m=(2,) * ndim, r=tuple(r))
+    return winograd_convolution(
+        grad_output, flipped, fmr, padding=back_pad, dtype=dtype
+    )
+
+
+def weight_gradient(
+    images: np.ndarray,
+    grad_output: np.ndarray,
+    kernel_shape: tuple[int, ...],
+    padding: tuple[int, ...] | None = None,
+) -> np.ndarray:
+    """Gradient w.r.t. the kernels: ``(C, C', *r)``.
+
+    ``dW[c, c', k] = sum_b sum_pos I[b, c, pos + k] * dOut[b, c', pos]``.
+    Implemented as a loop over the ``prod(r)`` kernel offsets with one
+    vectorized batched contraction each (memory-bounded like the direct
+    reference).
+    """
+    ndim = images.ndim - 2
+    if len(kernel_shape) != ndim:
+        raise ValueError(
+            f"kernel rank {len(kernel_shape)} != spatial rank {ndim}"
+        )
+    if padding is None:
+        padding = (0,) * ndim
+    padded = pad_images(images, tuple(padding))
+    b, c = padded.shape[:2]
+    bo, cp = grad_output.shape[:2]
+    if bo != b:
+        raise ValueError(f"batch mismatch: images {b}, grad_output {bo}")
+    out = grad_output.shape[2:]
+    expected_out = tuple(
+        i - r + 1 for i, r in zip(padded.shape[2:], kernel_shape)
+    )
+    if out != expected_out:
+        raise ValueError(
+            f"grad_output spatial {out} != expected {expected_out} for "
+            f"input {images.shape}, kernel {kernel_shape}, padding {padding}"
+        )
+    grads = np.zeros((c, cp) + tuple(kernel_shape), dtype=np.result_type(images, grad_output))
+    for offset in product(*(range(rd) for rd in kernel_shape)):
+        window = padded[
+            (slice(None), slice(None))
+            + tuple(slice(o, o + e) for o, e in zip(offset, out))
+        ]
+        # sum_b sum_pos I[b, c, pos] * dOut[b, c', pos]
+        flat_i = window.reshape(b, c, -1)
+        flat_g = grad_output.reshape(b, cp, -1)
+        grads[(slice(None), slice(None)) + offset] = np.einsum(
+            "bcp,bdp->cd", flat_i, flat_g
+        )
+    return grads

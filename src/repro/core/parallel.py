@@ -1,0 +1,108 @@
+"""Fork-join thread runtime executing static schedules (paper Sec. 4.5).
+
+The paper's execution model: the main thread assigns a function (and its
+pre-computed :class:`~repro.core.scheduling.GridSlice`) to each worker,
+all threads pass the barrier, execute their tasks, and wait on the
+barrier again; the main thread then proceeds while workers park on the
+barrier for the next fork.  One fork-join per stage, no work queues, no
+stealing.
+
+CPython's GIL prevents actual arithmetic parallelism here, but the
+runtime is behaviourally faithful -- scheduling, the double-barrier
+protocol, per-thread task execution and error propagation are all real,
+and numpy kernels release the GIL so I/O-free overlap does occur for
+large blocks.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.barrier import SpinBarrier
+from repro.core.scheduling import GridSlice
+
+#: A stage worker: called once per fork with the thread id and its slice.
+StageFn = Callable[[int, GridSlice], None]
+
+
+@dataclass
+class _Assignment:
+    fn: StageFn
+    slices: list[GridSlice]
+
+
+class ForkJoinPool:
+    """Persistent worker threads synchronized by a :class:`SpinBarrier`."""
+
+    def __init__(self, n_threads: int, barrier_timeout: float = 30.0):
+        if n_threads < 1:
+            raise ValueError(f"n_threads must be >= 1, got {n_threads}")
+        self.n_threads = n_threads
+        # parties = workers + the coordinating main thread.
+        self._barrier = SpinBarrier(n_threads + 1, timeout=barrier_timeout)
+        self._assignment: _Assignment | None = None
+        self._errors: list[BaseException] = []
+        self._error_lock = threading.Lock()
+        self._shutdown = False
+        self._workers = [
+            threading.Thread(target=self._worker_loop, args=(i,), daemon=True)
+            for i in range(n_threads)
+        ]
+        for w in self._workers:
+            w.start()
+        #: Completed fork-join episodes.
+        self.joins = 0
+
+    # ------------------------------------------------------------------
+    def _worker_loop(self, thread_id: int) -> None:
+        while True:
+            self._barrier.wait()  # fork: wait for an assignment
+            if self._shutdown:
+                return
+            assignment = self._assignment
+            try:
+                if assignment is not None:
+                    assignment.fn(thread_id, assignment.slices[thread_id])
+            except BaseException as exc:  # noqa: BLE001 - propagated to main
+                with self._error_lock:
+                    self._errors.append(exc)
+            finally:
+                self._barrier.wait()  # join
+
+    # ------------------------------------------------------------------
+    def run(self, fn: StageFn, slices: list[GridSlice]) -> None:
+        """Execute one fork-join: ``fn(tid, slices[tid])`` on every worker.
+
+        Raises the first worker exception in the caller's thread.
+        """
+        if self._shutdown:
+            raise RuntimeError("pool is shut down")
+        if len(slices) != self.n_threads:
+            raise ValueError(
+                f"schedule has {len(slices)} slices for {self.n_threads} threads"
+            )
+        self._errors.clear()
+        self._assignment = _Assignment(fn=fn, slices=slices)
+        self._barrier.wait()  # fork
+        self._barrier.wait()  # join
+        self._assignment = None
+        self.joins += 1
+        if self._errors:
+            raise self._errors[0]
+
+    def shutdown(self) -> None:
+        """Stop the workers (idempotent)."""
+        if self._shutdown:
+            return
+        self._shutdown = True
+        self._barrier.wait()  # release workers into the shutdown check
+        for w in self._workers:
+            w.join(timeout=5.0)
+
+    def __enter__(self) -> "ForkJoinPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()

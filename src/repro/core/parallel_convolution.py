@@ -1,0 +1,179 @@
+"""Statically scheduled parallel execution of the three-stage pipeline.
+
+This executor realizes Sec. 4.5 end to end: each stage's work is a
+D-dimensional grid of equal tasks, partitioned once by the recursive GCD
+scheduler, and executed by the persistent :class:`ForkJoinPool` with a
+single fork-join per stage over the custom spin barrier:
+
+* **stage 1** -- grid ``B x (C/S) x N_1 x ... x N_n``; each task
+  transforms the ``S`` tiles of one (batch, channel-block, tile) triple
+  and scatters them into the shared ``U`` buffer,
+* **stage 1b** -- grid ``C x (C'/S)``; each task transforms ``S``
+  kernels,
+* **stage 2** -- grid ``T x (C'/C'_blk) x (NB/n_blk)``; the row-block
+  dimension is least significant so each thread streams row blocks
+  against a stationary ``V`` block,
+* **stage 3** -- 1-D grid ``B*N*C'/S``; each task inverse-transforms
+  ``S`` output tiles into the result tensor.
+
+CPython's GIL serializes the arithmetic, so this is a *behavioural*
+parallel implementation: the scheduling, sharing and synchronization are
+real (and tested), the speedup is not.  Numerical results are identical
+to the sequential plan up to float summation order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from math import prod
+
+import numpy as np
+
+from repro.core.blocking import BlockingConfig
+from repro.core.convolution import WinogradPlan
+from repro.core.parallel import ForkJoinPool
+from repro.core.scheduling import (
+    GridSlice,
+    stage1_grid,
+    stage2_grid,
+    stage3_grid,
+    static_schedule,
+)
+from repro.core.tiling import extract_tiles
+from repro.core.transforms import transform_tensor
+from repro.nets.reference import pad_images
+
+
+@dataclass
+class ParallelWinogradExecutor:
+    """Runs a :class:`WinogradPlan` on a :class:`ForkJoinPool`."""
+
+    plan: WinogradPlan
+    blocking: BlockingConfig
+    n_threads: int = 4
+    simd_width: int = 16
+
+    pool: ForkJoinPool = field(init=False)
+
+    def __post_init__(self) -> None:
+        plan = self.plan
+        s = self.simd_width
+        if plan.c_in % s or plan.c_out % s:
+            raise ValueError(
+                f"channels ({plan.c_in}, {plan.c_out}) must be divisible by S={s}"
+            )
+        if plan.c_out % self.blocking.cprime_blk:
+            raise ValueError(
+                f"C'={plan.c_out} not divisible by C'_blk={self.blocking.cprime_blk}"
+            )
+        if plan.c_in % self.blocking.c_blk:
+            raise ValueError(
+                f"C={plan.c_in} not divisible by C_blk={self.blocking.c_blk}"
+            )
+        self.pool = ForkJoinPool(self.n_threads)
+        # Static schedules are computed once per executor (compile time).
+        self._sched1 = static_schedule(
+            stage1_grid(plan.batch, plan.c_in, plan.grid.counts, s), self.n_threads
+        )
+        self._sched1b = static_schedule(
+            (plan.c_in, plan.c_out // s), self.n_threads
+        )
+        self._sched2 = static_schedule(
+            stage2_grid(plan.t_matrices, plan.c_out, plan.gemm_rows, self.blocking),
+            self.n_threads,
+        )
+        self._sched3 = static_schedule(
+            stage3_grid(plan.batch, plan.tiles_per_image, plan.c_out, s),
+            self.n_threads,
+        )
+
+    # ------------------------------------------------------------------
+    def execute(self, images: np.ndarray, kernels: np.ndarray) -> np.ndarray:
+        plan = self.plan
+        s = self.simd_width
+        images = np.asarray(images, dtype=plan.dtype)
+        kernels = np.asarray(kernels, dtype=plan.dtype)
+        if tuple(images.shape) != plan.input_shape:
+            raise ValueError(f"images shape {images.shape} != {plan.input_shape}")
+
+        padded = pad_images(images, plan.padding)
+        all_tiles = extract_tiles(padded, plan.grid)  # (B, C, *counts, *T)
+        b_mats = [t.as_arrays(plan.dtype)[1] for t in plan.transforms.dims]
+        g_mats = [t.as_arrays(plan.dtype)[2] for t in plan.transforms.dims]
+        a_mats = [t.as_arrays(plan.dtype)[0] for t in plan.transforms.dims]
+
+        n, t = plan.tiles_per_image, plan.t_matrices
+        counts = plan.grid.counts
+        u = np.zeros((t, plan.gemm_rows, plan.c_in), dtype=plan.dtype)
+        v = np.zeros((t, plan.c_in, plan.c_out), dtype=plan.dtype)
+        x = np.zeros((t, plan.gemm_rows, plan.c_out), dtype=plan.dtype)
+        out_tiles = np.zeros(
+            (plan.batch, plan.c_out) + counts + plan.spec.m, dtype=plan.dtype
+        )
+
+        # ---- stage 1: input transform ---------------------------------
+        def stage1(tid: int, sl: GridSlice) -> None:
+            for task in sl.tasks():
+                b_idx, cb = task[0], task[1]
+                tile_idx = task[2:]
+                flat_tile = int(np.ravel_multi_index(tile_idx, counts))
+                group = all_tiles[(b_idx, slice(cb * s, (cb + 1) * s)) + tile_idx]
+                transformed = transform_tensor(group, b_mats)  # (S, *T)
+                row = b_idx * n + flat_tile
+                u[:, row, cb * s : (cb + 1) * s] = transformed.reshape(s, t).T
+
+        self.pool.run(stage1, self._sched1)
+
+        # ---- stage 1b: kernel transform --------------------------------
+        def stage1b(tid: int, sl: GridSlice) -> None:
+            for c_idx, cpb in sl.tasks():
+                group = kernels[c_idx, cpb * s : (cpb + 1) * s]  # (S, *r)
+                transformed = transform_tensor(group, g_mats)  # (S, *T)
+                v[:, c_idx, cpb * s : (cpb + 1) * s] = transformed.reshape(s, t).T
+
+        self.pool.run(stage1b, self._sched1b)
+
+        # ---- stage 2: blocked batched GEMM -----------------------------
+        blk = self.blocking
+        nb_rows = plan.gemm_rows
+
+        def stage2(tid: int, sl: GridSlice) -> None:
+            for ti, j, i in sl.tasks():
+                rows = slice(i * blk.n_blk, min((i + 1) * blk.n_blk, nb_rows))
+                cols = slice(j * blk.cprime_blk, (j + 1) * blk.cprime_blk)
+                acc = None
+                for k in range(0, plan.c_in, blk.c_blk):
+                    block = u[ti, rows, k : k + blk.c_blk] @ v[ti, k : k + blk.c_blk, cols]
+                    acc = block if acc is None else acc + block
+                x[ti, rows, cols] = acc
+
+        self.pool.run(stage2, self._sched2)
+
+        # ---- stage 3: inverse transform --------------------------------
+        cp_blocks = plan.c_out // s
+
+        def stage3(tid: int, sl: GridSlice) -> None:
+            for (flat,) in sl.tasks():
+                b_idx, rem = divmod(flat, n * cp_blocks)
+                tile_flat, cpb = divmod(rem, cp_blocks)
+                tile_idx = np.unravel_index(tile_flat, counts)
+                row = b_idx * n + tile_flat
+                group = x[:, row, cpb * s : (cpb + 1) * s]  # (T, S)
+                tiles = group.T.reshape((s,) + plan.spec.tile_shape)
+                inv = transform_tensor(tiles, a_mats)  # (S, *m)
+                out_tiles[(b_idx, slice(cpb * s, (cpb + 1) * s)) + tuple(tile_idx)] = inv
+
+        self.pool.run(stage3, self._sched3)
+
+        from repro.core.tiling import assemble_output
+
+        return assemble_output(out_tiles, plan.grid)
+
+    def shutdown(self) -> None:
+        self.pool.shutdown()
+
+    def __enter__(self) -> "ParallelWinogradExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()

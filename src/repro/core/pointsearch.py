@@ -1,0 +1,118 @@
+"""Interpolation-point search for numerically robust transforms.
+
+The Winograd algorithm family for a given ``F(m, r)`` is parameterized by
+the interpolation points; algebraically all choices are exact, but
+float32 conditioning varies by orders of magnitude (paper Sec. 5.3 and
+its reference [53], Vincent et al., *On Improving the Numerical
+Stability of Winograd Convolutions*).  The library ships a curated
+default sequence; this module searches for better ones.
+
+Two conditioning proxies are offered:
+
+* ``max_entry`` -- the largest |entry| across A, B, G.  Cheap, and a
+  good predictor (see ``benchmarks/bench_ablation_points.py``).
+* ``error_bound`` -- the product of induced infinity-norms
+  ``||A||_inf * ||B||_inf * ||G||_inf``, a first-order amplification
+  bound on elementwise rounding noise.
+
+The search enumerates subsets of a candidate pool of small rationals
+(both orders matter only through the set -- the algorithm is invariant
+to point permutation up to row order).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from itertools import combinations
+
+from repro.core.transforms import Transform1D, winograd_1d
+
+#: Candidate pool: small magnitudes, simple denominators -- the region
+#: where good points live (0 and infinity are always included; infinity
+#: implicitly).
+DEFAULT_POOL: tuple[Fraction, ...] = tuple(
+    Fraction(n, d)
+    for n, d in [
+        (0, 1), (1, 1), (-1, 1), (2, 1), (-2, 1), (1, 2), (-1, 2),
+        (3, 1), (-3, 1), (1, 3), (-1, 3), (4, 1), (-4, 1), (1, 4), (-1, 4),
+        (3, 2), (-3, 2), (2, 3), (-2, 3),
+    ]
+)
+
+
+def max_entry_proxy(t: Transform1D) -> float:
+    """Largest |entry| across A, B, G."""
+    return t.max_abs_entry()
+
+
+def error_bound_proxy(t: Transform1D) -> float:
+    """||A||_inf * ||B||_inf * ||G||_inf (rounding amplification bound)."""
+
+    def inf_norm(mat):
+        return max(sum(abs(float(x)) for x in row) for row in mat)
+
+    return inf_norm(t.a) * inf_norm(t.b) * inf_norm(t.g)
+
+
+@dataclass(frozen=True)
+class PointSearchResult:
+    """Best point set found and its conditioning score."""
+
+    m: int
+    r: int
+    points: tuple[Fraction, ...]
+    score: float
+    candidates_evaluated: int
+
+    def transform(self) -> Transform1D:
+        return winograd_1d(self.m, self.r, points=self.points)
+
+
+def search_points(
+    m: int,
+    r: int,
+    pool: tuple[Fraction, ...] = DEFAULT_POOL,
+    proxy=error_bound_proxy,
+    max_candidates: int = 20000,
+) -> PointSearchResult:
+    """Exhaustively search point subsets of ``pool`` for ``F(m, r)``.
+
+    Raises when the subset count would exceed ``max_candidates`` --
+    callers should then shrink the pool (the curated defaults already
+    cover large alpha well).
+    """
+    n_points = m + r - 2
+    if n_points < 0:
+        raise ValueError(f"invalid F({m},{r})")
+    if n_points == 0:
+        t = winograd_1d(m, r, points=())
+        return PointSearchResult(m=m, r=r, points=(), score=proxy(t),
+                                 candidates_evaluated=1)
+    if n_points > len(pool):
+        raise ValueError(
+            f"F({m},{r}) needs {n_points} points but the pool has {len(pool)}"
+        )
+    from math import comb
+
+    total = comb(len(pool), n_points)
+    if total > max_candidates:
+        raise ValueError(
+            f"search space {total} exceeds max_candidates={max_candidates}; "
+            f"shrink the pool for F({m},{r})"
+        )
+    best: PointSearchResult | None = None
+    evaluated = 0
+    for subset in combinations(pool, n_points):
+        t = winograd_1d(m, r, points=subset)
+        score = proxy(t)
+        evaluated += 1
+        if best is None or score < best.score:
+            best = PointSearchResult(
+                m=m, r=r, points=subset, score=score, candidates_evaluated=0
+            )
+    assert best is not None
+    return PointSearchResult(
+        m=best.m, r=best.r, points=best.points, score=best.score,
+        candidates_evaluated=evaluated,
+    )

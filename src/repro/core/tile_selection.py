@@ -1,0 +1,110 @@
+"""Automatic tile-size selection (paper Sec. 5.1, "Effects of F(m, r)").
+
+Choosing ``m`` is a three-way trade the paper analyzes qualitatively:
+
+1. larger ``m`` saves multiplications in stage 2 (reduction grows with
+   ``m``),
+2. but output extents not divisible by ``m`` force zero padding,
+   inflating both transform and GEMM work ("the main reason why, for
+   some layers, larger ms did not achieve better performance"),
+3. and float32 error grows with ``m`` -- Table 3 caps training at
+   F(6^2,3^2) (2D) / F(4x6^2,3^3) (3D) and inference one step higher.
+
+:func:`select_tile_size` makes the trade quantitative: it enumerates
+candidate (possibly anisotropic) tile shapes within the accuracy cap,
+scores each with the machine cost model under its autotuned blocking,
+and returns the ranking.  This automates what Fig. 5's per-layer "best
+F(m, r)" columns did by hand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+
+from repro.core.autotune import autotune_layer
+from repro.core.fmr import FmrSpec
+from repro.machine.cost import WinogradCostModel
+from repro.machine.spec import KNL_7210, MachineSpec
+from repro.nets.layers import ConvLayerSpec
+from repro.util.wisdom import Wisdom
+
+#: Per-dimension tile candidates by use case (Table 3 conclusions for
+#: r = 3; for other kernel sizes the same alpha budget is applied).
+TRAIN_MAX_ALPHA = 8   # F(6,3): alpha = 8 is the 2D training cap
+INFER_MAX_ALPHA = 10  # F(8,3) / F(6x8): usable for inference
+
+
+@dataclass(frozen=True)
+class TileChoice:
+    """One scored candidate."""
+
+    spec: FmrSpec
+    predicted_seconds: float
+    padding_overhead: float
+    multiplication_reduction: float
+
+
+def candidate_tiles(
+    layer: ConvLayerSpec, *, mode: str = "train",
+    per_dim: tuple[int, ...] = (2, 3, 4, 5, 6, 8),
+) -> list[FmrSpec]:
+    """Enumerate accuracy-admissible tile shapes for a layer.
+
+    Anisotropic combinations are included for N >= 2 (the paper's
+    F(4x6^2) / F(6x8) style choices), pruned by the per-dimension alpha
+    cap for the requested ``mode``.
+    """
+    if mode not in ("train", "infer"):
+        raise ValueError(f"mode must be 'train' or 'infer', got {mode!r}")
+    cap = TRAIN_MAX_ALPHA if mode == "train" else INFER_MAX_ALPHA
+    admissible: list[tuple[int, ...]] = []
+    dims_options = []
+    for rd in layer.kernel:
+        opts = [m for m in per_dim if m + rd - 1 <= cap]
+        if not opts:
+            raise ValueError(
+                f"no admissible tile size for kernel extent {rd} under "
+                f"mode={mode!r}"
+            )
+        dims_options.append(opts)
+    for combo in product(*dims_options):
+        # Limit anisotropy to adjacent sizes (the paper's choices differ
+        # by at most one step per dimension, e.g. 4x6x6, 6x8).
+        if max(combo) / min(combo) <= 2:
+            admissible.append(combo)
+    return [FmrSpec(m=combo, r=layer.kernel) for combo in set(admissible)]
+
+
+def select_tile_size(
+    layer: ConvLayerSpec,
+    machine: MachineSpec = KNL_7210,
+    *,
+    mode: str = "train",
+    wisdom: Wisdom | None = None,
+    inference_only: bool | None = None,
+    n_blk_values: tuple[int, ...] = (6, 14, 28),
+    top_k: int = 3,
+) -> list[TileChoice]:
+    """Rank tile shapes for a layer; ``[0]`` is the recommendation."""
+    wisdom = wisdom if wisdom is not None else Wisdom()
+    if inference_only is None:
+        inference_only = mode == "infer"
+    out_shape = layer.output_image
+    results: list[TileChoice] = []
+    for spec in candidate_tiles(layer, mode=mode):
+        tune = autotune_layer(
+            layer, spec, machine, wisdom=wisdom,
+            n_blk_values=n_blk_values,
+            transform_kernels=not inference_only,
+        )
+        results.append(
+            TileChoice(
+                spec=spec,
+                predicted_seconds=tune.predicted_seconds,
+                padding_overhead=spec.padding_overhead(out_shape),
+                multiplication_reduction=spec.multiplication_reduction,
+            )
+        )
+    results.sort(key=lambda c: c.predicted_seconds)
+    return results[:top_k]

@@ -1,0 +1,155 @@
+"""N-dimensional overlap-add (OLA) tile extraction and output assembly.
+
+Sec. 3.1-3.2: a large N-D image is divided into overlapping input tiles of
+size ``T_d = m_d + r_d - 1`` with ``r_d - 1`` overlap along each
+dimension; the Winograd operation produces disjoint ``m_d``-sized output
+tiles that are concatenated (no summation is needed because the *output*
+tiles do not overlap -- the overlap lives entirely on the input side).
+
+The extractor is fully vectorized: a single strided view gathers every
+tile of every channel of every batch element at once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from math import prod
+
+import numpy as np
+from numpy.lib.stride_tricks import as_strided
+
+from repro.core.fmr import FmrSpec
+
+
+@dataclass(frozen=True)
+class TileGrid:
+    """Geometry of the OLA decomposition for one layer invocation.
+
+    Attributes
+    ----------
+    spec:
+        The ``F(m, r)`` specification.
+    output_shape:
+        True (unpadded) output extent per spatial dimension.
+    counts:
+        Tiles per dimension ``N_d = ceil(out_d / m_d)``.
+    """
+
+    spec: FmrSpec
+    output_shape: tuple[int, ...]
+    counts: tuple[int, ...]
+
+    @property
+    def total_tiles(self) -> int:
+        """``N = prod(N_d)``, the paper's per-image tile count."""
+        return prod(self.counts)
+
+    @property
+    def padded_output_shape(self) -> tuple[int, ...]:
+        return tuple(n * m for n, m in zip(self.counts, self.spec.m))
+
+    @property
+    def padded_input_shape(self) -> tuple[int, ...]:
+        return tuple(po + r - 1 for po, r in zip(self.padded_output_shape, self.spec.r))
+
+
+def plan_tiles(spec: FmrSpec, input_shape: tuple[int, ...]) -> TileGrid:
+    """Plan the tile grid for a (padded) input of ``input_shape``.
+
+    ``input_shape`` is the image extent *after* any convolution padding has
+    been applied; the output extent is ``input - r + 1``.
+    """
+    if len(input_shape) != spec.ndim:
+        raise ValueError(
+            f"input rank {len(input_shape)} != spec rank {spec.ndim}"
+        )
+    out = tuple(i - r + 1 for i, r in zip(input_shape, spec.r))
+    if any(o < 1 for o in out):
+        raise ValueError(f"input {input_shape} smaller than kernel {spec.r}")
+    return TileGrid(spec=spec, output_shape=out, counts=spec.tile_counts(out))
+
+
+def extract_tiles(images: np.ndarray, grid: TileGrid) -> np.ndarray:
+    """Extract all overlapping input tiles as a dense array.
+
+    Parameters
+    ----------
+    images:
+        ``(B, C, *spatial)`` batch whose spatial extent matches the grid's
+        planned input shape (it is zero-extended to the padded input shape
+        when tile padding is required).
+
+    Returns
+    -------
+    ``(B, C, *counts, *tile_shape)`` array.  A copy is returned (not a
+    view) so downstream transforms can write freely.
+    """
+    spec = grid.spec
+    ndim = spec.ndim
+    if images.ndim != ndim + 2:
+        raise ValueError(
+            f"images must be (B, C, *spatial) with {ndim} spatial dims, got {images.shape}"
+        )
+    needed = grid.padded_input_shape
+    spatial = images.shape[2:]
+    if any(s > n for s, n in zip(spatial, needed)):
+        raise ValueError(
+            f"image spatial extent {spatial} exceeds planned input {needed}"
+        )
+    if spatial != needed:
+        # Zero-extend so the last tile row/column is fully backed by memory
+        # (the paper zero-pads when out_d is not divisible by m_d).
+        width = [(0, 0), (0, 0)] + [(0, n - s) for s, n in zip(spatial, needed)]
+        images = np.pad(images, width, mode="constant")
+
+    b, c = images.shape[:2]
+    strides = images.strides
+    # Tile-grid strides step by m_d elements; intra-tile strides are the
+    # image strides themselves (tiles overlap by r_d - 1).
+    view = as_strided(
+        images,
+        shape=(b, c) + grid.counts + spec.tile_shape,
+        strides=strides[:2]
+        + tuple(s * m for s, m in zip(strides[2:], spec.m))
+        + strides[2:],
+        writeable=False,
+    )
+    return np.ascontiguousarray(view)
+
+
+def assemble_output(tiles: np.ndarray, grid: TileGrid) -> np.ndarray:
+    """Assemble disjoint output tiles back into images.
+
+    Parameters
+    ----------
+    tiles:
+        ``(B, C', *counts, *m)`` array of output tiles.
+
+    Returns
+    -------
+    ``(B, C', *output_shape)`` batch; tile padding beyond the true output
+    extent is cropped.
+    """
+    spec = grid.spec
+    ndim = spec.ndim
+    expected = grid.counts + spec.m
+    if tiles.shape[2:] != expected:
+        raise ValueError(
+            f"tiles have trailing shape {tiles.shape[2:]}, expected {expected}"
+        )
+    b, cprime = tiles.shape[:2]
+    # (B, C', n_1, ..., n_N, m_1, ..., m_N) -> interleave counts and tile
+    # axes to (B, C', n_1, m_1, n_2, m_2, ...) then collapse pairs.
+    order = [0, 1]
+    for d in range(ndim):
+        order.extend([2 + d, 2 + ndim + d])
+    interleaved = tiles.transpose(order)
+    padded = interleaved.reshape((b, cprime) + grid.padded_output_shape)
+    crop = (slice(None), slice(None)) + tuple(slice(0, o) for o in grid.output_shape)
+    return np.ascontiguousarray(padded[crop])
+
+
+def tile_index_iter(grid: TileGrid):
+    """Iterate tile multi-indices in row-major order (for scalar paths)."""
+    return product(*(range(n) for n in grid.counts))

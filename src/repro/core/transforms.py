@@ -1,0 +1,343 @@
+"""Exact generation of the Winograd transformation matrices A, B, G.
+
+The paper generated its transformation matrices with Wincnn [13] and baked
+them into templated C++ codelets.  Since no external tool is available we
+build the matrices from scratch with exact rational arithmetic
+(:mod:`fractions`), using the classical Toom-Cook construction and the
+transposition principle (Winograd [55]; Lavin & Gray [34]).
+
+Construction (1D, ``F(m, r)``, ``alpha = m + r - 1`` multiplications)
+---------------------------------------------------------------------
+Computing the ``m`` outputs of an ``r``-tap FIR filter over ``alpha``
+inputs is the *transpose* of the linear convolution of an ``m``-vector
+with an ``r``-vector.  Toom-Cook computes that linear convolution by
+evaluating both operand polynomials at ``alpha - 1`` distinct finite
+points ``t_i`` plus the point at infinity, multiplying pointwise, and
+interpolating.  Transposing the three linear maps yields the minimal
+filtering form used throughout the paper (Sec. 2.2):
+
+    ``y = A [ (G g) (.) (B d) ]``
+
+with
+
+* ``A`` (``m x alpha``): transposed evaluation matrix of degree-(m-1)
+  polynomials -- column ``i`` is ``(t_i^0, ..., t_i^(m-1))``; last column
+  is ``e_m`` (the infinity point selects the leading coefficient),
+* ``G`` (``alpha x r``): evaluation matrix of the kernel polynomial with
+  the Lagrange denominators ``f_i = prod_{j != i}(t_i - t_j)`` folded in:
+  row ``i`` is ``(1/f_i) * (t_i^0, ..., t_i^(r-1))``; last row is ``e_r``,
+* ``B`` (``alpha x alpha``): transposed (integer, when the points are
+  integers) interpolation matrix -- row ``i`` holds the coefficients of
+  the Lagrange numerator ``L_i(x) = M(x)/(x - t_i)``, and the last row the
+  coefficients of ``M(x) = prod_i (x - t_i)``.
+
+The identity ``y = A[(G g) (.) (B d)]`` holds *exactly* over the
+rationals for every choice of distinct points; numerical conditioning in
+float32 depends strongly on the points (Sec. 5.3), which is why the
+default point sequence mirrors Wincnn's small-magnitude pattern
+``0, 1, -1, 2, -2, 1/2, -1/2, 4, -4, ...``.
+
+N-dimensional transforms are separable: each dimension contributes an
+independent 1D triple applied via tensor-matrix mode-n products
+(Sec. 3.2, Eqn. 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from functools import lru_cache
+
+import numpy as np
+
+from repro.core.fmr import FmrSpec
+
+#: Wincnn-style default interpolation points, ordered so that a prefix of
+#: any length has small magnitudes and alternating signs.  Small, symmetric
+#: points minimize the growth of the transform-matrix entries and therefore
+#: the float32 error (paper Table 3).
+DEFAULT_POINTS: tuple[Fraction, ...] = tuple(
+    Fraction(n, d)
+    for n, d in [
+        (0, 1),
+        (1, 1),
+        (-1, 1),
+        (2, 1),
+        (-2, 1),
+        (1, 2),
+        (-1, 2),
+        (4, 1),
+        (-4, 1),
+        (1, 4),
+        (-1, 4),
+        (3, 1),
+        (-3, 1),
+        (1, 3),
+        (-1, 3),
+        (8, 1),
+        (-8, 1),
+    ]
+)
+
+
+def interpolation_points(count: int) -> tuple[Fraction, ...]:
+    """Return the first ``count`` default finite interpolation points.
+
+    ``count`` equals ``alpha - 1 = m + r - 2`` (the remaining evaluation
+    is at infinity).  Raises if more points are requested than the curated
+    table provides -- at that size the float32 algorithm is numerically
+    useless anyway (Table 3 shows errors near 1.0 already at ``m = 8``).
+    """
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    if count > len(DEFAULT_POINTS):
+        raise ValueError(
+            f"no curated point set of size {count}; max supported alpha is "
+            f"{len(DEFAULT_POINTS) + 1} (larger tiles are numerically unstable in fp32)"
+        )
+    return DEFAULT_POINTS[:count]
+
+
+def _poly_mul(p: list[Fraction], q: list[Fraction]) -> list[Fraction]:
+    """Multiply two coefficient lists (ascending powers)."""
+    out = [Fraction(0)] * (len(p) + len(q) - 1)
+    for i, pi in enumerate(p):
+        if pi == 0:
+            continue
+        for j, qj in enumerate(q):
+            out[i + j] += pi * qj
+    return out
+
+
+def _master_poly(points: tuple[Fraction, ...]) -> list[Fraction]:
+    """Coefficients (ascending) of ``M(x) = prod_i (x - t_i)``."""
+    coeffs = [Fraction(1)]
+    for t in points:
+        coeffs = _poly_mul(coeffs, [-t, Fraction(1)])
+    return coeffs
+
+
+def _poly_div_linear(coeffs: list[Fraction], root: Fraction) -> list[Fraction]:
+    """Divide polynomial ``coeffs`` by ``(x - root)`` exactly (synthetic division).
+
+    The remainder must be zero; a nonzero remainder indicates ``root`` is
+    not a root, which would be an internal invariant violation.
+    """
+    n = len(coeffs) - 1  # degree
+    out = [Fraction(0)] * n
+    carry = Fraction(0)
+    for k in range(n - 1, -1, -1):
+        out[k] = coeffs[k + 1] + carry
+        carry = out[k] * root
+    remainder = coeffs[0] + carry
+    if remainder != 0:
+        raise ArithmeticError(f"{root} is not a root; remainder {remainder}")
+    return out
+
+
+@dataclass(frozen=True)
+class Transform1D:
+    """Exact 1D Winograd transform triple for ``F(m, r)``.
+
+    ``a``, ``b``, ``g`` are nested tuples of :class:`fractions.Fraction`
+    with shapes ``(m, alpha)``, ``(alpha, alpha)`` and ``(alpha, r)``.
+    Use :meth:`a_f64` / :meth:`as_arrays` for numpy views.
+    """
+
+    m: int
+    r: int
+    points: tuple[Fraction, ...]
+    a: tuple[tuple[Fraction, ...], ...]
+    b: tuple[tuple[Fraction, ...], ...]
+    g: tuple[tuple[Fraction, ...], ...]
+
+    @property
+    def alpha(self) -> int:
+        """Number of multiplications ``m + r - 1``."""
+        return self.m + self.r - 1
+
+    def as_arrays(self, dtype=np.float64) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Return ``(A, B, G)`` as numpy arrays of ``dtype``."""
+        to_np = lambda mat: np.array([[float(x) for x in row] for row in mat], dtype=dtype)
+        return to_np(self.a), to_np(self.b), to_np(self.g)
+
+    def max_abs_entry(self) -> float:
+        """Largest |entry| across A, B, G -- a conditioning indicator.
+
+        Grows with ``m + r`` and correlates with the fp32 errors of
+        Table 3.
+        """
+        return max(
+            abs(float(x)) for mat in (self.a, self.b, self.g) for row in mat for x in row
+        )
+
+
+def _freeze(rows: list[list[Fraction]]) -> tuple[tuple[Fraction, ...], ...]:
+    return tuple(tuple(row) for row in rows)
+
+
+@lru_cache(maxsize=None)
+def _winograd_1d_cached(m: int, r: int, points: tuple[Fraction, ...]) -> Transform1D:
+    alpha = m + r - 1
+    n_finite = alpha - 1
+
+    if len(points) != n_finite:
+        raise ValueError(
+            f"F({m},{r}) needs exactly {n_finite} finite points, got {len(points)}"
+        )
+    if len(set(points)) != n_finite:
+        raise ValueError(f"interpolation points must be distinct, got {points}")
+
+    # Degenerate F(m, 1): alpha == m, the "transform" is the identity and
+    # the kernel is a scalar broadcast.  The general construction below
+    # handles it too, so no special case is needed; kept as a comment for
+    # readers.
+
+    master = _master_poly(points)  # degree alpha-1, length alpha
+
+    # Lagrange denominators f_i = prod_{j != i} (t_i - t_j).
+    denominators: list[Fraction] = []
+    for i, ti in enumerate(points):
+        f = Fraction(1)
+        for j, tj in enumerate(points):
+            if i != j:
+                f *= ti - tj
+        denominators.append(f)
+
+    # --- A (m x alpha): evaluation of degree-(m-1) polys, transposed. ---
+    a_rows: list[list[Fraction]] = []
+    for power in range(m):
+        row = [t**power for t in points]
+        row.append(Fraction(1) if power == m - 1 else Fraction(0))  # infinity
+        a_rows.append(row)
+
+    # --- G (alpha x r): scaled kernel evaluation. ---
+    g_rows: list[list[Fraction]] = []
+    for i, ti in enumerate(points):
+        inv = Fraction(1) / denominators[i]
+        g_rows.append([inv * ti**power for power in range(r)])
+    g_rows.append([Fraction(0)] * (r - 1) + [Fraction(1)])  # infinity row
+
+    # --- B (alpha x alpha): transposed interpolation matrix. ---
+    # Row i (finite): coefficients of L_i(x) = M(x) / (x - t_i), padded.
+    b_rows: list[list[Fraction]] = []
+    for ti in points:
+        li = _poly_div_linear(master, ti)  # length alpha-1
+        b_rows.append(li + [Fraction(0)])
+    b_rows.append(list(master))  # infinity row: coefficients of M(x)
+
+    # Sign normalization (cosmetic, matches Wincnn/paper conventions up to
+    # equivalence): flip the sign of G-row i and B-row i together when the
+    # leading G entry is negative.  The elementwise product (G g) (.) (B d)
+    # is invariant under paired row sign flips.
+    for i in range(alpha):
+        lead = next((x for x in g_rows[i] if x != 0), Fraction(0))
+        if lead < 0:
+            g_rows[i] = [-x for x in g_rows[i]]
+            b_rows[i] = [-x for x in b_rows[i]]
+
+    return Transform1D(
+        m=m, r=r, points=points, a=_freeze(a_rows), b=_freeze(b_rows), g=_freeze(g_rows)
+    )
+
+
+def winograd_1d(m: int, r: int, points: tuple[Fraction, ...] | None = None) -> Transform1D:
+    """Generate the exact 1D transform triple for ``F(m, r)``.
+
+    Parameters
+    ----------
+    m:
+        Output tile size (``m >= 1``).
+    r:
+        Kernel size (``r >= 1``).
+    points:
+        Optional custom finite interpolation points (``m + r - 2`` distinct
+        rationals).  Defaults to the curated Wincnn-style sequence.
+    """
+    if m < 1:
+        raise ValueError(f"m must be >= 1, got {m}")
+    if r < 1:
+        raise ValueError(f"r must be >= 1, got {r}")
+    if points is None:
+        points = interpolation_points(m + r - 2)
+    else:
+        points = tuple(Fraction(p) for p in points)
+    return _winograd_1d_cached(m, r, points)
+
+
+@dataclass(frozen=True)
+class TransformND:
+    """Per-dimension transform triples for an N-D ``F(m, r)`` (Sec. 3.2).
+
+    The N-D transforms are separable: dimension ``d`` contributes
+    ``dims[d]`` applied by tensor-matrix mode-``d`` multiplication
+    (Eqn. 8).
+    """
+
+    spec: FmrSpec
+    dims: tuple[Transform1D, ...]
+
+    @property
+    def tile_shape(self) -> tuple[int, ...]:
+        return self.spec.tile_shape
+
+    def matrices(
+        self, dtype=np.float64
+    ) -> tuple[list[np.ndarray], list[np.ndarray], list[np.ndarray]]:
+        """Return per-dimension ``([A...], [B...], [G...])`` numpy arrays."""
+        a_list, b_list, g_list = [], [], []
+        for t in self.dims:
+            a, b, g = t.as_arrays(dtype)
+            a_list.append(a)
+            b_list.append(b)
+            g_list.append(g)
+        return a_list, b_list, g_list
+
+
+def winograd_nd(spec: FmrSpec) -> TransformND:
+    """Generate per-dimension transforms for an N-D spec.
+
+    Dimensions with equal ``(m_d, r_d)`` share the same cached
+    :class:`Transform1D` instance.
+    """
+    dims = tuple(winograd_1d(md, rd) for md, rd in zip(spec.m, spec.r))
+    return TransformND(spec=spec, dims=dims)
+
+
+def mode_n_multiply(tensor: np.ndarray, matrix: np.ndarray, axis: int) -> np.ndarray:
+    """Tensor-matrix mode-``axis`` multiplication (Kolda & Bader [31]).
+
+    Contracts ``matrix`` (shape ``(p, q)``) with axis ``axis`` (length
+    ``q``) of ``tensor``, producing a tensor whose ``axis`` has length
+    ``p``.  Leading batch axes of ``tensor`` are untouched; this is the
+    workhorse of all transform stages (Eqn. 8).
+    """
+    if matrix.ndim != 2:
+        raise ValueError(f"matrix must be 2-D, got shape {matrix.shape}")
+    if tensor.shape[axis] != matrix.shape[1]:
+        raise ValueError(
+            f"axis {axis} of tensor has length {tensor.shape[axis]}, "
+            f"matrix expects {matrix.shape[1]}"
+        )
+    moved = np.moveaxis(tensor, axis, -1)
+    result = moved @ matrix.T
+    return np.moveaxis(result, -1, axis)
+
+
+def transform_tensor(
+    tensor: np.ndarray, matrices: list[np.ndarray], axes: list[int] | None = None
+) -> np.ndarray:
+    """Apply one matrix per spatial axis via successive mode-n products.
+
+    ``axes`` defaults to the last ``len(matrices)`` axes of ``tensor``
+    (leading axes are treated as batch dimensions).
+    """
+    n = len(matrices)
+    if axes is None:
+        axes = list(range(tensor.ndim - n, tensor.ndim))
+    if len(axes) != n:
+        raise ValueError(f"{n} matrices but {len(axes)} axes")
+    out = tensor
+    for matrix, axis in zip(matrices, axes):
+        out = mode_n_multiply(out, matrix, axis)
+    return out

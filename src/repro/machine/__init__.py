@@ -1,0 +1,38 @@
+"""Simulated manycore-machine substrate.
+
+The paper's evaluation hardware (Intel Xeon Phi 7210 "Knights Landing"
+and an Nvidia Titan X Pascal) is modelled here: machine specifications,
+an in-order-issue vector-pipeline simulator, a set-associative cache
+simulator, a bandwidth/TLB memory model, and the roofline-style cost
+composition that converts algorithm descriptions into predicted runtimes.
+
+All Fig. 5 / Fig. 6 "runtimes" in this reproduction are produced by these
+models; wall-clock timings of the real numpy execution are reported
+separately and never mixed with modelled times.
+"""
+
+from repro.machine.spec import (
+    KNL_7210,
+    TITAN_X_PASCAL,
+    XEON_E7_8890,
+    MachineSpec,
+)
+from repro.machine.cache import CacheSim, CacheStats
+from repro.machine.memory import MemoryModel, TlbModel
+from repro.machine.trace import Instr, InstrKind
+from repro.machine.vector import PipelineResult, simulate_pipeline
+
+__all__ = [
+    "MachineSpec",
+    "KNL_7210",
+    "TITAN_X_PASCAL",
+    "XEON_E7_8890",
+    "CacheSim",
+    "CacheStats",
+    "MemoryModel",
+    "TlbModel",
+    "Instr",
+    "InstrKind",
+    "PipelineResult",
+    "simulate_pipeline",
+]

@@ -1,0 +1,149 @@
+"""Discrete-event simulation of the fork-join stage execution.
+
+Paper Sec. 4.5: *"Ideally, all the threads would start and finish the
+work at the same time, thus not having any core idling at any point in
+time."*  This module quantifies how close a schedule gets to that ideal:
+given a task grid, per-task durations and a scheduling policy, it
+replays the execution event by event and reports the stage span, every
+thread's busy time, and the idle fraction.
+
+Two policies:
+
+* **static** -- each thread runs its pre-assigned
+  :class:`~repro.core.scheduling.GridSlice` back to back; the only
+  synchronization is one fork-join barrier pair (the paper's design).
+* **dynamic** -- threads pull fixed-size chunks from a shared queue,
+  paying a dequeue cost per chunk (the OpenMP-guided-style comparator).
+
+Task durations may be uniform (the paper's "grid of equal tasks") or
+heterogeneous, which is where the policies genuinely diverge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import prod
+from typing import Callable, Sequence
+
+from repro.core.scheduling import GridSlice, static_schedule
+
+#: Duration model: task multi-index -> cycles.
+DurationFn = Callable[[tuple[int, ...]], float]
+
+
+def uniform_duration(cycles: float) -> DurationFn:
+    """The paper's model: every task costs the same."""
+
+    def fn(_index: tuple[int, ...]) -> float:
+        return cycles
+
+    return fn
+
+
+@dataclass(frozen=True)
+class ExecutionReport:
+    """Outcome of one simulated stage execution."""
+
+    policy: str
+    n_threads: int
+    span_cycles: float          # wall-clock of the stage (max finish)
+    busy_cycles: tuple[float, ...]  # per-thread work (incl. dequeues)
+    sync_cycles: float          # barrier / queue overhead included in span
+    total_task_cycles: float
+
+    @property
+    def idle_fraction(self) -> float:
+        """Fraction of thread-cycles spent idle -- 0.0 is the paper's
+        ideal of 'not having any core idling at any point in time'."""
+        capacity = self.span_cycles * self.n_threads
+        busy = sum(self.busy_cycles)
+        return max(0.0, 1.0 - busy / capacity) if capacity else 0.0
+
+    @property
+    def speedup(self) -> float:
+        """Parallel speedup over a single thread running every task."""
+        return self.total_task_cycles / self.span_cycles if self.span_cycles else 0.0
+
+
+def simulate_static(
+    grid: tuple[int, ...],
+    n_threads: int,
+    duration: DurationFn,
+    *,
+    barrier_cycles: float = 500.0,
+) -> ExecutionReport:
+    """Replay a static GCD schedule: one fork-join, no other sync."""
+    slices = static_schedule(grid, n_threads)
+    busy = []
+    for sl in slices:
+        busy.append(sum(duration(t) for t in sl.tasks()))
+    span = max(busy) + barrier_cycles
+    return ExecutionReport(
+        policy="static",
+        n_threads=n_threads,
+        span_cycles=span,
+        busy_cycles=tuple(busy),
+        sync_cycles=barrier_cycles,
+        total_task_cycles=sum(busy),
+    )
+
+
+def simulate_dynamic(
+    grid: tuple[int, ...],
+    n_threads: int,
+    duration: DurationFn,
+    *,
+    chunk_tasks: int = 8,
+    dequeue_cycles: float = 2000.0,
+) -> ExecutionReport:
+    """Replay a central-queue dynamic schedule.
+
+    Threads repeatedly grab the next ``chunk_tasks`` tasks; each grab
+    costs ``dequeue_cycles`` (shared-queue atomics + cache-line
+    ping-pong).  Chunks are handed out in row-major task order.
+    """
+    import heapq
+    from itertools import product as iproduct
+
+    tasks = list(iproduct(*(range(p) for p in grid)))
+    chunks: list[float] = []
+    for i in range(0, len(tasks), chunk_tasks):
+        chunks.append(sum(duration(t) for t in tasks[i : i + chunk_tasks]))
+    # Earliest-free thread takes the next chunk.
+    heap = [(0.0, tid) for tid in range(n_threads)]
+    heapq.heapify(heap)
+    busy = [0.0] * n_threads
+    finish = [0.0] * n_threads
+    total_sync = 0.0
+    for chunk_cost in chunks:
+        free_at, tid = heapq.heappop(heap)
+        cost = dequeue_cycles + chunk_cost
+        busy[tid] += cost
+        finish[tid] = free_at + cost
+        total_sync += dequeue_cycles
+        heapq.heappush(heap, (finish[tid], tid))
+    span = max(finish) if chunks else 0.0
+    return ExecutionReport(
+        policy="dynamic",
+        n_threads=n_threads,
+        span_cycles=span,
+        busy_cycles=tuple(busy),
+        sync_cycles=total_sync,
+        total_task_cycles=sum(
+            sum(duration(t) for t in tasks[i : i + chunk_tasks])
+            for i in range(0, len(tasks), chunk_tasks)
+        ),
+    )
+
+
+def compare_policies(
+    grid: tuple[int, ...],
+    n_threads: int,
+    duration: DurationFn,
+    **kwargs,
+) -> dict[str, ExecutionReport]:
+    """Run both policies on the same workload."""
+    return {
+        "static": simulate_static(grid, n_threads, duration),
+        "dynamic": simulate_dynamic(grid, n_threads, duration, **kwargs),
+    }

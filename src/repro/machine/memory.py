@@ -1,0 +1,125 @@
+"""Main-memory bandwidth and TLB models.
+
+Two effects the paper engineers around are modelled here:
+
+* **Write-allocate vs. streaming stores.**  A regular store to a line
+  that is not cached triggers a read-for-ownership: the line is fetched
+  from memory, modified, and eventually written back -- 2x the raw store
+  traffic.  A streaming (non-temporal) store writes directly to memory:
+  1x traffic and no cache pollution.  The paper credits streaming stores
+  with ~25% faster transform stages and a 20% overall gain when fused
+  into the GEMM scatter (Sec. 6).
+
+* **TLB reach.**  Each task's scattering range (Table 1 discussion)
+  determines how many distinct pages it touches; ranges beyond the TLB
+  reach pay a page-walk penalty per excess page.  The custom layouts keep
+  the scattering range small (``T x n_blk x C_blk`` elements) precisely
+  to avoid this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil
+
+from repro.machine.spec import MachineSpec
+
+
+@dataclass(frozen=True)
+class TrafficEstimate:
+    """Bytes moved between the cache hierarchy and main memory."""
+
+    read_bytes: int
+    write_bytes: int
+
+    @property
+    def total_bytes(self) -> int:
+        return self.read_bytes + self.write_bytes
+
+    def seconds(self, spec: MachineSpec) -> float:
+        return self.total_bytes / spec.mem_bandwidth
+
+
+class MemoryModel:
+    """Bandwidth accounting for one machine."""
+
+    def __init__(self, spec: MachineSpec):
+        self.spec = spec
+
+    def store_traffic(self, nbytes: int, *, streaming: bool) -> TrafficEstimate:
+        """Traffic of writing ``nbytes`` of fresh output.
+
+        Regular stores: write-allocate fetches every line first (read) and
+        writes it back later (write).  Streaming stores: write only.
+        """
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        if streaming:
+            return TrafficEstimate(read_bytes=0, write_bytes=nbytes)
+        return TrafficEstimate(read_bytes=nbytes, write_bytes=nbytes)
+
+    def read_traffic(self, nbytes: int) -> TrafficEstimate:
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        return TrafficEstimate(read_bytes=nbytes, write_bytes=0)
+
+    def combine(self, *estimates: TrafficEstimate) -> TrafficEstimate:
+        return TrafficEstimate(
+            read_bytes=sum(e.read_bytes for e in estimates),
+            write_bytes=sum(e.write_bytes for e in estimates),
+        )
+
+
+@dataclass(frozen=True)
+class TlbCost:
+    """Page-walk overhead of one task's working set."""
+
+    pages_touched: int
+    misses: int
+    penalty_cycles: int
+
+
+class TlbModel:
+    """First-order TLB model: cold misses plus capacity misses.
+
+    A task touching ``P`` distinct pages takes ``P`` cold misses when its
+    footprint is visited once; if ``P`` exceeds the TLB entries and the
+    task re-visits pages (``revisits > 1``), each revisit pays capacity
+    misses again.  ``walk_cycles`` is the page-walk cost (~100 cycles on
+    KNL with 4-level tables).
+    """
+
+    def __init__(self, spec: MachineSpec, walk_cycles: int = 100):
+        if spec.tlb_entries <= 0:
+            raise ValueError(f"{spec.name} has no TLB model (tlb_entries=0)")
+        self.spec = spec
+        self.walk_cycles = walk_cycles
+
+    def pages(self, nbytes: int, *, contiguous: bool = True, stride_bytes: int = 0,
+              accesses: int = 0) -> int:
+        """Pages touched by a footprint.
+
+        Contiguous footprints touch ``ceil(nbytes/page)`` pages; strided
+        scatters with stride >= page size touch one page per access -- the
+        pattern the paper's layouts avoid.
+        """
+        if contiguous:
+            return max(1, ceil(nbytes / self.spec.page_bytes))
+        if stride_bytes <= 0 or accesses <= 0:
+            raise ValueError("strided footprint needs stride_bytes and accesses")
+        if stride_bytes >= self.spec.page_bytes:
+            return accesses
+        per_page = self.spec.page_bytes // stride_bytes
+        return max(1, ceil(accesses / per_page))
+
+    def cost(self, pages_touched: int, revisits: int = 1) -> TlbCost:
+        if pages_touched < 1 or revisits < 1:
+            raise ValueError("pages_touched and revisits must be >= 1")
+        misses = pages_touched
+        if pages_touched > self.spec.tlb_entries:
+            misses += (revisits - 1) * pages_touched
+        return TlbCost(
+            pages_touched=pages_touched,
+            misses=misses,
+            penalty_cycles=misses * self.walk_cycles,
+        )

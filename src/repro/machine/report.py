@@ -1,0 +1,105 @@
+"""Human-readable utilization report for one layer execution.
+
+Condenses the cost model's per-stage breakdown into the quantities a
+performance engineer asks first: where the time goes, which resource
+binds each stage, what fraction of peak FLOPs / bandwidth each stage
+sustains, and what the blocking parameters were.  Rendered as text (with
+an ASCII time bar) by the ``python -m repro analyze`` command.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.autotune import autotune_layer
+from repro.core.fmr import FmrSpec
+from repro.machine.cost import LayerCost, WinogradCostModel
+from repro.machine.spec import MachineSpec
+from repro.nets.layers import ConvLayerSpec
+from repro.util.reporting import bar_chart
+from repro.util.wisdom import Wisdom
+
+
+@dataclass(frozen=True)
+class StageUtilization:
+    """One stage's resource picture."""
+
+    name: str
+    seconds: float
+    share: float  # of the layer total
+    bound: str
+    flops_utilization: float  # sustained / peak
+    bandwidth_utilization: float  # memory-time share of the stage
+
+
+def analyze_layer(
+    layer: ConvLayerSpec,
+    fmr: FmrSpec,
+    machine: MachineSpec,
+    *,
+    wisdom: Wisdom | None = None,
+    transform_kernels: bool = True,
+) -> tuple[LayerCost, list[StageUtilization], dict]:
+    """Autotune + cost a layer and derive utilization figures."""
+    tune = autotune_layer(
+        layer, fmr, machine,
+        wisdom=wisdom if wisdom is not None else Wisdom(),
+        transform_kernels=transform_kernels,
+    )
+    model = WinogradCostModel(
+        machine, threads_per_core=tune.threads_per_core
+    )
+    cost = model.layer_cost(
+        layer, fmr, tune.blocking, transform_kernels=transform_kernels
+    )
+    total = cost.seconds
+    stages = []
+    for s in cost.stages:
+        sustained = s.flops / s.seconds if s.seconds else 0.0
+        stages.append(
+            StageUtilization(
+                name=s.name,
+                seconds=s.seconds,
+                share=s.seconds / total if total else 0.0,
+                bound=s.bound,
+                flops_utilization=sustained / machine.peak_flops,
+                bandwidth_utilization=(
+                    min(1.0, s.memory_s / s.seconds) if s.seconds else 0.0
+                ),
+            )
+        )
+    meta = {
+        "blocking": tune.blocking,
+        "threads_per_core": tune.threads_per_core,
+        "total_seconds": total,
+        "effective_flops": cost.flops / total if total else 0.0,
+    }
+    return cost, stages, meta
+
+
+def render_report(
+    layer: ConvLayerSpec, fmr: FmrSpec, machine: MachineSpec,
+    stages: list[StageUtilization], meta: dict,
+) -> str:
+    """Multi-line text report with an ASCII stage-time chart."""
+    lines = [
+        f"{layer.label}  {fmr}  on {machine.name}",
+        f"  blocking      : {meta['blocking'].describe()}",
+        f"  threads/core  : {meta['threads_per_core']}",
+        f"  total [model] : {meta['total_seconds'] * 1e3:.3f} ms "
+        f"({meta['effective_flops'] / 1e12:.2f} effective TFLOPS, "
+        f"{meta['effective_flops'] / machine.peak_flops * 100:.0f}% of peak)",
+        "",
+        bar_chart(
+            [s.name for s in stages],
+            [s.seconds * 1e6 for s in stages],
+            width=40, unit="us",
+        ),
+        "",
+    ]
+    for s in stages:
+        lines.append(
+            f"  {s.name:18s} {s.share * 100:5.1f}% of time, {s.bound}-bound, "
+            f"{s.flops_utilization * 100:5.1f}% of peak FLOPs"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,131 @@
+"""Roofline analysis: arithmetic intensity of the competing algorithms.
+
+A classical HPC lens on the paper's Fig. 5: each convolution algorithm
+is a (FLOPs, bytes) point, and the machine's roofline
+``min(peak, AI * bandwidth)`` decides its attainable performance.  The
+analysis makes the paper's central trade explicit -- Winograd trades
+FLOPs for arithmetic intensity (the transforms add memory traffic), and
+wins only while it stays right of the machine's ridge point, which is
+exactly what the Eqn. 11 blocking constraints guarantee for stage 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import prod
+
+from repro.baselines.fft import FftConvBaseline
+from repro.core.fmr import FmrSpec
+from repro.machine.spec import MachineSpec
+from repro.nets.layers import ConvLayerSpec
+
+FLOAT = 4
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One algorithm's position on the roofline."""
+
+    algorithm: str
+    flops: float
+    bytes_moved: float
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """FLOPs per byte of main-memory traffic."""
+        return self.flops / self.bytes_moved if self.bytes_moved else float("inf")
+
+    def attainable_flops(self, machine: MachineSpec) -> float:
+        return min(
+            machine.peak_flops, self.arithmetic_intensity * machine.mem_bandwidth
+        )
+
+    def attainable_seconds(self, machine: MachineSpec) -> float:
+        return self.flops / self.attainable_flops(machine)
+
+    def bound(self, machine: MachineSpec) -> str:
+        ridge = machine.peak_flops / machine.mem_bandwidth
+        return "compute" if self.arithmetic_intensity >= ridge else "memory"
+
+
+def _io_bytes(layer: ConvLayerSpec) -> float:
+    in_b = layer.batch * layer.c_in * prod(layer.image) * FLOAT
+    out_b = layer.output_voxels * FLOAT
+    k_b = layer.c_in * layer.c_out * prod(layer.kernel) * FLOAT
+    return in_b + out_b + k_b
+
+
+def direct_point(layer: ConvLayerSpec) -> RooflinePoint:
+    """Direct convolution: maximal FLOPs, minimal traffic."""
+    return RooflinePoint(
+        algorithm="direct", flops=float(layer.direct_flops()),
+        bytes_moved=_io_bytes(layer),
+    )
+
+
+def winograd_point(layer: ConvLayerSpec, fmr: FmrSpec) -> RooflinePoint:
+    """Winograd: reduced GEMM FLOPs + transform FLOPs, plus the traffic
+    of writing/reading the transformed tensors once each."""
+    out = layer.output_image
+    counts = fmr.tile_counts(out)
+    tiles = prod(counts)
+    nb = tiles * layer.batch
+    t = fmr.tile_elements
+    gemm_flops = 2.0 * t * nb * layer.c_in * layer.c_out
+    # Transforms: roughly 2 ops per element per dimension pass (exact
+    # counts live in the codelet statistics; this is the roofline view).
+    transform_elems = t * nb * (layer.c_in + layer.c_out) + t * layer.c_in * layer.c_out
+    transform_flops = 4.0 * fmr.ndim * transform_elems
+    u_bytes = t * nb * layer.c_in * FLOAT
+    x_bytes = t * nb * layer.c_out * FLOAT
+    v_bytes = t * layer.c_in * layer.c_out * FLOAT
+    # Each transformed tensor is written once and read once.
+    traffic = _io_bytes(layer) + 2.0 * (u_bytes + x_bytes + v_bytes)
+    return RooflinePoint(
+        algorithm=f"winograd {fmr}",
+        flops=gemm_flops + transform_flops,
+        bytes_moved=traffic,
+    )
+
+
+def fft_point(layer: ConvLayerSpec) -> RooflinePoint:
+    """FFT convolution: image-sized complex spectra dominate traffic."""
+    n = prod(i + 2 * p for i, p in zip(layer.image, layer.padding))
+    n_transforms = (
+        layer.batch * layer.c_in + layer.c_in * layer.c_out
+        + layer.batch * layer.c_out
+    )
+    spectra_bytes = 4.0 * n * n_transforms
+    return RooflinePoint(
+        algorithm="fft",
+        flops=FftConvBaseline.flop_estimate(layer),
+        bytes_moved=_io_bytes(layer) + 2.0 * spectra_bytes,
+    )
+
+
+def im2col_point(layer: ConvLayerSpec) -> RooflinePoint:
+    """im2col: direct FLOPs plus the prod(r)-expanded patch matrix."""
+    patch_bytes = (
+        layer.batch * prod(layer.output_image) * layer.c_in
+        * prod(layer.kernel) * FLOAT
+    )
+    return RooflinePoint(
+        algorithm="im2col",
+        flops=float(layer.direct_flops()),
+        bytes_moved=_io_bytes(layer) + 2.0 * patch_bytes,
+    )
+
+
+def layer_roofline(
+    layer: ConvLayerSpec, fmr: FmrSpec, machine: MachineSpec
+) -> list[RooflinePoint]:
+    """All algorithms' roofline points for one layer (sorted by
+    attainable time, fastest first)."""
+    points = [
+        direct_point(layer),
+        winograd_point(layer, fmr),
+        im2col_point(layer),
+        fft_point(layer),
+    ]
+    points.sort(key=lambda p: p.attainable_seconds(machine))
+    return points

@@ -1,0 +1,197 @@
+"""Machine specifications for the simulated substrate.
+
+Numbers follow the paper's Sec. 2.1 description of Knights Landing and
+the Sec. 5 experimental setup: the Xeon Phi 7210 delivers "approximately
+4.5 TFLOPS of single precision floating point" and "approximately 400
+GBytes/s" from MCDRAM; the Titan X Pascal "approximately 11 TFLOPS for
+FP32".  The paper's compute-to-memory capability ratio of 45
+(Sec. 4.3.2) falls out of these numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Parameters of a (simulated) processor.
+
+    The CPU fields model one KNL-style core unless noted; GPU comparators
+    only use the aggregate ``peak_flops``/``mem_bandwidth`` roofline
+    fields (``cores = 0`` marks a roofline-only device).
+    """
+
+    name: str
+    cores: int
+    frequency_hz: float
+    #: Single-precision floats per vector register (S). 16 for AVX-512.
+    vector_width: int
+    #: Vector pipelines per core, each retiring one FMA per cycle.
+    vpus_per_core: int
+    #: Cycles before an FMA result can feed a dependent instruction.
+    fma_latency: int
+    #: Architectural vector registers (32 for AVX-512).
+    vector_registers: int
+    #: Memory operations (load or store) issued per cycle per core.
+    mem_ops_per_cycle: int
+    #: Instructions decoded/issued per cycle per core (KNL: two-wide).
+    issue_width: int
+    #: L1 data cache per core, bytes.
+    l1_bytes: int
+    l1_assoc: int
+    #: L1 hit latency in cycles.
+    l1_latency: int
+    #: L2 cache shared by a core pair, bytes (per pair).
+    l2_bytes: int
+    l2_assoc: int
+    #: L2 hit latency in cycles.
+    l2_latency: int
+    #: Main-memory (MCDRAM/DDR/GDDR) latency in cycles.
+    mem_latency: int
+    line_bytes: int
+    #: Aggregate main-memory bandwidth, bytes/s.
+    mem_bandwidth: float
+    #: Data-TLB entries and page size for the TLB model.
+    tlb_entries: int
+    page_bytes: int
+    #: Maximal hardware threads per core.
+    max_threads_per_core: int
+    #: Peak FP32 throughput, FLOP/s (aggregate).
+    peak_flops: float
+
+    # ------------------------------------------------------------------
+    @property
+    def flops_per_cycle_per_core(self) -> int:
+        """FMA counts as 2 FLOPs: ``2 * vpus * S`` (64 on KNL)."""
+        return 2 * self.vpus_per_core * self.vector_width
+
+    @property
+    def compute_to_memory_capability(self) -> float:
+        """FLOPs per float of bandwidth -- the paper's 45 for KNL 7210."""
+        floats_per_s = self.mem_bandwidth / 4.0
+        return self.peak_flops / floats_per_s
+
+    def l2_bytes_per_thread(self, threads_per_core: int = 1) -> int:
+        """L2 share of one thread (the 1 MB L2 serves a core pair)."""
+        if threads_per_core < 1:
+            raise ValueError("threads_per_core must be >= 1")
+        return self.l2_bytes // (2 * threads_per_core)
+
+    def with_cores(self, cores: int) -> "MachineSpec":
+        """A scaled copy (peak FLOPs scales with the core count)."""
+        if cores < 1:
+            raise ValueError(f"cores must be >= 1, got {cores}")
+        scale = cores / self.cores
+        return replace(self, name=f"{self.name}@{cores}c", cores=cores,
+                       peak_flops=self.peak_flops * scale)
+
+
+#: Intel Xeon Phi 7210 (Knights Landing), the paper's evaluation CPU.
+#: 64 cores; the 1.1 GHz figure is the all-core AVX-512 frequency that
+#: yields the paper's ~4.5 TFLOPS: 64 cores * 64 FLOP/cycle * 1.1 GHz.
+KNL_7210 = MachineSpec(
+    name="Xeon Phi 7210",
+    cores=64,
+    frequency_hz=1.1e9,
+    vector_width=16,
+    vpus_per_core=2,
+    fma_latency=6,
+    vector_registers=32,
+    mem_ops_per_cycle=2,
+    issue_width=2,
+    l1_bytes=32 * 1024,
+    l1_assoc=8,
+    l1_latency=4,
+    l2_bytes=1024 * 1024,
+    l2_assoc=16,
+    l2_latency=17,
+    mem_latency=170,
+    line_bytes=64,
+    mem_bandwidth=400e9,  # MCDRAM in flat mode
+    tlb_entries=64,
+    page_bytes=4096,
+    max_threads_per_core=4,
+    peak_flops=64 * 64 * 1.1e9,  # ~4.5 TFLOPS
+)
+
+#: Nvidia Titan X Pascal -- roofline-only comparator for the cuDNN rows.
+TITAN_X_PASCAL = MachineSpec(
+    name="Titan X Pascal",
+    cores=0,
+    frequency_hz=1.417e9,
+    vector_width=32,
+    vpus_per_core=0,
+    fma_latency=6,
+    vector_registers=255,
+    mem_ops_per_cycle=0,
+    issue_width=0,
+    l1_bytes=48 * 1024,
+    l1_assoc=8,
+    l1_latency=4,
+    l2_bytes=3 * 1024 * 1024,
+    l2_assoc=16,
+    l2_latency=100,
+    mem_latency=400,
+    line_bytes=128,
+    mem_bandwidth=480e9,  # GDDR5X
+    tlb_entries=0,
+    page_bytes=4096,
+    max_threads_per_core=1,
+    peak_flops=11e12,
+)
+
+#: A generic AVX2 server CPU (S = 8).  The paper's conclusion notes the
+#: method "can be easily extended to support AVX2" by swapping the GEMM
+#: microkernels; this spec exercises that path end to end.
+GENERIC_AVX2 = MachineSpec(
+    name="Generic AVX2",
+    cores=16,
+    frequency_hz=2.4e9,
+    vector_width=8,
+    vpus_per_core=2,
+    fma_latency=5,
+    vector_registers=16,
+    mem_ops_per_cycle=2,
+    issue_width=4,
+    l1_bytes=32 * 1024,
+    l1_assoc=8,
+    l1_latency=4,
+    l2_bytes=512 * 1024,
+    l2_assoc=8,
+    l2_latency=12,
+    mem_latency=200,
+    line_bytes=64,
+    mem_bandwidth=80e9,
+    tlb_entries=64,
+    page_bytes=4096,
+    max_threads_per_core=2,
+    peak_flops=16 * 32 * 2.4e9,
+)
+
+#: Intel Xeon E7-8890 v3 (18-core Haswell) -- the Budden et al. CPU.
+#: The paper states its peak FLOPS is "roughly 1/3 of the KNL processor".
+XEON_E7_8890 = MachineSpec(
+    name="Xeon E7-8890 v3",
+    cores=18,
+    frequency_hz=2.2e9,
+    vector_width=8,  # AVX2
+    vpus_per_core=2,
+    fma_latency=5,
+    vector_registers=16,
+    mem_ops_per_cycle=2,
+    issue_width=4,
+    l1_bytes=32 * 1024,
+    l1_assoc=8,
+    l1_latency=4,
+    l2_bytes=256 * 1024,
+    l2_assoc=8,
+    l2_latency=12,
+    mem_latency=230,
+    line_bytes=64,
+    mem_bandwidth=102e9,
+    tlb_entries=64,
+    page_bytes=4096,
+    max_threads_per_core=2,
+    peak_flops=18 * 32 * 2.2e9 * 1.18,  # ~1.5 TFLOPS (1/3 of KNL)
+)

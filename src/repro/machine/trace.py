@@ -1,0 +1,71 @@
+"""Instruction-trace containers for the pipeline simulator.
+
+The JIT GEMM microkernel (Sec. 4.3.1, Fig. 4) emits one of these traces;
+the pipeline simulator in :mod:`repro.machine.vector` executes it to count
+cycles.  Traces are register-level: each instruction names the abstract
+registers it reads/writes, plus an optional memory operand class that
+determines its load latency (L1 / L2 / memory / prefetched).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class InstrKind(Enum):
+    """Instruction classes modelled by the pipeline simulator."""
+
+    FMA = "fma"              # vector FMA (occupies one VPU slot)
+    LOAD = "load"            # vector load into a register
+    STORE = "store"          # vector store
+    STREAM_STORE = "nt_store"  # non-temporal (streaming) store
+    PREFETCH = "prefetch"    # software prefetch (memory slot, no dest dep)
+
+
+class MemLevel(Enum):
+    """Where a load's data resides -- decides its latency."""
+
+    L1 = "l1"
+    L2 = "l2"
+    MEM = "mem"
+
+
+@dataclass(frozen=True)
+class Instr:
+    """One abstract instruction.
+
+    ``dst`` and ``srcs`` are register names; dependency tracking is by
+    name.  ``level`` applies to LOAD (data residence) -- stores and
+    prefetches never stall the pipeline in this model (KNL's store buffers
+    and the prefetcher hide them), they only consume issue/memory slots.
+    """
+
+    kind: InstrKind
+    dst: str | None = None
+    srcs: tuple[str, ...] = ()
+    level: MemLevel = MemLevel.L1
+
+    def __post_init__(self) -> None:
+        if self.kind in (InstrKind.FMA, InstrKind.LOAD) and self.dst is None:
+            raise ValueError(f"{self.kind.value} requires a destination register")
+        if self.kind == InstrKind.FMA and not self.srcs:
+            raise ValueError("fma requires source registers")
+
+
+def fma(dst: str, *srcs: str) -> Instr:
+    """Convenience constructor: ``dst += f(srcs)`` vector FMA."""
+    return Instr(InstrKind.FMA, dst=dst, srcs=(dst,) + srcs)
+
+
+def load(dst: str, level: MemLevel = MemLevel.L1) -> Instr:
+    return Instr(InstrKind.LOAD, dst=dst, level=level)
+
+
+def store(src: str, streaming: bool = False) -> Instr:
+    kind = InstrKind.STREAM_STORE if streaming else InstrKind.STORE
+    return Instr(kind, srcs=(src,))
+
+
+def prefetch() -> Instr:
+    return Instr(InstrKind.PREFETCH)

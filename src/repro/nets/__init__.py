@@ -1,0 +1,16 @@
+"""ConvNet layer specifications, initializers and reference convolution."""
+
+from repro.nets.initializers import pretrained_like_kernels, uniform_images, xavier_kernels
+from repro.nets.layers import ConvLayerSpec, TABLE2_LAYERS, layers_for_network
+from repro.nets.reference import direct_convolution, reference_convolution
+
+__all__ = [
+    "ConvLayerSpec",
+    "TABLE2_LAYERS",
+    "layers_for_network",
+    "direct_convolution",
+    "reference_convolution",
+    "xavier_kernels",
+    "pretrained_like_kernels",
+    "uniform_images",
+]

@@ -1,0 +1,116 @@
+"""Numerical-accuracy measurement (paper Sec. 5.3, Table 3).
+
+Measures the maximal and average absolute element error of float32
+convolutions against a ``long double`` direct-convolution ground truth:
+
+* inputs drawn from U[-0.1, 0.1] (the paper's setup),
+* *training* kernels: Xavier initialization,
+* *inference* kernels: pre-trained-like synthetic kernels (see
+  :mod:`repro.nets.initializers` and DESIGN.md for the substitution),
+* one row per F(m, r), plus a float32 *direct* row as the baseline.
+
+The error statistic depends on the number of accumulated terms (C and
+the kernel volume) and on the transform's conditioning -- not on the
+image extent or batch size -- so laptop-scale surrogates use the full
+channel structure with a reduced spatial extent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.convolution import winograd_convolution
+from repro.core.fmr import FmrSpec
+from repro.nets.initializers import pretrained_like_kernels, uniform_images, xavier_kernels
+from repro.nets.layers import ConvLayerSpec
+from repro.nets.reference import direct_convolution, reference_convolution
+from repro.util.errors import ErrorStats, element_errors
+
+
+@dataclass(frozen=True)
+class AccuracyRow:
+    """One cell group of Table 3."""
+
+    algorithm: str  # "direct" or an F(m,r) string
+    mode: str  # "train" or "infer"
+    stats: ErrorStats
+
+
+def measure_accuracy(
+    layer: ConvLayerSpec,
+    fmr_specs: list[FmrSpec],
+    mode: str,
+    seed: int = 0,
+) -> list[AccuracyRow]:
+    """Measure Table-3 errors for one layer configuration.
+
+    Returns one row for float32 direct convolution plus one per spec, all
+    against the shared ``np.longdouble`` ground truth.
+    """
+    if mode not in ("train", "infer"):
+        raise ValueError(f"mode must be 'train' or 'infer', got {mode!r}")
+    rng = np.random.default_rng(seed)
+    images = uniform_images(layer, rng)
+    if mode == "train":
+        kernels = xavier_kernels(layer, rng)
+    else:
+        kernels = pretrained_like_kernels(layer, rng)
+
+    reference = reference_convolution(images, kernels, padding=layer.padding)
+
+    rows = [
+        AccuracyRow(
+            algorithm="direct",
+            mode=mode,
+            stats=element_errors(
+                direct_convolution(images, kernels, padding=layer.padding),
+                reference,
+            ),
+        )
+    ]
+    for spec in fmr_specs:
+        if spec.r != layer.kernel:
+            raise ValueError(f"{spec} does not match layer kernel {layer.kernel}")
+        out = winograd_convolution(
+            images, kernels, spec, padding=layer.padding, dtype=np.float32
+        )
+        rows.append(
+            AccuracyRow(
+                algorithm=str(spec), mode=mode, stats=element_errors(out, reference)
+            )
+        )
+    return rows
+
+
+#: The Table 3 F(m, r) columns.
+VGG_SPECS = [
+    FmrSpec.uniform(2, 2, 3),
+    FmrSpec.uniform(2, 4, 3),
+    FmrSpec.uniform(2, 6, 3),
+    FmrSpec(m=(6, 8), r=(3, 3)),
+    FmrSpec.uniform(2, 8, 3),
+]
+
+C3D_SPECS = [
+    FmrSpec.uniform(3, 2, 3),
+    FmrSpec.uniform(3, 4, 3),
+    FmrSpec(m=(4, 6, 6), r=(3, 3, 3)),
+    FmrSpec.uniform(3, 6, 3),
+    FmrSpec(m=(8, 6, 6), r=(3, 3, 3)),
+]
+
+#: Laptop-scale surrogate layers: full channel structure (the error is a
+#: function of the accumulation length C * prod(r) and the transform
+#: conditioning), reduced spatial extent (the error does not depend on
+#: it; 24 is divisible by every benchmarked m).
+VGG_ACCURACY_SURROGATE = ConvLayerSpec(
+    network="VGG", name="acc", batch=1, c_in=128, c_out=128,
+    image=(26, 26), padding=(0, 0), kernel=(3, 3),
+)
+
+C3D_ACCURACY_SURROGATE = ConvLayerSpec(
+    network="C3D", name="acc", batch=1, c_in=64, c_out=64,
+    image=(14, 14, 14), padding=(0, 0, 0), kernel=(3, 3, 3),
+)

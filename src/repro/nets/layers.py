@@ -1,0 +1,155 @@
+"""Benchmarked convolutional layers (paper Table 2).
+
+The evaluation covers the most computationally expensive layers of four
+representative ConvNets: VGG (2D detection), FusionNet (2D segmentation),
+C3D (3D spatiotemporal features) and 3D U-Net (3D segmentation).  Each
+:class:`ConvLayerSpec` records batch size, channels, image size, padding
+and kernel size exactly as printed in Table 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from math import prod
+
+from repro.core.fmr import FmrSpec
+
+
+@dataclass(frozen=True)
+class ConvLayerSpec:
+    """One row of paper Table 2."""
+
+    network: str
+    name: str
+    batch: int
+    c_in: int
+    c_out: int
+    image: tuple[int, ...]
+    padding: tuple[int, ...]
+    kernel: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not (len(self.image) == len(self.padding) == len(self.kernel)):
+            raise ValueError(
+                f"{self.network} {self.name}: rank mismatch between image "
+                f"{self.image}, padding {self.padding}, kernel {self.kernel}"
+            )
+        if self.batch < 1 or self.c_in < 1 or self.c_out < 1:
+            raise ValueError(f"{self.network} {self.name}: sizes must be positive")
+
+    @property
+    def ndim(self) -> int:
+        return len(self.image)
+
+    @property
+    def label(self) -> str:
+        return f"{self.network}-{self.name}"
+
+    @property
+    def output_image(self) -> tuple[int, ...]:
+        """Valid-mode output extent with the layer's padding."""
+        return tuple(
+            i + 2 * p - r + 1 for i, p, r in zip(self.image, self.padding, self.kernel)
+        )
+
+    @property
+    def output_voxels(self) -> int:
+        """Total output elements per layer invocation (for MVox/s rates)."""
+        return self.batch * self.c_out * prod(self.output_image)
+
+    def direct_flops(self) -> int:
+        """FLOPs of a direct convolution (2 per multiply-accumulate)."""
+        return 2 * self.batch * self.c_in * self.c_out * prod(self.output_image) * prod(
+            self.kernel
+        )
+
+    def fmr(self, m: tuple[int, ...] | int) -> FmrSpec:
+        """Build an ``F(m, r)`` spec with this layer's kernel size."""
+        if isinstance(m, int):
+            m = (m,) * self.ndim
+        return FmrSpec(m=tuple(m), r=self.kernel)
+
+    def scaled(self, *, batch: int | None = None, channels_divisor: int = 1,
+               image_divisor: int = 1) -> "ConvLayerSpec":
+        """A reduced-size surrogate of this layer for laptop-scale runs.
+
+        Scales channels and spatial extents down while preserving the
+        layer's structure (ranks, padding, kernel).  Used by the test
+        suite and the real-execution side of the benchmarks; the simulated
+        machine model always uses the full-size spec.
+        """
+        if channels_divisor < 1 or image_divisor < 1:
+            raise ValueError("divisors must be >= 1")
+        new_image = tuple(max(i // image_divisor, k) for i, k in zip(self.image, self.kernel))
+        return replace(
+            self,
+            batch=batch if batch is not None else self.batch,
+            c_in=max(self.c_in // channels_divisor, 1),
+            c_out=max(self.c_out // channels_divisor, 1),
+            image=new_image,
+        )
+
+
+def _vgg(name: str, c: int, size: int) -> ConvLayerSpec:
+    return ConvLayerSpec(
+        network="VGG", name=name, batch=64, c_in=c, c_out=c,
+        image=(size, size), padding=(1, 1), kernel=(3, 3),
+    )
+
+
+def _fusionnet(name: str, c: int, size: int) -> ConvLayerSpec:
+    return ConvLayerSpec(
+        network="FusionNet", name=name, batch=1, c_in=c, c_out=c,
+        image=(size, size), padding=(0, 0), kernel=(3, 3),
+    )
+
+
+#: All sixteen rows of paper Table 2, in order.
+TABLE2_LAYERS: tuple[ConvLayerSpec, ...] = (
+    _vgg("1.2", 64, 224),
+    _vgg("2.2", 128, 112),
+    _vgg("3.2", 256, 56),
+    _vgg("4.2", 512, 28),
+    _vgg("5.2", 512, 14),
+    _fusionnet("1.2", 64, 640),
+    _fusionnet("2.2", 128, 320),
+    _fusionnet("3.2", 256, 160),
+    _fusionnet("4.2", 512, 80),
+    _fusionnet("5.2", 1024, 40),
+    ConvLayerSpec("C3D", "C2a", 32, 64, 128, (16, 56, 56), (1, 1, 1), (3, 3, 3)),
+    ConvLayerSpec("C3D", "C3b", 32, 256, 256, (8, 28, 28), (1, 1, 1), (3, 3, 3)),
+    ConvLayerSpec("C3D", "C4b", 32, 512, 512, (4, 14, 14), (1, 1, 1), (3, 3, 3)),
+    ConvLayerSpec("3DUNet", "1.2", 1, 32, 64, (114, 130, 130), (0, 0, 0), (3, 3, 3)),
+    ConvLayerSpec("3DUNet", "2.2", 1, 64, 128, (54, 62, 62), (0, 0, 0), (3, 3, 3)),
+    ConvLayerSpec("3DUNet", "3.2", 1, 128, 256, (26, 30, 30), (0, 0, 0), (3, 3, 3)),
+)
+
+
+def layers_for_network(network: str) -> tuple[ConvLayerSpec, ...]:
+    """All Table-2 layers of one network (``"VGG"``, ``"FusionNet"``, ...)."""
+    layers = tuple(l for l in TABLE2_LAYERS if l.network == network)
+    if not layers:
+        known = sorted({l.network for l in TABLE2_LAYERS})
+        raise KeyError(f"unknown network {network!r}; known: {known}")
+    return layers
+
+
+def get_layer(network: str, name: str) -> ConvLayerSpec:
+    """Look up one Table-2 row by network and layer name."""
+    for layer in layers_for_network(network):
+        if layer.name == name:
+            return layer
+    raise KeyError(f"no layer {name!r} in network {network!r}")
+
+
+#: The Budden et al. comparison network (paper Sec. 5.1): three layers with
+#: 32 channels each and the "unusual" 4x4 kernel size; image extent is not
+#: given in the paper, so a 256x256 extent is used to make the throughput
+#: number tile-count dominated, as in their manuscript's setting.
+BUDDEN_NET: tuple[ConvLayerSpec, ...] = tuple(
+    ConvLayerSpec(
+        network="BuddenNet", name=f"{i+1}", batch=1, c_in=32, c_out=32,
+        image=(256, 256), padding=(0, 0), kernel=(4, 4),
+    )
+    for i in range(3)
+)

@@ -1,0 +1,234 @@
+"""Whole-network composition: ConvNets built from Winograd layers.
+
+The paper benchmarks individual layers (Table 2) but motivates the work
+with whole ConvNets -- "the output of one layer is the input to the next
+layer thus no data reshuffling between layers is necessary" (Sec. 4.1).
+This module provides that network view:
+
+* :class:`SequentialConvNet` -- a stack of convolution layers with ReLU
+  and pooling, executing real forward passes through per-layer
+  :class:`WinogradPlan` objects (kernel transforms memoized across
+  calls, the FX mode),
+* per-network builders for scaled-down versions of the paper's four
+  evaluation networks,
+* :func:`network_model_time` -- the simulated whole-network runtime on
+  a machine spec (sums autotuned per-layer costs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from math import prod
+
+import numpy as np
+
+from repro.core.autotune import autotune_layer
+from repro.core.convolution import TransformedKernels, WinogradPlan
+from repro.core.fmr import FmrSpec
+from repro.machine.cost import WinogradCostModel
+from repro.machine.spec import MachineSpec
+from repro.nets.layers import ConvLayerSpec
+from repro.util.wisdom import Wisdom
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    """Rectified linear activation (in the compute dtype)."""
+    return np.maximum(x, 0.0)
+
+
+def max_pool(x: np.ndarray, window: int = 2) -> np.ndarray:
+    """Non-overlapping spatial max pooling on a ``(B, C, *spatial)`` batch.
+
+    Trailing elements that do not fill a window are dropped (the
+    convention of the evaluation networks).
+    """
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    ndim = x.ndim - 2
+    spatial = x.shape[2:]
+    trimmed = tuple((s // window) * window for s in spatial)
+    crop = (slice(None), slice(None)) + tuple(slice(0, t) for t in trimmed)
+    x = x[crop]
+    shape = x.shape[:2]
+    for t in trimmed:
+        shape += (t // window, window)
+    # Interleave (n_i, window) pairs then reduce over the window axes.
+    view = x.reshape(shape)
+    axes = tuple(3 + 2 * d for d in range(ndim))
+    return view.max(axis=axes)
+
+
+@dataclass
+class ConvLayer:
+    """One convolution + optional activation/pooling step."""
+
+    spec: ConvLayerSpec
+    fmr: FmrSpec
+    activation: bool = True
+    pool: int = 1  # pooling window; 1 = none
+
+    plan: WinogradPlan = field(init=False)
+    _weights: np.ndarray | None = field(init=False, default=None)
+    _transformed: TransformedKernels | None = field(init=False, default=None)
+
+    def __post_init__(self) -> None:
+        self.plan = WinogradPlan(
+            spec=self.fmr,
+            input_shape=(self.spec.batch, self.spec.c_in) + self.spec.image,
+            c_out=self.spec.c_out,
+            padding=self.spec.padding,
+            dtype=np.float32,
+        )
+
+    def set_weights(self, weights: np.ndarray) -> None:
+        expected = (self.spec.c_in, self.spec.c_out) + self.spec.kernel
+        if tuple(weights.shape) != expected:
+            raise ValueError(f"weights shape {weights.shape} != {expected}")
+        self._weights = weights.astype(np.float32)
+        self._transformed = self.plan.transform_kernels(self._weights)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if self._transformed is None:
+            raise RuntimeError(f"layer {self.spec.label}: weights not set")
+        out = self.plan.execute(x, self._transformed)
+        if self.activation:
+            out = relu(out)
+        if self.pool > 1:
+            out = max_pool(out, self.pool)
+        return out
+
+    @property
+    def output_shape(self) -> tuple[int, ...]:
+        shape = self.plan.output_batch_shape
+        if self.pool > 1:
+            shape = shape[:2] + tuple(s // self.pool for s in shape[2:])
+        return shape
+
+
+class SequentialConvNet:
+    """A chain of :class:`ConvLayer` steps with shape checking."""
+
+    def __init__(self, layers: list[ConvLayer], name: str = "net"):
+        if not layers:
+            raise ValueError("network needs at least one layer")
+        self.name = name
+        self.layers = layers
+        for prev, nxt in zip(layers, layers[1:]):
+            if prev.output_shape != tuple(
+                (nxt.spec.batch, nxt.spec.c_in) + nxt.spec.image
+            ):
+                raise ValueError(
+                    f"{name}: layer {prev.spec.label} output {prev.output_shape} "
+                    f"does not feed layer {nxt.spec.label} input "
+                    f"{(nxt.spec.batch, nxt.spec.c_in) + nxt.spec.image}"
+                )
+
+    def initialize(self, rng: np.random.Generator, scale: float = 0.05) -> None:
+        """Random weights for every layer (scaled normal)."""
+        for layer in self.layers:
+            w = rng.normal(
+                size=(layer.spec.c_in, layer.spec.c_out) + layer.spec.kernel
+            ).astype(np.float32) * scale
+            layer.set_weights(w)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x)
+        return x
+
+    @property
+    def input_shape(self) -> tuple[int, ...]:
+        first = self.layers[0].spec
+        return (first.batch, first.c_in) + first.image
+
+    def total_direct_flops(self) -> int:
+        return sum(l.spec.direct_flops() for l in self.layers)
+
+
+# ----------------------------------------------------------------------
+# Scaled builders for the paper's four evaluation networks.
+# ----------------------------------------------------------------------
+def _stack(
+    name: str, ndim: int, batch: int, stages: list[tuple[int, int, int]],
+    padding: int, m: int, pool: int,
+) -> SequentialConvNet:
+    """Build a downsampling stack: stages are (c_in, c_out, image_size)."""
+    layers = []
+    for i, (c_in, c_out, size) in enumerate(stages):
+        spec = ConvLayerSpec(
+            network=name, name=f"{i + 1}", batch=batch, c_in=c_in, c_out=c_out,
+            image=(size,) * ndim, padding=(padding,) * ndim,
+            kernel=(3,) * ndim,
+        )
+        last = i == len(stages) - 1
+        layers.append(
+            ConvLayer(
+                spec=spec, fmr=FmrSpec.uniform(ndim, m, 3),
+                activation=True, pool=1 if last else pool,
+            )
+        )
+    return SequentialConvNet(layers, name=name)
+
+
+def scaled_vgg(batch: int = 1) -> SequentialConvNet:
+    """VGG-style 2D detection stack (channels double, images halve)."""
+    return _stack(
+        "VGG-s", ndim=2, batch=batch,
+        stages=[(16, 32, 32), (32, 64, 16), (64, 64, 8)],
+        padding=1, m=4, pool=2,
+    )
+
+
+def scaled_fusionnet(batch: int = 1) -> SequentialConvNet:
+    """FusionNet-style 2D segmentation stack (B=1, large images)."""
+    return _stack(
+        "FusionNet-s", ndim=2, batch=batch,
+        stages=[(16, 16, 48), (16, 32, 23)],
+        padding=0, m=2, pool=2,
+    )
+
+
+def scaled_c3d(batch: int = 1) -> SequentialConvNet:
+    """C3D-style 3D spatiotemporal stack."""
+    return _stack(
+        "C3D-s", ndim=3, batch=batch,
+        stages=[(16, 16, 12), (16, 32, 6)],
+        padding=1, m=2, pool=2,
+    )
+
+
+def scaled_unet3d_encoder(batch: int = 1) -> SequentialConvNet:
+    """3D U-Net-style encoder path (valid convolutions)."""
+    return _stack(
+        "3DUNet-s", ndim=3, batch=batch,
+        stages=[(16, 16, 14), (16, 32, 6)],
+        padding=0, m=2, pool=2,
+    )
+
+
+# ----------------------------------------------------------------------
+def network_model_time(
+    layers: list[tuple[ConvLayerSpec, FmrSpec]],
+    machine: MachineSpec,
+    *,
+    wisdom: Wisdom | None = None,
+    inference_only: bool = True,
+) -> float:
+    """Simulated whole-network time: sum of autotuned per-layer costs.
+
+    The auxiliary transform buffers are reused across layers (Sec. 4.4),
+    so the network cost is simply the sum of the layer costs plus no
+    inter-layer reshuffling (the layout contract).
+    """
+    total = 0.0
+    wisdom = wisdom if wisdom is not None else Wisdom()
+    for spec, fmr in layers:
+        tune = autotune_layer(
+            spec, fmr, machine, wisdom=wisdom,
+            transform_kernels=not inference_only,
+        )
+        model = WinogradCostModel(machine, threads_per_core=tune.threads_per_core)
+        total += model.layer_cost(
+            spec, fmr, tune.blocking, transform_kernels=not inference_only
+        ).seconds
+    return total

@@ -1,0 +1,25 @@
+"""Shared utilities: alignment checks, error metrics, wisdom persistence."""
+
+from repro.util.alignment import (
+    VECTOR_WIDTH_AVX2,
+    VECTOR_WIDTH_AVX512,
+    check_channel_divisibility,
+    round_up,
+)
+from repro.util.errors import ErrorStats, element_errors
+from repro.util.reporting import bar_chart, format_table, write_csv
+from repro.util.wisdom import Wisdom, WisdomEntry
+
+__all__ = [
+    "VECTOR_WIDTH_AVX2",
+    "VECTOR_WIDTH_AVX512",
+    "check_channel_divisibility",
+    "round_up",
+    "ErrorStats",
+    "element_errors",
+    "bar_chart",
+    "format_table",
+    "write_csv",
+    "Wisdom",
+    "WisdomEntry",
+]

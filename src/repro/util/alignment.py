@@ -1,0 +1,49 @@
+"""Vector-width and alignment helpers.
+
+The paper's data layouts (Sec. 4.1) assume 64-byte aligned storage and a
+vector width ``S`` equal to the number of single-precision floats per
+vector register: 16 for AVX-512 (the Xeon Phi target) and 8 for AVX2 (the
+extension discussed in the paper's conclusion).  All blocked layouts pack
+``S`` adjacent channels into the fastest-varying axis so that every memory
+operation is one aligned vector load or store.
+"""
+
+from __future__ import annotations
+
+VECTOR_WIDTH_AVX512 = 16
+VECTOR_WIDTH_AVX2 = 8
+
+#: Cache-line size assumed throughout (bytes); one AVX-512 register.
+CACHE_LINE_BYTES = 64
+
+
+def round_up(value: int, multiple: int) -> int:
+    """Round ``value`` up to the nearest multiple of ``multiple``.
+
+    >>> round_up(17, 16)
+    32
+    >>> round_up(32, 16)
+    32
+    """
+    if multiple <= 0:
+        raise ValueError(f"multiple must be positive, got {multiple}")
+    if value < 0:
+        raise ValueError(f"value must be non-negative, got {value}")
+    return ((value + multiple - 1) // multiple) * multiple
+
+
+def check_channel_divisibility(channels: int, simd_width: int, *, what: str = "channels") -> None:
+    """Validate the paper's divisibility assumption (Sec. 4.1).
+
+    The fast path assumes the number of input and output channels is
+    divisible by ``S``; this holds for all ConvNets in the evaluation
+    (Table 2).  Raises ``ValueError`` otherwise so callers can fall back to
+    the padded path explicitly.
+    """
+    if channels <= 0:
+        raise ValueError(f"{what} must be positive, got {channels}")
+    if channels % simd_width != 0:
+        raise ValueError(
+            f"{what}={channels} is not divisible by the SIMD width S={simd_width}; "
+            f"pad to {round_up(channels, simd_width)} or use the padded layout"
+        )

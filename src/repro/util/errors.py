@@ -1,0 +1,48 @@
+"""Error metrics used in the accuracy evaluation (paper Table 3).
+
+The paper reports, per convolutional layer, the *maximal* and *average*
+absolute element error of the float32 computation against a ground truth
+estimated with a direct convolution in extended precision ("long
+doubles").  We reproduce exactly that metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ErrorStats:
+    """Maximal and average absolute element error of a computed tensor."""
+
+    max_error: float
+    avg_error: float
+    n_elements: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"max={self.max_error:.2E} avg={self.avg_error:.2E}"
+
+
+def element_errors(computed: np.ndarray, reference: np.ndarray) -> ErrorStats:
+    """Compute Table-3 style error statistics.
+
+    ``reference`` is typically the ``np.longdouble`` direct convolution;
+    ``computed`` is any float32 implementation's output.  Both are compared
+    in extended precision.
+
+    Raises ``ValueError`` on shape mismatch — a shape mismatch means the
+    implementations disagree about the output geometry, which is a bug and
+    must never be silently truncated.
+    """
+    if computed.shape != reference.shape:
+        raise ValueError(
+            f"shape mismatch: computed {computed.shape} vs reference {reference.shape}"
+        )
+    diff = np.abs(computed.astype(np.longdouble) - reference.astype(np.longdouble))
+    return ErrorStats(
+        max_error=float(diff.max()),
+        avg_error=float(diff.mean()),
+        n_elements=int(diff.size),
+    )

@@ -1,0 +1,72 @@
+"""Tabular report formatting shared by the CLI and the benchmark harness.
+
+The paper's artifact emits CSV files plus ASCII tables (and an R script
+for the figure); this module is the equivalent reporting layer: fixed
+width ASCII tables, CSV writing, and a dependency-free horizontal bar
+chart for quick visual comparison in a terminal.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Right-aligned fixed-width ASCII table."""
+    cols = [
+        max(len(str(h)), *(len(str(r[i])) for r in rows)) if rows else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+
+    def fmt(row):
+        return "  ".join(str(c).rjust(w) for c, w in zip(row, cols))
+
+    sep = "-" * (sum(cols) + 2 * (len(cols) - 1))
+    return "\n".join([fmt(headers), sep] + [fmt(r) for r in rows])
+
+
+def write_csv(path: str | Path, headers: Sequence[str], rows: Sequence[Sequence]) -> None:
+    """Write a CSV, double-quoting cells that contain commas/quotes."""
+    path = Path(path)
+
+    def cell(c) -> str:
+        s = str(c)
+        if "," in s or '"' in s:
+            return '"' + s.replace('"', '""') + '"'
+        return s
+
+    lines = [",".join(cell(h) for h in headers)]
+    lines += [",".join(cell(c) for c in r) for r in rows]
+    path.write_text("\n".join(lines) + "\n")
+
+
+def bar_chart(
+    labels: Sequence[str], values: Sequence[float], *, width: int = 50,
+    unit: str = "",
+) -> str:
+    """Horizontal ASCII bar chart (the artifact's R plot, terminal style).
+
+    >>> print(bar_chart(["a", "b"], [1.0, 2.0], width=4))
+    a  1.0  ##
+    b  2.0  ####
+    """
+    if len(labels) != len(values):
+        raise ValueError(
+            f"{len(labels)} labels but {len(values)} values"
+        )
+    if not values:
+        return ""
+    peak = max(values)
+    if peak <= 0:
+        raise ValueError("bar chart needs at least one positive value")
+    label_w = max(len(str(l)) for l in labels)
+    val_strs = [f"{v:.1f}" for v in values]
+    val_w = max(len(s) for s in val_strs)
+    lines = []
+    for label, v, vs in zip(labels, values, val_strs):
+        bar = "#" * max(1, round(width * v / peak)) if v > 0 else ""
+        lines.append(
+            f"{str(label).ljust(label_w)}  {vs.rjust(val_w)}{unit}  {bar}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,110 @@
+"""FFTW-style "wisdom" persistence for tuned execution parameters.
+
+Sec. 4.3.2: *"we take the strategy of FFTW and determine the values of
+n_blk, C_blk and C'_blk as well as how many threads to use per core
+empirically for each particular layer shape.  Determining optimal values
+of the parameters takes a relatively small amount of time and allows for
+saving the optimal parameters in a wisdom file."*
+
+A wisdom file is a JSON mapping from a canonical layer-shape key to the
+chosen :class:`WisdomEntry`.  Corrupt or partially-written files are
+rejected loudly rather than silently ignored.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+
+@dataclass(frozen=True)
+class WisdomEntry:
+    """Tuned parameters for one layer shape (paper Sec. 4.3.2).
+
+    Attributes
+    ----------
+    n_blk:
+        Row-block size of the tall-skinny GEMM; ``6 <= n_blk <= 30``.
+    c_blk, cprime_blk:
+        Cache-block sizes along the input/output channel dimensions.
+        Multiples of the SIMD width with ``c_blk * cprime_blk <= 128**2``.
+    threads_per_core:
+        Hardware threads used per physical core (1, 2 or 4 on KNL).
+    predicted_time:
+        The model/benchmark time (seconds) that selected this entry.
+    """
+
+    n_blk: int
+    c_blk: int
+    cprime_blk: int
+    threads_per_core: int
+    predicted_time: float
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.threads_per_core <= 4:
+            raise ValueError(f"threads_per_core must be in [1,4], got {self.threads_per_core}")
+        if self.n_blk < 1:
+            raise ValueError(f"n_blk must be positive, got {self.n_blk}")
+        if self.c_blk < 1 or self.cprime_blk < 1:
+            raise ValueError("block sizes must be positive")
+
+
+class Wisdom:
+    """A persistent store of tuned parameters keyed by layer shape."""
+
+    FORMAT_VERSION = 1
+
+    def __init__(self) -> None:
+        self._entries: dict[str, WisdomEntry] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def get(self, key: str) -> WisdomEntry | None:
+        """Return the stored entry for ``key``, or ``None``."""
+        return self._entries.get(key)
+
+    def put(self, key: str, entry: WisdomEntry) -> None:
+        """Store (or replace) the entry for ``key``."""
+        if not key:
+            raise ValueError("wisdom key must be a non-empty string")
+        self._entries[key] = entry
+
+    def keys(self) -> list[str]:
+        return sorted(self._entries)
+
+    def save(self, path: str | Path) -> None:
+        """Write the wisdom store to ``path`` as JSON (atomic rename)."""
+        path = Path(path)
+        payload = {
+            "version": self.FORMAT_VERSION,
+            "entries": {k: asdict(v) for k, v in self._entries.items()},
+        }
+        tmp = path.with_suffix(path.suffix + ".tmp")
+        tmp.write_text(json.dumps(payload, indent=2, sort_keys=True))
+        tmp.replace(path)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Wisdom":
+        """Load wisdom from ``path``; raises ``ValueError`` on corruption."""
+        path = Path(path)
+        try:
+            payload = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"corrupt wisdom file {path}: {exc}") from exc
+        if not isinstance(payload, dict) or payload.get("version") != cls.FORMAT_VERSION:
+            raise ValueError(f"unsupported wisdom file format in {path}")
+        wisdom = cls()
+        entries = payload.get("entries", {})
+        if not isinstance(entries, dict):
+            raise ValueError(f"corrupt wisdom file {path}: 'entries' is not a mapping")
+        for key, raw in entries.items():
+            try:
+                wisdom.put(key, WisdomEntry(**raw))
+            except TypeError as exc:
+                raise ValueError(f"corrupt wisdom entry {key!r} in {path}: {exc}") from exc
+        return wisdom

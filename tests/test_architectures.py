@@ -1,0 +1,75 @@
+"""Tests for the full network architecture definitions."""
+
+import pytest
+
+from repro.nets.architectures import (
+    ARCHITECTURES,
+    benchmarked_fraction,
+    c3d,
+    fusionnet_encoder,
+    unet3d_encoder,
+    vgg_a,
+)
+from repro.nets.layers import layers_for_network
+
+
+class TestDefinitions:
+    def test_vgg_a_has_8_weighted_plus_first_block(self):
+        layers = vgg_a()
+        assert len(layers) == 10
+        assert layers[0].c_in == 3
+        assert layers[-1].c_out == 512
+
+    def test_c3d_depth(self):
+        layers = c3d()
+        assert len(layers) == 8
+        assert all(l.ndim == 3 for l in layers)
+
+    def test_all_architectures_registered(self):
+        assert set(ARCHITECTURES) == {"VGG", "FusionNet", "C3D", "3DUNet"}
+
+
+class TestTable2Membership:
+    """Every Table-2 row is a genuine layer of its full network."""
+
+    @pytest.mark.parametrize("network", ["VGG", "FusionNet", "C3D", "3DUNet"])
+    def test_benchmarked_rows_present(self, network):
+        full = {
+            (l.name, l.c_in, l.c_out, l.image): l
+            for l in ARCHITECTURES[network]()
+        }
+        for row in layers_for_network(network):
+            key = (row.name, row.c_in, row.c_out, row.image)
+            assert key in full, f"{network} {row.name} not in architecture"
+            assert full[key].padding == row.padding
+            assert full[key].kernel == row.kernel
+
+    @pytest.mark.parametrize("network", ["VGG", "FusionNet", "C3D", "3DUNet"])
+    def test_benchmarked_layers_cover_most_flops(self, network):
+        """The paper benchmarks 'the most computationally expensive
+        convolutional layers of each network' -- the Table-2 subset must
+        account for a large share of each network's direct FLOPs."""
+        frac = benchmarked_fraction(network)
+        assert frac > 0.35, (network, frac)
+
+
+class TestConsistency:
+    def test_fusionnet_blocks_chain(self):
+        layers = fusionnet_encoder()
+        for first, second in zip(layers[::2], layers[1::2]):
+            assert first.c_out == second.c_in
+            assert first.image == second.image
+
+    def test_unet_valid_convs_shrink(self):
+        layers = unet3d_encoder()
+        for l in layers:
+            assert l.padding == (0, 0, 0)
+            assert all(o == i - 2 for i, o in zip(l.image, l.output_image))
+
+    def test_all_simd_divisible(self):
+        first_names = {"1.1", "C1a"}  # first layers carry raw input channels
+        for network, builder in ARCHITECTURES.items():
+            for l in builder():
+                if l.name not in first_names:
+                    assert l.c_in % 16 == 0, (network, l.name)
+                assert l.c_out % 16 == 0, (network, l.name)

@@ -1,0 +1,201 @@
+"""Tests for baseline implementations: numerics and capability envelopes."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    BaselineCrash,
+    CudnnFft3D,
+    CudnnImplicitGemm,
+    CudnnWinograd2D,
+    Im2colBaseline,
+    FftConvBaseline,
+    OursWinograd,
+    UnsupportedLayer,
+    falcon,
+    fft_convolution,
+    im2col_convolution,
+    libxsmm_winograd,
+    mkldnn_direct,
+    mkldnn_winograd,
+    zlateski_direct,
+)
+from repro.nets.layers import ConvLayerSpec, get_layer
+from repro.nets.reference import direct_convolution
+
+
+def tiny_layer(ndim=2, c=16, cp=16, size=12, batch=1, kernel=3, pad=0):
+    return ConvLayerSpec(
+        network="T", name="t", batch=batch, c_in=c, c_out=cp,
+        image=(size,) * ndim, padding=(pad,) * ndim, kernel=(kernel,) * ndim,
+    )
+
+
+def layer_arrays(layer, seed=0):
+    rng = np.random.default_rng(seed)
+    img = rng.normal(size=(layer.batch, layer.c_in) + layer.image).astype(np.float32)
+    ker = rng.normal(size=(layer.c_in, layer.c_out) + layer.kernel).astype(np.float32)
+    return img, ker
+
+
+class TestNumericalEquivalence:
+    """Every executable implementation agrees with the reference."""
+
+    @pytest.mark.parametrize("pad", [0, 1])
+    def test_im2col(self, pad):
+        layer = tiny_layer(pad=pad)
+        img, ker = layer_arrays(layer)
+        got = Im2colBaseline().execute(img, ker, layer)
+        want = direct_convolution(
+            img.astype(np.float64), ker.astype(np.float64), padding=layer.padding
+        )
+        np.testing.assert_allclose(got, want, rtol=1e-3, atol=1e-4)
+
+    def test_im2col_3d(self):
+        layer = tiny_layer(ndim=3, size=7)
+        img, ker = layer_arrays(layer)
+        got = im2col_convolution(img, ker)
+        want = direct_convolution(img, ker)
+        np.testing.assert_allclose(got, want, rtol=1e-3, atol=1e-4)
+
+    @pytest.mark.parametrize("ndim", [1, 2, 3])
+    def test_fft(self, ndim):
+        layer = tiny_layer(ndim=ndim, size=9)
+        img, ker = layer_arrays(layer)
+        got = fft_convolution(img, ker)
+        want = direct_convolution(
+            img.astype(np.float64), ker.astype(np.float64)
+        )
+        np.testing.assert_allclose(got, want, rtol=1e-2, atol=1e-3)
+
+    def test_fft_with_padding(self):
+        layer = tiny_layer(pad=1)
+        img, ker = layer_arrays(layer)
+        got = FftConvBaseline().execute(img, ker, layer)
+        want = direct_convolution(
+            img.astype(np.float64), ker.astype(np.float64), padding=layer.padding
+        )
+        np.testing.assert_allclose(got, want, rtol=1e-2, atol=1e-3)
+
+    def test_falcon_matches_reference(self):
+        layer = tiny_layer(size=10)
+        img, ker = layer_arrays(layer)
+        got = falcon().execute(img, ker, layer)
+        want = direct_convolution(
+            img.astype(np.float64), ker.astype(np.float64), padding=layer.padding
+        )
+        np.testing.assert_allclose(got, want, rtol=1e-2, atol=1e-3)
+
+    def test_ours_matches_reference(self):
+        layer = tiny_layer(ndim=3, size=8, pad=1)
+        img, ker = layer_arrays(layer)
+        got = OursWinograd(m=2).execute(img, ker, layer)
+        want = direct_convolution(
+            img.astype(np.float64), ker.astype(np.float64), padding=layer.padding
+        )
+        np.testing.assert_allclose(got, want, rtol=1e-2, atol=1e-3)
+
+    def test_direct_baselines_execute(self):
+        layer = tiny_layer()
+        img, ker = layer_arrays(layer)
+        a = mkldnn_direct().execute(img, ker, layer)
+        b = zlateski_direct().execute(img, ker, layer)
+        np.testing.assert_allclose(a, b, rtol=1e-6)
+
+
+class TestCapabilityEnvelopes:
+    def test_vendor_winograd_2d_only(self):
+        layer3d = get_layer("C3D", "C2a")
+        for impl in (falcon(), mkldnn_winograd(), libxsmm_winograd()):
+            with pytest.raises(UnsupportedLayer, match="2D"):
+                impl.supports(layer3d)
+
+    def test_vendor_winograd_3x3_only(self):
+        layer = tiny_layer(kernel=5, size=16)
+        with pytest.raises(UnsupportedLayer, match="3x3"):
+            falcon().supports(layer)
+
+    def test_mkldnn_fusionnet_crash(self):
+        """Paper Fig. 5: MKL-DNN segfaults on 4 of 5 FusionNet layers."""
+        crashed = 0
+        for name in ("1.2", "2.2", "3.2", "4.2", "5.2"):
+            layer = get_layer("FusionNet", name)
+            try:
+                mkldnn_winograd().supports(layer)
+            except BaselineCrash:
+                crashed += 1
+        assert crashed == 4
+
+    def test_vgg_does_not_crash_mkldnn(self):
+        mkldnn_winograd().supports(get_layer("VGG", "1.2"))
+
+    def test_cudnn_winograd_2d_only(self):
+        with pytest.raises(UnsupportedLayer):
+            CudnnWinograd2D().supports(get_layer("C3D", "C2a"))
+        CudnnWinograd2D().supports(get_layer("VGG", "3.2"))
+
+    def test_cudnn_fft_3d_only(self):
+        with pytest.raises(UnsupportedLayer):
+            CudnnFft3D().supports(get_layer("VGG", "3.2"))
+
+    def test_gpu_models_not_executable(self):
+        layer = get_layer("VGG", "3.2")
+        img, ker = layer_arrays(tiny_layer())
+        with pytest.raises(NotImplementedError):
+            CudnnImplicitGemm().execute(img, ker, layer)
+
+    def test_ours_supports_everything_in_table2(self):
+        from repro.nets.layers import TABLE2_LAYERS
+
+        for layer in TABLE2_LAYERS:
+            OursWinograd(m=2).supports(layer)
+
+
+class TestPredictedTimes:
+    def test_all_positive_on_vgg(self):
+        layer = get_layer("VGG", "4.2")
+        impls = [
+            OursWinograd(m=4),
+            falcon(),
+            mkldnn_winograd(),
+            libxsmm_winograd(),
+            mkldnn_direct(),
+            zlateski_direct(),
+            CudnnWinograd2D(),
+            CudnnImplicitGemm(),
+            Im2colBaseline(),
+            FftConvBaseline(),
+        ]
+        for impl in impls:
+            assert impl.predicted_seconds(layer) > 0, impl.name
+
+    def test_ours_beats_cpu_winograd_baselines(self):
+        """The headline result: >1x over every existing CPU Winograd."""
+        layer = get_layer("VGG", "4.2")
+        ours = OursWinograd(m=4).predicted_seconds(layer)
+        for impl in (falcon(), mkldnn_winograd(), libxsmm_winograd()):
+            assert impl.predicted_seconds(layer) > ours, impl.name
+
+    def test_winograd_beats_direct_on_vgg(self):
+        layer = get_layer("VGG", "4.2")
+        ours = OursWinograd(m=4).predicted_seconds(layer)
+        assert mkldnn_direct().predicted_seconds(layer) > ours
+
+    def test_fft_loses_on_small_kernels(self):
+        """Sec. 1.1: Winograd needs fewer operations than FFT for small
+        kernels."""
+        layer = get_layer("VGG", "4.2")
+        ours = OursWinograd(m=4).predicted_seconds(layer)
+        assert FftConvBaseline().predicted_seconds(layer) > 2 * ours
+
+    def test_fx_no_slower(self):
+        layer = get_layer("FusionNet", "5.2")
+        full = OursWinograd(m=4).predicted_seconds(layer)
+        fx = OursWinograd(m=4, inference_only=True).predicted_seconds(layer)
+        assert fx <= full
+
+    def test_efficiency_validation(self):
+        from repro.baselines.direct import DirectConvBaseline
+
+        with pytest.raises(ValueError, match="efficiency"):
+            DirectConvBaseline(efficiency=0.0)

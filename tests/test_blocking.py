@@ -1,0 +1,85 @@
+"""Tests for blocking configs and the Eqn. 11 compute-to-memory model."""
+
+import pytest
+
+from repro.core.blocking import (
+    C_BLK_PRODUCT_MAX,
+    BlockingConfig,
+    candidate_blockings,
+)
+
+
+class TestValidation:
+    def test_valid(self):
+        cfg = BlockingConfig(n_blk=28, c_blk=128, cprime_blk=128)
+        assert cfg.n_blk == 28
+
+    @pytest.mark.parametrize("n_blk", [5, 31, 0])
+    def test_n_blk_range(self, n_blk):
+        with pytest.raises(ValueError, match="n_blk"):
+            BlockingConfig(n_blk=n_blk, c_blk=64, cprime_blk=64)
+
+    def test_simd_multiple(self):
+        with pytest.raises(ValueError, match="multiple"):
+            BlockingConfig(n_blk=8, c_blk=40, cprime_blk=64)
+
+    def test_c_blk_range(self):
+        """Hard floor is one SIMD vector; 512 remains the ceiling."""
+        BlockingConfig(n_blk=8, c_blk=16, cprime_blk=64)  # small-channel fallback
+        with pytest.raises(ValueError, match="outside"):
+            BlockingConfig(n_blk=8, c_blk=1024, cprime_blk=16)
+
+    def test_product_limit(self):
+        """C_blk * C'_blk <= 128^2 (L2 constraint)."""
+        with pytest.raises(ValueError, match="exceeds"):
+            BlockingConfig(n_blk=8, c_blk=256, cprime_blk=128)
+        BlockingConfig(n_blk=8, c_blk=128, cprime_blk=128)  # boundary OK
+
+
+class TestEqn11:
+    def test_paper_values(self):
+        """Sec. 4.3.2 quotes ratio 85.33 for 128x128 (beta=1) and 42.67
+        for 64x64."""
+        big = BlockingConfig(n_blk=8, c_blk=128, cprime_blk=128)
+        small = BlockingConfig(n_blk=8, c_blk=64, cprime_blk=64)
+        assert big.compute_to_memory_ratio(1) == pytest.approx(85.33, abs=0.01)
+        assert small.compute_to_memory_ratio(1) == pytest.approx(42.67, abs=0.01)
+
+    def test_beta0_higher_ratio(self):
+        cfg = BlockingConfig(n_blk=8, c_blk=128, cprime_blk=128)
+        assert cfg.compute_to_memory_ratio(0) > cfg.compute_to_memory_ratio(1)
+
+    def test_bad_beta(self):
+        with pytest.raises(ValueError, match="beta"):
+            BlockingConfig(n_blk=8, c_blk=64, cprime_blk=64).compute_to_memory_ratio(2)
+
+    def test_v_bytes(self):
+        """128x128 V needs 64 KB of L2 (Sec. 4.3.2)."""
+        cfg = BlockingConfig(n_blk=8, c_blk=128, cprime_blk=128)
+        assert cfg.v_bytes() == 64 * 1024
+
+
+class TestCandidates:
+    def test_all_valid_and_divide(self):
+        for cfg in candidate_blockings(256, 256):
+            assert 256 % cfg.c_blk == 0
+            assert 256 % cfg.cprime_blk == 0
+            assert cfg.c_blk * cfg.cprime_blk <= C_BLK_PRODUCT_MAX
+
+    def test_sorted_by_ratio(self):
+        cfgs = candidate_blockings(256, 256)
+        ratios = [c.compute_to_memory_ratio(1) for c in cfgs]
+        assert ratios == sorted(ratios, reverse=True)
+
+    def test_best_for_256_is_128x128(self):
+        best = candidate_blockings(256, 256)[0]
+        assert (best.c_blk, best.cprime_blk) == (128, 128)
+
+    def test_small_channels(self):
+        cfgs = candidate_blockings(32, 64)
+        assert cfgs
+        assert all(c.c_blk == 32 for c in cfgs)
+
+    def test_rejects_non_simd_channels(self):
+        with pytest.raises(ValueError, match="multiples"):
+            candidate_blockings(100, 64)

@@ -1,0 +1,159 @@
+"""Tests for the cache simulator and memory/TLB models."""
+
+import pytest
+
+from repro.machine.cache import CacheSim, simulate_hierarchy
+from repro.machine.memory import MemoryModel, TlbModel
+from repro.machine.spec import KNL_7210, TITAN_X_PASCAL
+
+
+def small_cache(size=1024, line=64, assoc=2):
+    return CacheSim(size_bytes=size, line_bytes=line, assoc=assoc)
+
+
+class TestCacheSim:
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            CacheSim(size_bytes=0)
+        with pytest.raises(ValueError, match="divisible"):
+            CacheSim(size_bytes=1000, line_bytes=64, assoc=2)
+
+    def test_cold_miss_then_hit(self):
+        c = small_cache()
+        assert c.access(0) is False
+        assert c.access(0) is True
+        assert c.access(63) is True  # same line
+        assert c.access(64) is False  # next line
+
+    def test_lru_eviction(self):
+        c = small_cache(size=256, line=64, assoc=2)  # 2 sets, 2 ways
+        # Three lines mapping to set 0: 0, 128, 256.
+        c.access(0)
+        c.access(128)
+        c.access(0)  # 0 is now MRU
+        c.access(256)  # evicts 128
+        assert c.contains(0)
+        assert not c.contains(128)
+        assert c.contains(256)
+
+    def test_dirty_writeback(self):
+        c = small_cache(size=256, line=64, assoc=2)
+        c.access(0, write=True)
+        c.access(128)
+        c.access(256)  # evicts dirty line 0
+        assert c.stats.writebacks == 1
+
+    def test_streaming_store_bypasses(self):
+        c = small_cache()
+        c.stream_store(0)
+        assert not c.contains(0)
+        assert c.stats.bypassed == 1
+        assert c.stats.misses == 0
+
+    def test_streaming_store_invalidates(self):
+        c = small_cache()
+        c.access(0)
+        c.stream_store(0)
+        assert not c.contains(0)
+
+    def test_streaming_preserves_working_set(self):
+        """The paper's rationale: regular stores evict useful data, NT
+        stores don't pollute (Sec. 4.2.1)."""
+        c = small_cache(size=256, line=64, assoc=2)
+        c.access(0)
+        c.access(128)
+        # Scatter a large output with regular stores -> pollution.
+        polluted = small_cache(size=256, line=64, assoc=2)
+        polluted.access(0)
+        polluted.access(128)
+        for a in range(0, 4096, 64):
+            polluted.access(100000 + a, write=True)
+        assert not (polluted.contains(0) and polluted.contains(128))
+        # Same scatter with streaming stores -> working set intact.
+        for a in range(0, 4096, 64):
+            c.stream_store(100000 + a)
+        assert c.contains(0) and c.contains(128)
+
+    def test_access_range(self):
+        c = small_cache()
+        c.access_range(0, 256)
+        assert c.stats.accesses == 4  # 4 lines
+        with pytest.raises(ValueError):
+            c.access_range(0, 0)
+
+    def test_streaming_working_set_fits(self):
+        """Sequential streaming over a big array has ~1 miss per line."""
+        c = small_cache(size=1024, line=64, assoc=4)
+        for a in range(0, 64 * 1024, 4):
+            c.access(a)
+        assert c.stats.misses == 1024  # one per line
+        assert c.stats.miss_rate == pytest.approx(1024 / (64 * 1024 / 4))
+
+    def test_hierarchy(self):
+        l1 = small_cache(size=128, line=64, assoc=2)
+        l2 = small_cache(size=1024, line=64, assoc=4)
+        addrs = [(a, False) for a in range(0, 512, 64)] * 2
+        s1, s2 = simulate_hierarchy(addrs, l1, l2)
+        assert s1.accesses == 16
+        assert s2.accesses == s1.misses
+
+
+class TestMemoryModel:
+    def test_streaming_halves_store_traffic(self):
+        """Write-allocate doubles store traffic vs streaming stores."""
+        mm = MemoryModel(KNL_7210)
+        regular = mm.store_traffic(1000, streaming=False)
+        nt = mm.store_traffic(1000, streaming=True)
+        assert regular.total_bytes == 2 * nt.total_bytes
+
+    def test_seconds(self):
+        mm = MemoryModel(KNL_7210)
+        est = mm.read_traffic(int(400e9))
+        assert est.seconds(KNL_7210) == pytest.approx(1.0)
+
+    def test_combine(self):
+        mm = MemoryModel(KNL_7210)
+        tot = mm.combine(mm.read_traffic(100), mm.store_traffic(50, streaming=True))
+        assert tot.read_bytes == 100
+        assert tot.write_bytes == 50
+
+    def test_negative_rejected(self):
+        mm = MemoryModel(KNL_7210)
+        with pytest.raises(ValueError):
+            mm.read_traffic(-1)
+        with pytest.raises(ValueError):
+            mm.store_traffic(-1, streaming=True)
+
+
+class TestTlbModel:
+    def test_contiguous_pages(self):
+        tlb = TlbModel(KNL_7210)
+        assert tlb.pages(4096) == 1
+        assert tlb.pages(4097) == 2
+
+    def test_strided_scatter_touches_many_pages(self):
+        """Page-sized strides touch one page per access -- the pattern the
+        blocked layouts eliminate."""
+        tlb = TlbModel(KNL_7210)
+        scattered = tlb.pages(0, contiguous=False, stride_bytes=8192, accesses=100)
+        blocked = tlb.pages(100 * 64)  # same data, contiguous
+        assert scattered == 100
+        assert blocked < 3
+
+    def test_capacity_misses_on_revisit(self):
+        tlb = TlbModel(KNL_7210)
+        small = tlb.cost(pages_touched=10, revisits=5)
+        big = tlb.cost(pages_touched=100, revisits=5)
+        assert small.misses == 10  # fits in 64 entries: cold misses only
+        assert big.misses == 500  # re-walked every revisit
+
+    def test_no_tlb_spec_rejected(self):
+        with pytest.raises(ValueError, match="TLB"):
+            TlbModel(TITAN_X_PASCAL)
+
+    def test_validation(self):
+        tlb = TlbModel(KNL_7210)
+        with pytest.raises(ValueError):
+            tlb.cost(0)
+        with pytest.raises(ValueError):
+            tlb.pages(0, contiguous=False, stride_bytes=0, accesses=0)

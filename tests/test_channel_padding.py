@@ -1,0 +1,82 @@
+"""Tests for the channel-padding fallback."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.channel_padding import (
+    pad_channel_axis,
+    winograd_convolution_padded_channels,
+)
+from repro.core.fmr import FmrSpec
+from repro.nets.reference import direct_convolution
+
+
+class TestPadChannelAxis:
+    def test_pads(self):
+        x = np.ones((1, 5, 4))
+        assert pad_channel_axis(x, 1, 8).shape == (1, 8, 4)
+        np.testing.assert_array_equal(pad_channel_axis(x, 1, 8)[:, 5:], 0.0)
+
+    def test_noop(self):
+        x = np.ones((1, 8, 4))
+        assert pad_channel_axis(x, 1, 8) is x
+
+    def test_rejects_shrink(self):
+        with pytest.raises(ValueError, match="target"):
+            pad_channel_axis(np.ones((1, 8, 4)), 1, 4)
+
+
+class TestPaddedConvolution:
+    def test_odd_channels_match_direct(self):
+        rng = np.random.default_rng(0)
+        images = rng.normal(size=(2, 5, 9, 9))
+        kernels = rng.normal(size=(5, 7, 3, 3))
+        got = winograd_convolution_padded_channels(
+            images, kernels, FmrSpec.uniform(2, 2, 3), dtype=np.float64
+        )
+        want = direct_convolution(images, kernels)
+        assert got.shape == want.shape
+        np.testing.assert_allclose(got, want, rtol=1e-9, atol=1e-10)
+
+    def test_already_aligned_is_equivalent(self):
+        rng = np.random.default_rng(1)
+        images = rng.normal(size=(1, 16, 8, 8))
+        kernels = rng.normal(size=(16, 16, 3, 3))
+        from repro.core.convolution import winograd_convolution
+
+        a = winograd_convolution_padded_channels(
+            images, kernels, dtype=np.float64
+        )
+        b = winograd_convolution(images, kernels, dtype=np.float64)
+        np.testing.assert_array_equal(a, b)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        c=st.integers(1, 20),
+        cp=st.integers(1, 20),
+        seed=st.integers(0, 2**31),
+    )
+    def test_arbitrary_channel_counts(self, c, cp, seed):
+        rng = np.random.default_rng(seed)
+        images = rng.normal(size=(1, c, 7, 7))
+        kernels = rng.normal(size=(c, cp, 3, 3))
+        got = winograd_convolution_padded_channels(
+            images, kernels, FmrSpec.uniform(2, 3, 3),
+            padding=(1, 1), dtype=np.float64,
+        )
+        want = direct_convolution(images, kernels, padding=(1, 1))
+        np.testing.assert_allclose(got, want, rtol=1e-8, atol=1e-9)
+
+    def test_3d(self):
+        rng = np.random.default_rng(2)
+        images = rng.normal(size=(1, 3, 6, 6, 6))
+        kernels = rng.normal(size=(3, 2, 3, 3, 3))
+        got = winograd_convolution_padded_channels(
+            images, kernels, FmrSpec.uniform(3, 2, 3),
+            dtype=np.float64, simd_width=8,
+        )
+        np.testing.assert_allclose(
+            got, direct_convolution(images, kernels), rtol=1e-9, atol=1e-10
+        )

@@ -1,0 +1,79 @@
+"""Tests for the artifact-style CLI."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "Xeon Phi 7210" in out
+        assert "4.51 TFLOPS" in out
+
+    def test_accuracy_vgg_only(self, capsys):
+        assert main(["accuracy", "--net", "VGG"]) == 0
+        out = capsys.readouterr().out
+        assert "F(6x6,3x3)" in out
+        assert "direct" in out
+        assert "C3D" not in out
+
+    def test_gemm(self, capsys):
+        assert main(["gemm"]) == 0
+        out = capsys.readouterr().out
+        assert "128x128" in out
+        assert "vs_MKL" in out
+
+    def test_tune_with_wisdom(self, capsys, tmp_path):
+        wisdom = tmp_path / "w.json"
+        args = [
+            "tune", "--network", "VGG", "--layer", "5.2",
+            "--fmr", "F(2x2,3x3)", "--wisdom", str(wisdom),
+        ]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "chosen blocking" in first
+        assert wisdom.exists()
+        # Second run is served from the wisdom file.
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert "candidates tried : 0" in second
+
+    def test_tune_unknown_layer(self, capsys):
+        assert main(["tune", "--network", "VGG", "--layer", "9.9",
+                     "--fmr", "F(2x2,3x3)"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_bench_unknown_network(self, capsys):
+        assert main(["bench", "--network", "Nope"]) == 2
+
+    @pytest.mark.slow
+    def test_bench_one_network(self, capsys, tmp_path):
+        out_csv = tmp_path / "measurements.csv"
+        assert main(["bench", "--network", "C3D", "-o", str(out_csv)]) == 0
+        text = out_csv.read_text()
+        assert "C3D-C2a" in text
+        assert "cuDNN FFT" in text
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestCliSelect:
+    def test_select_ranking(self, capsys):
+        from repro.cli import main as cli_main
+
+        assert cli_main([
+            "select", "--network", "VGG", "--layer", "5.2",
+            "--mode", "train", "--top", "3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "tile-size ranking" in out
+        assert "pad_waste" in out
+
+    def test_select_unknown_layer(self, capsys):
+        from repro.cli import main as cli_main
+
+        assert cli_main(["select", "--network", "VGG", "--layer", "zzz"]) == 2

@@ -1,0 +1,174 @@
+"""Tests for the transform codelet generator."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.codelets import (
+    CodeletStats,
+    _find_even_odd_pairs,
+    apply_codelet_along_axis,
+    codelet_statistics,
+    generate_codelet,
+)
+from repro.core.transforms import winograd_1d
+
+
+def frac_matrix(rows):
+    return [[Fraction(x) for x in row] for row in rows]
+
+
+def dense_apply(matrix, x):
+    m = np.array([[float(c) for c in row] for row in matrix])
+    return x @ m.T
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("optimize", [True, False])
+    @pytest.mark.parametrize("m, r", [(2, 3), (4, 3), (6, 3), (3, 4), (4, 5)])
+    def test_transform_matrices(self, m, r, optimize):
+        """Codelets compute exactly the same map as the dense matrix."""
+        t = winograd_1d(m, r)
+        rng = np.random.default_rng(m * 10 + r)
+        for mat, cols in ((t.a, t.alpha), (t.b, t.alpha), (t.g, t.r)):
+            cod = generate_codelet(mat, optimize=optimize)
+            x = rng.normal(size=(5, cols))
+            np.testing.assert_allclose(cod.fn(x), dense_apply(mat, x), rtol=1e-12)
+
+    def test_batched_leading_axes(self):
+        t = winograd_1d(4, 3)
+        cod = generate_codelet(t.b)
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(2, 3, 4, t.alpha))
+        got = cod.fn(x)
+        assert got.shape == (2, 3, 4, t.alpha)
+        np.testing.assert_allclose(got, dense_apply(t.b, x), rtol=1e-12)
+
+    def test_apply_along_axis(self):
+        t = winograd_1d(2, 3)
+        cod = generate_codelet(t.b)
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(4, 3, 5))
+        got = apply_codelet_along_axis(cod, x, axis=0)
+        want = np.moveaxis(dense_apply(t.b, np.moveaxis(x, 0, -1)), -1, 0)
+        np.testing.assert_allclose(got, want, rtol=1e-12)
+
+    def test_wrong_input_length(self):
+        cod = generate_codelet(frac_matrix([[1, 0], [0, 1]]))
+        with pytest.raises(ValueError, match="expected last axis"):
+            cod.fn(np.zeros((3, 5)))
+
+    def test_zero_row(self):
+        cod = generate_codelet(frac_matrix([[0, 0], [1, 1]]))
+        got = cod.fn(np.ones((2, 2)))
+        np.testing.assert_array_equal(got, [[0, 2], [0, 2]])
+
+    def test_ragged_matrix_rejected(self):
+        with pytest.raises(ValueError, match="equal length"):
+            generate_codelet([[Fraction(1)], [Fraction(1), Fraction(2)]])
+
+    def test_empty_matrix_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            generate_codelet([])
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        rows=st.integers(1, 6),
+        cols=st.integers(1, 6),
+        optimize=st.booleans(),
+        data=st.data(),
+    )
+    def test_random_sparse_matrices(self, rows, cols, optimize, data):
+        entries = st.sampled_from([0, 0, 1, -1, 2, -3, Fraction(1, 2)])
+        mat = frac_matrix(
+            [[data.draw(entries) for _ in range(cols)] for _ in range(rows)]
+        )
+        cod = generate_codelet(mat, optimize=optimize)
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(4, cols))
+        np.testing.assert_allclose(cod.fn(x), dense_apply(mat, x), rtol=1e-12, atol=1e-12)
+
+
+class TestEvenOddPairing:
+    def test_f23_b_pairs_rows_1_2(self):
+        """B of F(2,3) contains the classic (0,1,1,0)/(0,-1,1,0) pair."""
+        t = winograd_1d(2, 3)
+        pairs = _find_even_odd_pairs(t.b)
+        assert (1, 2) in pairs
+
+    def test_no_pair_in_identity(self):
+        eye = frac_matrix([[1, 0], [0, 1]])
+        assert _find_even_odd_pairs(eye) == []
+
+    def test_synthetic_fig2_reduction(self):
+        """Fig. 2's shape: two rows sharing even/odd parts drop from 6
+        FMA-slots (one per nonzero) to 4 instructions."""
+        mat = frac_matrix([[1, 1, 2, 2], [1, -1, 2, -2]])
+        opt = generate_codelet(mat, optimize=True)
+        plain = generate_codelet(mat, optimize=False)
+        assert opt.paired_rows == [(0, 1)]
+        # optimized: e = x0 + 2*x2 (1 fma), o = x1 + 2*x3 (1 fma),
+        # y0 = e+o, y1 = e-o (2) -> 4 total; plain needs 3 per row.
+        assert opt.arith_ops == 4
+        assert plain.arith_ops == 6
+        # Latency drops too (the second half of Fig. 2's claim).
+        assert opt.critical_path(6) <= plain.critical_path(6)
+
+    def test_pairing_preserves_semantics_on_real_b(self):
+        for m, r in [(2, 3), (4, 3), (6, 3)]:
+            t = winograd_1d(m, r)
+            opt = generate_codelet(t.b, optimize=True)
+            rng = np.random.default_rng(m)
+            x = rng.normal(size=(8, t.alpha))
+            np.testing.assert_allclose(opt.fn(x), dense_apply(t.b, x), rtol=1e-12)
+
+    def test_requires_nontrivial_split(self):
+        """Rows that are equal or pure negations are NOT even/odd pairs."""
+        equal = frac_matrix([[1, 1], [1, 1]])
+        assert _find_even_odd_pairs(equal) == []
+        negated = frac_matrix([[1, 1], [-1, -1]])
+        assert _find_even_odd_pairs(negated) == []
+
+
+class TestStatistics:
+    def test_ordering(self):
+        """optimized <= sparse-only <= dense for all paper F(m,r)."""
+        for m, r in [(2, 3), (4, 3), (6, 3), (8, 3)]:
+            t = winograd_1d(m, r)
+            for mat in (t.a, t.b, t.g):
+                stats = codelet_statistics(mat, label=f"F({m},{r})")
+                assert stats.optimized_ops <= stats.sparse_only_ops <= stats.dense_ops
+
+    def test_b_of_f43_finds_pairs(self):
+        t = winograd_1d(4, 3)
+        stats = codelet_statistics(t.b, label="B F(4,3)")
+        assert stats.pairs_found >= 1
+        assert stats.optimized_ops < stats.sparse_only_ops
+
+    def test_stats_type(self):
+        t = winograd_1d(2, 3)
+        stats = codelet_statistics(t.b, label="x")
+        assert isinstance(stats, CodeletStats)
+        assert stats.optimized_latency <= stats.sparse_only_latency
+
+
+class TestOpAccounting:
+    def test_load_store_counts(self):
+        t = winograd_1d(2, 3)
+        cod = generate_codelet(t.b)
+        assert cod.load_ops == t.alpha
+        assert cod.store_ops == t.alpha
+
+    def test_critical_path_simple_chain(self):
+        """y = x0 + x1 + x2 + x3 is a 3-deep chain -> 18 cycles at 6."""
+        mat = frac_matrix([[1, 1, 1, 1]])
+        cod = generate_codelet(mat)
+        assert cod.critical_path(6) == 18
+
+    def test_source_is_compilable_text(self):
+        cod = generate_codelet(winograd_1d(4, 3).b)
+        assert "def codelet(x):" in cod.source
+        compile(cod.source, "<check>", "exec")

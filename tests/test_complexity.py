@@ -1,0 +1,99 @@
+"""Tests for the arithmetic-complexity ledger."""
+
+import pytest
+
+from repro.core.complexity import (
+    complexity_table,
+    direct_counts,
+    effective_reduction,
+    fft_counts,
+    winograd_counts,
+)
+from repro.core.fmr import FmrSpec
+from repro.nets.layers import ConvLayerSpec, get_layer
+
+
+def layer(size=32, c=64, cp=64, batch=4, ndim=2, pad=1):
+    return ConvLayerSpec(
+        "T", "t", batch, c, cp, (size,) * ndim, (pad,) * ndim, (3,) * ndim
+    )
+
+
+class TestDirect:
+    def test_exact(self):
+        l = layer()
+        d = direct_counts(l)
+        assert d.multiplications == 4 * 64 * 64 * 32 * 32 * 9
+        assert d.additions == d.multiplications
+        assert d.total == 2 * d.multiplications
+
+
+class TestWinograd:
+    def test_gemm_mults_dominate_and_match_formula(self):
+        l = layer()
+        fmr = FmrSpec.uniform(2, 4, 3)
+        w = winograd_counts(l, fmr)
+        counts = fmr.tile_counts(l.output_image)
+        gemm = 36 * counts[0] * counts[1] * l.batch * 64 * 64
+        assert w.multiplications >= gemm
+        # Transforms add well under the GEMM multiplication count here.
+        assert w.multiplications < 1.2 * gemm
+
+    def test_effective_reduction_below_theoretical(self):
+        """Padding + transform mults eat into the per-tile bound."""
+        l = get_layer("VGG", "5.2")  # 14x14: heavy padding at m=6
+        fmr = FmrSpec.uniform(2, 6, 3)
+        eff = effective_reduction(l, fmr)
+        assert eff < fmr.multiplication_reduction
+        assert eff > 1.0
+
+    def test_effective_reduction_close_on_divisible_images(self):
+        l = layer(size=34, pad=1)  # output 34 -> not divisible by 4... use 30
+        l = ConvLayerSpec("T", "t", 4, 64, 64, (30, 30), (1, 1), (3, 3))
+        fmr = FmrSpec.uniform(2, 6, 3)  # output 30 divisible by 6
+        eff = effective_reduction(l, fmr)
+        assert eff > 0.7 * fmr.multiplication_reduction
+
+    def test_transform_ops_grow_with_m(self):
+        """Sec. 5.1: transform operations increase quadratically with m.
+        Verify super-linear growth of per-tile transform mult counts."""
+        l = ConvLayerSpec("T", "t", 1, 64, 64, (48, 48), (1, 1), (3, 3))
+        def transform_mults(m):
+            fmr = FmrSpec.uniform(2, m, 3)
+            w = winograd_counts(l, fmr)
+            counts = fmr.tile_counts(l.output_image)
+            gemm = fmr.tile_elements * counts[0] * counts[1] * 64 * 64
+            n_tiles = counts[0] * counts[1]
+            return (w.multiplications - gemm) / n_tiles  # per tile
+        t2, t4, t6 = transform_mults(2), transform_mults(4), transform_mults(6)
+        assert t4 > 2 * t2
+        assert t6 > 1.5 * t4
+
+    def test_kernel_mismatch(self):
+        with pytest.raises(ValueError, match="does not match"):
+            winograd_counts(layer(), FmrSpec.uniform(2, 4, 5))
+
+    def test_3d(self):
+        l = layer(size=12, ndim=3)
+        w = winograd_counts(l, FmrSpec.uniform(3, 2, 3))
+        d = direct_counts(l)
+        assert w.multiplications < d.multiplications
+
+
+class TestFft:
+    def test_fft_worse_than_winograd_on_3x3(self):
+        l = layer()
+        f = fft_counts(l)
+        w = winograd_counts(l, FmrSpec.uniform(2, 4, 3))
+        assert f.multiplications > w.multiplications
+
+
+class TestTable:
+    def test_rows(self):
+        l = layer()
+        rows = complexity_table(l, [FmrSpec.uniform(2, 2, 3), FmrSpec.uniform(2, 4, 3)])
+        assert [r.algorithm for r in rows] == [
+            "direct", "winograd F(2x2,3x3)", "winograd F(4x4,3x3)", "fft",
+        ]
+        mults = [r.multiplications for r in rows]
+        assert mults[2] < mults[1] < mults[0]  # winograd reduction grows with m

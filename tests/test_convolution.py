@@ -1,0 +1,230 @@
+"""Tests for the three-stage Winograd convolution pipeline.
+
+The central invariant: for every F(m, r), dimensionality, padding and
+channel configuration, the Winograd result matches the direct convolution
+up to floating-point rounding.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.convolution import (
+    TransformedKernels,
+    WinogradPlan,
+    winograd_convolution,
+)
+from repro.core.fmr import FmrSpec
+from repro.nets.reference import direct_convolution
+
+
+def rand_problem(rng, b, c, cp, spatial, r):
+    img = rng.normal(size=(b, c) + spatial).astype(np.float64)
+    ker = rng.normal(size=(c, cp) + r).astype(np.float64)
+    return img, ker
+
+
+class TestEquivalenceFixed:
+    @pytest.mark.parametrize("m", [2, 3, 4, 6])
+    def test_2d_3x3(self, m):
+        rng = np.random.default_rng(m)
+        img, ker = rand_problem(rng, 2, 4, 3, (13, 11), (3, 3))
+        got = winograd_convolution(img, ker, FmrSpec.uniform(2, m, 3), dtype=np.float64)
+        want = direct_convolution(img, ker)
+        np.testing.assert_allclose(got, want, rtol=1e-9, atol=1e-10)
+
+    @pytest.mark.parametrize("r", [1, 2, 4, 5])
+    def test_2d_arbitrary_kernels(self, r):
+        """Arbitrary kernel sizes -- the capability existing libraries lack."""
+        rng = np.random.default_rng(r)
+        img, ker = rand_problem(rng, 1, 2, 2, (r + 7, r + 9), (r, r))
+        got = winograd_convolution(img, ker, FmrSpec.uniform(2, 3, r), dtype=np.float64)
+        want = direct_convolution(img, ker)
+        np.testing.assert_allclose(got, want, rtol=1e-9, atol=1e-10)
+
+    def test_3d(self):
+        rng = np.random.default_rng(0)
+        img, ker = rand_problem(rng, 2, 2, 2, (8, 9, 10), (3, 3, 3))
+        got = winograd_convolution(img, ker, FmrSpec.uniform(3, 2, 3), dtype=np.float64)
+        want = direct_convolution(img, ker)
+        np.testing.assert_allclose(got, want, rtol=1e-9, atol=1e-10)
+
+    def test_3d_anisotropic_tiles(self):
+        """Mixed tile sizes like the paper's F(4x6x6, 3^3)."""
+        rng = np.random.default_rng(1)
+        img, ker = rand_problem(rng, 1, 2, 2, (7, 9, 11), (3, 3, 3))
+        spec = FmrSpec(m=(2, 3, 4), r=(3, 3, 3))
+        got = winograd_convolution(img, ker, spec, dtype=np.float64)
+        np.testing.assert_allclose(
+            got, direct_convolution(img, ker), rtol=1e-9, atol=1e-10
+        )
+
+    def test_anisotropic_kernel(self):
+        rng = np.random.default_rng(2)
+        img, ker = rand_problem(rng, 1, 2, 2, (9, 8), (3, 2))
+        spec = FmrSpec(m=(2, 4), r=(3, 2))
+        got = winograd_convolution(img, ker, spec, dtype=np.float64)
+        np.testing.assert_allclose(
+            got, direct_convolution(img, ker), rtol=1e-9, atol=1e-10
+        )
+
+    def test_1d(self):
+        rng = np.random.default_rng(3)
+        img, ker = rand_problem(rng, 3, 2, 5, (17,), (3,))
+        got = winograd_convolution(img, ker, FmrSpec(m=(4,), r=(3,)), dtype=np.float64)
+        np.testing.assert_allclose(
+            got, direct_convolution(img, ker), rtol=1e-9, atol=1e-10
+        )
+
+    def test_with_padding(self):
+        rng = np.random.default_rng(4)
+        img, ker = rand_problem(rng, 2, 3, 3, (8, 8), (3, 3))
+        got = winograd_convolution(
+            img, ker, FmrSpec.uniform(2, 4, 3), padding=(1, 1), dtype=np.float64
+        )
+        want = direct_convolution(img, ker, padding=(1, 1))
+        np.testing.assert_allclose(got, want, rtol=1e-9, atol=1e-10)
+
+    def test_float32_tolerance(self):
+        rng = np.random.default_rng(5)
+        img, ker = rand_problem(rng, 1, 8, 8, (12, 12), (3, 3))
+        got = winograd_convolution(
+            img.astype(np.float32), ker.astype(np.float32), FmrSpec.uniform(2, 4, 3)
+        )
+        assert got.dtype == np.float32
+        want = direct_convolution(img, ker)
+        np.testing.assert_allclose(got, want, rtol=2e-3, atol=2e-4)
+
+    def test_default_spec_is_m2(self):
+        rng = np.random.default_rng(6)
+        img, ker = rand_problem(rng, 1, 2, 2, (6, 6), (3, 3))
+        got = winograd_convolution(img, ker, dtype=np.float64)
+        np.testing.assert_allclose(
+            got, direct_convolution(img, ker), rtol=1e-9, atol=1e-10
+        )
+
+
+class TestEquivalenceProperty:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        ndim=st.integers(1, 3),
+        m=st.integers(1, 4),
+        r=st.integers(1, 3),
+        c=st.integers(1, 3),
+        cp=st.integers(1, 3),
+        b=st.integers(1, 2),
+        extra=st.integers(0, 4),
+        seed=st.integers(0, 2**32 - 1),
+    )
+    def test_matches_direct(self, ndim, m, r, c, cp, b, extra, seed):
+        rng = np.random.default_rng(seed)
+        spec = FmrSpec.uniform(ndim, m, r)
+        spatial = tuple(m + r - 1 + extra for _ in range(ndim))
+        img, ker = rand_problem(rng, b, c, cp, spatial, spec.r)
+        got = winograd_convolution(img, ker, spec, dtype=np.float64)
+        want = direct_convolution(img, ker)
+        np.testing.assert_allclose(got, want, rtol=1e-8, atol=1e-8)
+
+
+class TestPlanAPI:
+    def make_plan(self, **kw):
+        defaults = dict(
+            spec=FmrSpec.uniform(2, 2, 3),
+            input_shape=(2, 4, 8, 8),
+            c_out=6,
+            padding=(0, 0),
+            dtype=np.float64,
+        )
+        defaults.update(kw)
+        return WinogradPlan(**defaults)
+
+    def test_derived_sizes(self):
+        plan = self.make_plan()
+        assert plan.batch == 2
+        assert plan.c_in == 4
+        assert plan.t_matrices == 16
+        assert plan.tiles_per_image == 9
+        assert plan.gemm_rows == 18
+        assert plan.output_batch_shape == (2, 6, 6, 6)
+
+    def test_stage_shapes(self):
+        plan = self.make_plan()
+        rng = np.random.default_rng(0)
+        img = rng.normal(size=plan.input_shape)
+        ker = rng.normal(size=(4, 6, 3, 3))
+        u = plan.transform_input(img)
+        assert u.shape == (16, 18, 4)
+        w = plan.transform_kernels(ker)
+        assert w.data.shape == (16, 4, 6)
+        x = plan.multiply(u, w)
+        assert x.shape == (16, 18, 6)
+        out = plan.inverse_transform(x)
+        assert out.shape == plan.output_batch_shape
+
+    def test_fx_mode_matches_full(self):
+        """Inference-only (memoized kernel transforms) must be identical."""
+        plan = self.make_plan()
+        rng = np.random.default_rng(1)
+        img = rng.normal(size=plan.input_shape)
+        ker = rng.normal(size=(4, 6, 3, 3))
+        w = plan.transform_kernels(ker)
+        np.testing.assert_array_equal(plan.execute(img, w), plan.execute(img, ker))
+
+    def test_rejects_wrong_image_shape(self):
+        plan = self.make_plan()
+        with pytest.raises(ValueError, match="planned"):
+            plan.transform_input(np.zeros((2, 4, 9, 8)))
+
+    def test_rejects_wrong_kernel_shape(self):
+        plan = self.make_plan()
+        with pytest.raises(ValueError, match="expected"):
+            plan.transform_kernels(np.zeros((4, 6, 5, 5)))
+
+    def test_rejects_foreign_transformed_kernels(self):
+        plan = self.make_plan()
+        other = TransformedKernels(
+            spec=FmrSpec.uniform(2, 4, 3), data=np.zeros((36, 4, 6))
+        )
+        with pytest.raises(ValueError, match="built for"):
+            plan.multiply(np.zeros((16, 18, 4)), other)
+
+    def test_rejects_channel_mismatch(self):
+        plan = self.make_plan()
+        other = TransformedKernels(spec=plan.spec, data=np.zeros((16, 5, 6)))
+        with pytest.raises(ValueError, match="channels"):
+            plan.multiply(np.zeros((16, 18, 4)), other)
+
+    def test_rejects_bad_stage2_shape(self):
+        plan = self.make_plan()
+        with pytest.raises(ValueError, match="stage-2"):
+            plan.inverse_transform(np.zeros((16, 18, 5)))
+
+    def test_custom_gemm_injection(self):
+        calls = []
+
+        def spy_gemm(u, v):
+            calls.append((u.shape, v.shape))
+            return np.matmul(u, v)
+
+        plan = self.make_plan(gemm=spy_gemm)
+        rng = np.random.default_rng(2)
+        img = rng.normal(size=plan.input_shape)
+        ker = rng.normal(size=(4, 6, 3, 3))
+        plan.execute(img, ker)
+        assert calls == [((16, 18, 4), (16, 4, 6))]
+
+    def test_spec_string_parsing(self):
+        rng = np.random.default_rng(7)
+        img = rng.normal(size=(1, 2, 8, 8))
+        ker = rng.normal(size=(2, 2, 3, 3))
+        got = winograd_convolution(img, ker, "F(4x4,3x3)", dtype=np.float64)
+        np.testing.assert_allclose(
+            got, direct_convolution(img, ker), rtol=1e-9, atol=1e-10
+        )
+
+    def test_spec_kernel_mismatch(self):
+        with pytest.raises(ValueError, match="kernel size"):
+            winograd_convolution(
+                np.zeros((1, 1, 8, 8)), np.zeros((1, 1, 5, 5)), "F(2x2,3x3)"
+            )

@@ -1,0 +1,113 @@
+"""Invariant tests for the machine cost model.
+
+The Fig. 5 numbers are only as trustworthy as the model's basic physics;
+these tests pin down monotonicity and scaling laws that must hold
+regardless of calibration constants.
+"""
+
+import pytest
+
+from repro.core.blocking import BlockingConfig
+from repro.core.fmr import FmrSpec
+from repro.machine.cost import WinogradCostModel
+from repro.machine.spec import KNL_7210
+from repro.nets.layers import ConvLayerSpec
+
+BLK = BlockingConfig(n_blk=28, c_blk=64, cprime_blk=64)
+SPEC = FmrSpec.uniform(2, 4, 3)
+
+
+def layer(batch=64, c=64, cp=64, size=28):
+    """Paper-typical shape: batch and channels are powers of two large
+    enough that the static schedule divides evenly over 64-256 threads
+    (the regime the paper designs for)."""
+    return ConvLayerSpec("T", "t", batch, c, cp, (size, size), (1, 1), (3, 3))
+
+
+def cost(machine=KNL_7210, tpc=1, lay=None, **feat):
+    model = WinogradCostModel(machine, threads_per_core=tpc)
+    if feat:
+        model = model.with_features(**feat)
+    return model.layer_cost(lay if lay is not None else layer(), SPEC, BLK)
+
+
+class TestScalingLaws:
+    def test_batch_scaling_roughly_linear(self):
+        t1 = cost(lay=layer(batch=32)).seconds
+        t2 = cost(lay=layer(batch=64)).seconds
+        assert 1.6 < t2 / t1 < 2.4
+
+    def test_more_cores_never_slower(self):
+        half = WinogradCostModel(KNL_7210.with_cores(32))
+        full = WinogradCostModel(KNL_7210)
+        assert full.layer_cost(layer(), SPEC, BLK).seconds <= (
+            half.layer_cost(layer(), SPEC, BLK).seconds
+        )
+
+    def test_core_scaling_saturates_at_bandwidth(self):
+        """Doubling cores cannot double performance of a memory-bound
+        stage -- the transform stages are bandwidth-limited."""
+        half = WinogradCostModel(KNL_7210.with_cores(32))
+        full = WinogradCostModel(KNL_7210)
+        t_half = half.layer_cost(layer(), SPEC, BLK).stage("input_transform")
+        t_full = full.layer_cost(layer(), SPEC, BLK).stage("input_transform")
+        assert t_full.seconds >= 0.9 * t_half.seconds  # barely helped
+
+    def test_channels_scale_gemm_quadratically(self):
+        g1 = cost(lay=layer(c=64, cp=64)).stage("gemm").seconds
+        g2 = cost(lay=layer(c=128, cp=128)).stage("gemm").seconds
+        assert 3.0 < g2 / g1 < 5.0
+
+    def test_smt_is_a_bounded_per_layer_trade(self):
+        """Threads-per-core trades latency hiding against schedule
+        imbalance (more threads partition the fixed task grid more
+        coarsely).  Neither direction dominates -- which is exactly why
+        the paper tunes it empirically per layer shape (Sec. 4.3.2).
+        The model keeps the trade bounded: within 25% either way."""
+        t1 = cost(tpc=1).seconds
+        for tpc in (2, 4):
+            assert 0.75 * t1 <= cost(tpc=tpc).seconds <= 1.25 * t1
+
+    def test_flops_independent_of_features(self):
+        """Feature toggles change time, never the work performed."""
+        base = cost()
+        slow = cost(streaming_stores=False, fused_scatter=False,
+                    static_scheduling=False)
+        assert base.stage("gemm").flops == slow.stage("gemm").flops
+
+    def test_every_feature_off_is_slower(self):
+        base = cost().seconds
+        for feat in (
+            {"streaming_stores": False},
+            {"fused_scatter": False},
+            {"blocked_layout": False},
+            {"static_scheduling": False},
+            {"gemm_fixed_n_blk": 16, "gemm_load_ahead": 0},
+            {"gemm_call_overhead_cycles": 2000},
+            {"gemm_packing_passes": 2},
+        ):
+            assert cost(**feat).seconds >= base * 0.999, feat
+
+
+class TestStageAccounting:
+    def test_gemm_flops_exact(self):
+        lay = layer()
+        c = cost(lay=lay)
+        counts = SPEC.tile_counts(lay.output_image)
+        nb = counts[0] * counts[1] * lay.batch
+        expected = 2 * SPEC.tile_elements * nb * lay.c_in * lay.c_out
+        assert c.stage("gemm").flops == pytest.approx(expected)
+
+    def test_fx_drops_exactly_kernel_transform(self):
+        lay = layer(batch=1, c=512, cp=512, size=14)
+        blk = BlockingConfig(n_blk=28, c_blk=128, cprime_blk=128)
+        model = WinogradCostModel(KNL_7210)
+        full = model.layer_cost(lay, SPEC, blk)
+        fx = model.layer_cost(lay, SPEC, blk, transform_kernels=False)
+        kt = full.stage("kernel_transform").seconds
+        assert full.seconds - fx.seconds == pytest.approx(kt, rel=1e-9)
+
+    def test_sync_time_positive_and_small(self):
+        c = cost()
+        for s in c.stages:
+            assert 0 < s.sync_s < 0.001

@@ -1,0 +1,67 @@
+"""Smoke tests: every shipped example runs to completion.
+
+Examples are part of the public deliverable; each one asserts its own
+correctness conditions internally, so "main() returns" is a meaningful
+end-to-end check.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, argv: list[str] | None = None):
+    path = EXAMPLES / name
+    spec = importlib.util.spec_from_file_location(f"example_{name[:-3]}", path)
+    module = importlib.util.module_from_spec(spec)
+    old_argv = sys.argv
+    sys.argv = [str(path)] + (argv or [])
+    try:
+        spec.loader.exec_module(module)
+        module.main()
+    finally:
+        sys.argv = old_argv
+
+
+def test_quickstart(capsys):
+    run_example("quickstart.py")
+    assert "All quickstart checks passed" in capsys.readouterr().out
+
+
+def test_video_segmentation_3d(capsys):
+    run_example("video_segmentation_3d.py")
+    assert "anisotropic tiles" in capsys.readouterr().out
+
+
+def test_accuracy_study(capsys):
+    run_example("accuracy_study.py")
+    out = capsys.readouterr().out
+    assert "train + infer" in out
+    assert "reproduced" in out
+
+
+def test_blocked_deployment(capsys):
+    run_example("blocked_deployment.py")
+    assert "matches the direct reference" in capsys.readouterr().out
+
+
+@pytest.mark.slow
+def test_vgg_inference(capsys):
+    run_example("vgg_inference.py")
+    assert "bit-identical" in capsys.readouterr().out
+
+
+@pytest.mark.slow
+def test_train_convnet(capsys):
+    run_example("train_convnet.py")
+    assert "Converged" in capsys.readouterr().out
+
+
+@pytest.mark.slow
+def test_autotune_wisdom(tmp_path, capsys):
+    run_example("autotune_wisdom.py", [str(tmp_path / "w.json")])
+    assert "served from the file" in capsys.readouterr().out

@@ -1,0 +1,73 @@
+"""Tests for the discrete-event stage-execution simulator."""
+
+import pytest
+
+from repro.machine.execution_sim import (
+    ExecutionReport,
+    compare_policies,
+    simulate_dynamic,
+    simulate_static,
+    uniform_duration,
+)
+
+
+class TestStatic:
+    def test_even_grid_near_zero_idle(self):
+        """The paper's ideal case: power-of-two grid, uniform tasks."""
+        rep = simulate_static((64, 4, 8), 64, uniform_duration(1000.0))
+        assert rep.idle_fraction < 0.02  # only the barrier epsilon
+        assert rep.speedup > 60
+
+    def test_uneven_grid_idles(self):
+        """A coprime grid forces idle threads under static scheduling."""
+        rep = simulate_static((7, 9), 4, uniform_duration(100.0))
+        assert rep.idle_fraction > 0.02
+
+    def test_span_includes_barrier(self):
+        rep = simulate_static((8,), 8, uniform_duration(100.0),
+                              barrier_cycles=500.0)
+        assert rep.span_cycles == pytest.approx(100.0 + 500.0)
+
+    def test_busy_equals_total(self):
+        rep = simulate_static((5, 6), 3, uniform_duration(10.0))
+        assert sum(rep.busy_cycles) == pytest.approx(rep.total_task_cycles)
+        assert rep.total_task_cycles == pytest.approx(300.0)
+
+
+class TestDynamic:
+    def test_balances_heterogeneous_tasks(self):
+        """Dynamic scheduling wins when task costs are skewed -- the
+        regime the paper's 'grid of equal tasks' premise avoids."""
+
+        def skewed(idx):
+            return 1000.0 if idx[0] == 0 else 10.0
+
+        static = simulate_static((4, 32), 4, skewed)
+        dynamic = simulate_dynamic((4, 32), 4, skewed, chunk_tasks=4)
+        assert dynamic.span_cycles < static.span_cycles
+
+    def test_pays_dequeue_costs(self):
+        rep = simulate_dynamic((64,), 4, uniform_duration(100.0),
+                               chunk_tasks=8, dequeue_cycles=2000.0)
+        assert rep.sync_cycles == pytest.approx(8 * 2000.0)
+
+    def test_empty_grid_is_single_task(self):
+        rep = simulate_dynamic((1,), 2, uniform_duration(5.0))
+        assert rep.span_cycles > 0
+
+
+class TestComparison:
+    def test_static_wins_on_uniform_paper_workload(self):
+        """The paper's setting: equal tasks, power-of-two grid -- the
+        single barrier beats thousands of dequeues."""
+        reports = compare_policies(
+            (64, 4, 14, 14), 128, uniform_duration(200.0), chunk_tasks=8
+        )
+        assert reports["static"].span_cycles < reports["dynamic"].span_cycles
+        assert reports["static"].idle_fraction < 0.02
+
+    def test_report_types(self):
+        reports = compare_policies((8, 8), 4, uniform_duration(10.0))
+        for rep in reports.values():
+            assert isinstance(rep, ExecutionReport)
+            assert rep.n_threads == 4

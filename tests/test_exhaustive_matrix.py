@@ -1,0 +1,76 @@
+"""Exhaustive correctness matrix (slow).
+
+Sweeps every (ndim, m, r, padding) combination in a broad envelope
+against the direct reference -- the brute-force backstop behind the
+faster targeted tests.  Run with ``pytest -m slow``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.convolution import winograd_convolution
+from repro.core.fmr import FmrSpec
+from repro.nets.reference import direct_convolution
+
+pytestmark = pytest.mark.slow
+
+CASES_1D = [(m, r) for m in range(1, 9) for r in range(1, 6)]
+CASES_2D = [(m, r) for m in range(1, 7) for r in range(1, 5)]
+CASES_3D = [(m, r) for m in range(1, 5) for r in range(1, 4)]
+
+
+@pytest.mark.parametrize("m,r", CASES_1D)
+def test_matrix_1d(m, r):
+    rng = np.random.default_rng(m * 100 + r)
+    size = m + r + 7
+    img = rng.normal(size=(2, 3, size))
+    ker = rng.normal(size=(3, 2, r))
+    got = winograd_convolution(img, ker, FmrSpec(m=(m,), r=(r,)), dtype=np.float64)
+    np.testing.assert_allclose(
+        got, direct_convolution(img, ker), rtol=1e-8, atol=1e-8
+    )
+
+
+@pytest.mark.parametrize("m,r", CASES_2D)
+@pytest.mark.parametrize("pad", [0, 1])
+def test_matrix_2d(m, r, pad):
+    if pad >= r:
+        pytest.skip("padding exceeds kernel")
+    rng = np.random.default_rng(m * 1000 + r * 10 + pad)
+    size = m + r + 5
+    img = rng.normal(size=(1, 2, size, size + 2))
+    ker = rng.normal(size=(2, 2, r, r))
+    got = winograd_convolution(
+        img, ker, FmrSpec.uniform(2, m, r), padding=(pad, pad), dtype=np.float64
+    )
+    np.testing.assert_allclose(
+        got, direct_convolution(img, ker, padding=(pad, pad)),
+        rtol=1e-8, atol=1e-8,
+    )
+
+
+@pytest.mark.parametrize("m,r", CASES_3D)
+def test_matrix_3d(m, r):
+    rng = np.random.default_rng(m * 10 + r)
+    size = m + r + 2
+    img = rng.normal(size=(1, 2, size, size, size))
+    ker = rng.normal(size=(2, 2, r, r, r))
+    got = winograd_convolution(img, ker, FmrSpec.uniform(3, m, r), dtype=np.float64)
+    np.testing.assert_allclose(
+        got, direct_convolution(img, ker), rtol=1e-8, atol=1e-8
+    )
+
+
+@pytest.mark.parametrize(
+    "m", [(2, 3), (4, 2), (1, 6), (6, 1), (5, 3)]
+)
+def test_matrix_anisotropic_2d(m):
+    rng = np.random.default_rng(sum(m))
+    img = rng.normal(size=(1, 2, 14, 15))
+    ker = rng.normal(size=(2, 2, 3, 3))
+    got = winograd_convolution(
+        img, ker, FmrSpec(m=m, r=(3, 3)), dtype=np.float64
+    )
+    np.testing.assert_allclose(
+        got, direct_convolution(img, ker), rtol=1e-8, atol=1e-8
+    )

@@ -1,0 +1,127 @@
+"""Tests for F(m, r) specifications and tile geometry."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.fmr import FmrSpec
+
+
+class TestConstruction:
+    def test_basic_2d(self):
+        spec = FmrSpec(m=(2, 2), r=(3, 3))
+        assert spec.ndim == 2
+        assert spec.tile_shape == (4, 4)
+        assert spec.tile_elements == 16
+        assert spec.overlap == (2, 2)
+
+    def test_basic_3d_anisotropic(self):
+        spec = FmrSpec(m=(4, 6, 6), r=(3, 3, 3))
+        assert spec.ndim == 3
+        assert spec.tile_shape == (6, 8, 8)
+        assert spec.output_tile_elements == 144
+        assert spec.kernel_elements == 27
+
+    def test_rank_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="equal rank"):
+            FmrSpec(m=(2, 2), r=(3,))
+
+    def test_zero_dim_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            FmrSpec(m=(), r=())
+
+    @pytest.mark.parametrize("bad_m", [0, -1])
+    def test_nonpositive_m_rejected(self, bad_m):
+        with pytest.raises(ValueError):
+            FmrSpec(m=(bad_m,), r=(3,))
+
+    def test_uniform(self):
+        assert FmrSpec.uniform(3, 4, 3) == FmrSpec(m=(4, 4, 4), r=(3, 3, 3))
+        with pytest.raises(ValueError):
+            FmrSpec.uniform(0, 4, 3)
+
+
+class TestComplexity:
+    def test_f23_multiplication_counts(self):
+        """Paper Sec. 2.2: F(2,3) needs 4 Winograd vs 6 direct mults."""
+        spec = FmrSpec(m=(2,), r=(3,))
+        assert spec.winograd_multiplications == 4
+        assert spec.direct_multiplications == 6
+
+    def test_f4x4_3x3_reduction(self):
+        """F(4x4,3x3): 36 mults vs 144 direct -> 4x reduction."""
+        spec = FmrSpec.uniform(2, 4, 3)
+        assert spec.winograd_multiplications == 36
+        assert spec.direct_multiplications == 144
+        assert spec.multiplication_reduction == pytest.approx(4.0)
+
+    def test_reduction_grows_with_m(self):
+        reductions = [
+            FmrSpec.uniform(2, m, 3).multiplication_reduction for m in (2, 4, 6, 8)
+        ]
+        assert reductions == sorted(reductions)
+
+
+class TestTiling:
+    def test_exact_tiling(self):
+        spec = FmrSpec.uniform(2, 4, 3)
+        assert spec.tile_counts((8, 8)) == (2, 2)
+        assert spec.padded_output_shape((8, 8)) == (8, 8)
+        assert spec.padding_overhead((8, 8)) == 0.0
+
+    def test_padded_tiling(self):
+        spec = FmrSpec.uniform(2, 6, 3)
+        # 14x14 output (VGG 5.2) with m=6 -> 3x3 tiles of 18x18 output.
+        assert spec.tile_counts((14, 14)) == (3, 3)
+        assert spec.padded_output_shape((14, 14)) == (18, 18)
+        assert spec.padding_overhead((14, 14)) == pytest.approx((324 - 196) / 196)
+
+    def test_padded_input_shape(self):
+        spec = FmrSpec.uniform(2, 4, 3)
+        # 10x10 output -> 3x3 tiles -> 12x12 padded out -> 14x14 input.
+        assert spec.padded_input_shape((10, 10)) == (14, 14)
+
+    def test_rank_mismatch(self):
+        with pytest.raises(ValueError, match="rank"):
+            FmrSpec.uniform(2, 4, 3).tile_counts((8, 8, 8))
+
+    def test_bad_output_shape(self):
+        with pytest.raises(ValueError):
+            FmrSpec.uniform(2, 4, 3).tile_counts((8, 0))
+
+    @given(
+        m=st.integers(1, 8),
+        r=st.integers(1, 5),
+        out=st.integers(1, 100),
+    )
+    def test_tile_count_covers_output_1d(self, m, r, out):
+        spec = FmrSpec(m=(m,), r=(r,))
+        (n,) = spec.tile_counts((out,))
+        assert n * m >= out
+        assert (n - 1) * m < out
+
+
+class TestParsing:
+    @pytest.mark.parametrize(
+        "text, m, r",
+        [
+            ("F(2x2,3x3)", (2, 2), (3, 3)),
+            ("F(6^2,3^2)", (6, 6), (3, 3)),
+            ("F(8x6^2,3^3)", (8, 6, 6), (3, 3, 3)),
+            ("F(4x6x6, 3x3x3)", (4, 6, 6), (3, 3, 3)),
+            ("F(2,3)", (2,), (3,)),
+        ],
+    )
+    def test_parse(self, text, m, r):
+        spec = FmrSpec.parse(text)
+        assert spec.m == m
+        assert spec.r == r
+
+    def test_roundtrip(self):
+        spec = FmrSpec(m=(4, 6, 6), r=(3, 3, 3))
+        assert FmrSpec.parse(str(spec)) == spec
+
+    @pytest.mark.parametrize("bad", ["F(2x2)", "G(2,3)", "F(a,b)", "F(2,,3)", ""])
+    def test_parse_rejects(self, bad):
+        with pytest.raises(ValueError):
+            FmrSpec.parse(bad)

@@ -1,0 +1,145 @@
+"""Tests for the blocked GEMM engine and the JIT kernel cache."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.blocking import BlockingConfig
+from repro.core.gemm import GemmShape, blocked_gemm, make_blocked_gemm
+from repro.core.jit_gemm import JitGemm
+
+BLK = BlockingConfig(n_blk=6, c_blk=32, cprime_blk=32)
+
+
+def random_problem(rng, t=3, rows=20, c=64, cprime=32, dtype=np.float64):
+    u = rng.normal(size=(t, rows, c)).astype(dtype)
+    v = rng.normal(size=(t, c, cprime)).astype(dtype)
+    return u, v
+
+
+class TestGemmShape:
+    def test_flops(self):
+        shape = GemmShape(t=2, rows=10, c=4, cprime=8)
+        assert shape.flops == 2 * 2 * 10 * 4 * 8
+
+    def test_invocations(self):
+        shape = GemmShape(t=2, rows=20, c=64, cprime=64)
+        # ceil(20/6)=4 row blocks, 2 C blocks, 2 C' blocks, 2 matrices.
+        assert shape.microkernel_invocations(BLK) == 2 * 4 * 2 * 2
+
+    def test_divisibility_enforced(self):
+        with pytest.raises(ValueError, match="divisible"):
+            GemmShape(t=1, rows=8, c=48, cprime=32).validate_blocking(BLK)
+
+
+class TestBlockedGemm:
+    def test_matches_matmul(self):
+        rng = np.random.default_rng(0)
+        u, v = random_problem(rng)
+        np.testing.assert_allclose(
+            blocked_gemm(u, v, BLK), np.matmul(u, v), rtol=1e-12
+        )
+
+    def test_ragged_rows(self):
+        """NB not divisible by n_blk exercises the padded last block."""
+        rng = np.random.default_rng(1)
+        u, v = random_problem(rng, rows=23)
+        np.testing.assert_allclose(
+            blocked_gemm(u, v, BLK), np.matmul(u, v), rtol=1e-10, atol=1e-12
+        )
+
+    def test_rows_smaller_than_block(self):
+        rng = np.random.default_rng(2)
+        u, v = random_problem(rng, rows=3)
+        np.testing.assert_allclose(
+            blocked_gemm(u, v, BLK), np.matmul(u, v), rtol=1e-12
+        )
+
+    def test_operand_validation(self):
+        with pytest.raises(ValueError, match="3-D"):
+            blocked_gemm(np.zeros((2, 2)), np.zeros((2, 2, 2)), BLK)
+        with pytest.raises(ValueError, match="mismatch"):
+            blocked_gemm(np.zeros((1, 4, 32)), np.zeros((2, 32, 32)), BLK)
+
+    def test_float32(self):
+        rng = np.random.default_rng(3)
+        u, v = random_problem(rng, dtype=np.float32)
+        got = blocked_gemm(u, v, BLK)
+        assert got.dtype == np.float32
+        np.testing.assert_allclose(got, np.matmul(u, v), rtol=1e-4, atol=1e-5)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        rows=st.integers(1, 40),
+        t=st.integers(1, 4),
+        n_blk=st.integers(6, 30),
+    )
+    def test_property(self, rows, t, n_blk):
+        blk = BlockingConfig(n_blk=n_blk, c_blk=32, cprime_blk=32)
+        rng = np.random.default_rng(rows * 100 + t)
+        u, v = random_problem(rng, t=t, rows=rows, c=32, cprime=32)
+        np.testing.assert_allclose(
+            blocked_gemm(u, v, blk), np.matmul(u, v), rtol=1e-10, atol=1e-12
+        )
+
+    def test_factory_closure(self):
+        rng = np.random.default_rng(4)
+        u, v = random_problem(rng)
+        gemm = make_blocked_gemm(BLK)
+        np.testing.assert_allclose(gemm(u, v), np.matmul(u, v), rtol=1e-12)
+
+
+class TestJitGemm:
+    def test_kernel_cache_reuse(self):
+        jit = JitGemm()
+        k1 = jit.kernel(6, 32, 32, 1)
+        k2 = jit.kernel(6, 32, 32, 1)
+        assert k1 is k2
+        assert jit.compile_count == 1
+        jit.kernel(6, 32, 32, 0)
+        assert jit.compile_count == 2
+
+    def test_kernel_computes(self):
+        jit = JitGemm()
+        rng = np.random.default_rng(5)
+        u = rng.normal(size=(6, 32))
+        v = rng.normal(size=(32, 32))
+        x = rng.normal(size=(6, 32)).copy()
+        expected = x + u @ v
+        got = jit.kernel(6, 32, 32, 1)(x, u, v)
+        np.testing.assert_allclose(got, expected, rtol=1e-12)
+
+    def test_kernel_beta0_overwrites(self):
+        jit = JitGemm()
+        rng = np.random.default_rng(6)
+        u = rng.normal(size=(6, 32))
+        v = rng.normal(size=(32, 32))
+        x = np.full((6, 32), 999.0)
+        jit.kernel(6, 32, 32, 0)(x, u, v)
+        np.testing.assert_allclose(x, u @ v, rtol=1e-12)
+
+    def test_kernel_shape_check(self):
+        jit = JitGemm()
+        kern = jit.kernel(6, 32, 32, 1)
+        with pytest.raises(ValueError, match="compiled for"):
+            kern(np.zeros((6, 32)), np.zeros((7, 32)), np.zeros((32, 32)))
+
+    def test_bad_beta(self):
+        with pytest.raises(ValueError, match="beta"):
+            JitGemm().kernel(6, 32, 32, 2)
+
+    def test_batched_matches_matmul(self):
+        jit = JitGemm()
+        rng = np.random.default_rng(7)
+        u, v = random_problem(rng, rows=23)
+        np.testing.assert_allclose(
+            jit.batched(u, v, BLK), np.matmul(u, v), rtol=1e-12
+        )
+        # Ragged tail compiled exactly one extra kernel per beta value.
+        assert jit.compile_count <= 4
+
+    def test_batched_divisibility(self):
+        jit = JitGemm()
+        with pytest.raises(ValueError, match="divide"):
+            jit.batched(np.zeros((1, 8, 48)), np.zeros((1, 48, 32)), BLK)

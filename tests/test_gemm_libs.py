@@ -1,0 +1,71 @@
+"""Tests for the Fig. 6 batched-GEMM library models."""
+
+import pytest
+
+from repro.baselines.gemm_libs import (
+    FIG6_SHAPES,
+    GemmThroughput,
+    libxsmm_like,
+    mkl_like,
+    ours_jit,
+    speedup_table,
+)
+from repro.machine.spec import KNL_7210
+
+
+class TestThroughputModels:
+    def test_ours_picks_best_n_blk(self):
+        t = ours_jit(64, 64)
+        assert 6 <= t.n_blk <= 30
+        # Tuning helps: the chosen n_blk beats the smallest option.
+        worst = ours_jit(64, 64, n_blk_values=(6,))
+        assert t.flops_per_cycle >= worst.flops_per_cycle
+
+    def test_libxsmm_fixed_16(self):
+        assert libxsmm_like(64, 64).n_blk == 16
+
+    def test_gflops_scaling(self):
+        t = ours_jit(64, 64)
+        assert t.gflops(KNL_7210) == pytest.approx(
+            t.flops_per_cycle * KNL_7210.frequency_hz / 1e9
+        )
+
+    def test_mkl_overhead_hurts_small_shapes_most(self):
+        small = mkl_like(16, 16)
+        large = mkl_like(128, 128)
+        ours_small = ours_jit(16, 16)
+        ours_large = ours_jit(128, 128)
+        gap_small = ours_small.flops_per_cycle / small.flops_per_cycle
+        gap_large = ours_large.flops_per_cycle / large.flops_per_cycle
+        assert gap_small > gap_large
+
+    def test_nobody_exceeds_two_fma_per_cycle(self):
+        """Physical sanity: flops/cycle <= 2 FMAs * 2 * 16 lanes = 64."""
+        for c, cp in FIG6_SHAPES:
+            for lib in (ours_jit(c, cp), mkl_like(c, cp), libxsmm_like(c, cp)):
+                assert lib.flops_per_cycle <= 64.0 + 1e-9, lib
+
+    def test_throughput_type(self):
+        t = ours_jit(32, 32)
+        assert isinstance(t, GemmThroughput)
+        assert t.cycles_per_call > 0
+
+
+class TestSpeedupTable:
+    def test_rows_and_keys(self):
+        rows = speedup_table([(32, 32), (64, 64)])
+        assert len(rows) == 2
+        assert set(rows[0]) >= {
+            "v_shape", "ours_gflops", "speedup_vs_mkl", "speedup_vs_libxsmm",
+        }
+
+    def test_all_speedups_above_one(self):
+        rows = speedup_table(FIG6_SHAPES)
+        for r in rows:
+            assert r["speedup_vs_mkl"] > 1.0, r
+            assert r["speedup_vs_libxsmm"] > 1.0, r
+
+    def test_shapes_all_within_l2_budget(self):
+        for c, cp in FIG6_SHAPES:
+            assert c * cp <= 128 * 128
+            assert c % 16 == 0 and cp % 16 == 0

@@ -1,0 +1,133 @@
+"""Tests for the training backward passes and workspace accounting."""
+
+import numpy as np
+import pytest
+
+from repro.core.convolution import WinogradPlan, max_workspace_bytes
+from repro.core.fmr import FmrSpec
+from repro.core.gradients import flip_kernels, weight_gradient, winograd_data_gradient
+from repro.nets.reference import direct_convolution
+
+
+def numerical_data_gradient(images, kernels, padding, grad_out, eps=1e-6):
+    """Finite-difference check of a few random input coordinates."""
+    rng = np.random.default_rng(0)
+    coords = [
+        tuple(rng.integers(0, s) for s in images.shape) for _ in range(4)
+    ]
+    grads = []
+    for c in coords:
+        plus = images.copy()
+        plus[c] += eps
+        minus = images.copy()
+        minus[c] -= eps
+        lp = (direct_convolution(plus, kernels, padding) * grad_out).sum()
+        lm = (direct_convolution(minus, kernels, padding) * grad_out).sum()
+        grads.append((lp - lm) / (2 * eps))
+    return coords, grads
+
+
+class TestFlipKernels:
+    def test_shape_and_content(self):
+        k = np.arange(2 * 3 * 2 * 2, dtype=float).reshape(2, 3, 2, 2)
+        f = flip_kernels(k)
+        assert f.shape == (3, 2, 2, 2)
+        assert f[1, 0, 0, 0] == k[0, 1, 1, 1]
+
+
+class TestDataGradient:
+    @pytest.mark.parametrize("pad", [0, 1])
+    def test_matches_finite_differences(self, pad):
+        rng = np.random.default_rng(1)
+        images = rng.normal(size=(1, 2, 7, 7))
+        kernels = rng.normal(size=(2, 3, 3, 3))
+        out = direct_convolution(images, kernels, padding=(pad, pad))
+        grad_out = rng.normal(size=out.shape)
+        grad_in = winograd_data_gradient(
+            grad_out, kernels, padding=(pad, pad), dtype=np.float64
+        )
+        assert grad_in.shape == images.shape
+        coords, grads = numerical_data_gradient(
+            images, kernels, (pad, pad), grad_out
+        )
+        for c, g in zip(coords, grads):
+            assert grad_in[c] == pytest.approx(g, rel=1e-4, abs=1e-6)
+
+    def test_3d(self):
+        rng = np.random.default_rng(2)
+        images = rng.normal(size=(1, 2, 5, 5, 5))
+        kernels = rng.normal(size=(2, 2, 3, 3, 3))
+        out = direct_convolution(images, kernels)
+        grad_out = rng.normal(size=out.shape)
+        grad_in = winograd_data_gradient(grad_out, kernels, dtype=np.float64)
+        assert grad_in.shape == images.shape
+        coords, grads = numerical_data_gradient(images, kernels, (0, 0, 0), grad_out)
+        for c, g in zip(coords, grads):
+            assert grad_in[c] == pytest.approx(g, rel=1e-4, abs=1e-6)
+
+    def test_excess_padding_rejected(self):
+        with pytest.raises(ValueError, match="padding"):
+            winograd_data_gradient(
+                np.zeros((1, 1, 4, 4)), np.zeros((1, 1, 3, 3)), padding=(3, 3)
+            )
+
+
+class TestWeightGradient:
+    def test_matches_finite_differences(self):
+        rng = np.random.default_rng(3)
+        images = rng.normal(size=(2, 2, 6, 6))
+        kernels = rng.normal(size=(2, 2, 3, 3))
+        out = direct_convolution(images, kernels, padding=(1, 1))
+        grad_out = rng.normal(size=out.shape)
+        grad_w = weight_gradient(images, grad_out, (3, 3), padding=(1, 1))
+        assert grad_w.shape == kernels.shape
+        eps = 1e-6
+        for c in [(0, 0, 0, 0), (1, 1, 2, 2), (0, 1, 1, 0)]:
+            plus = kernels.copy()
+            plus[c] += eps
+            minus = kernels.copy()
+            minus[c] -= eps
+            lp = (direct_convolution(images, plus, (1, 1)) * grad_out).sum()
+            lm = (direct_convolution(images, minus, (1, 1)) * grad_out).sum()
+            assert grad_w[c] == pytest.approx((lp - lm) / (2 * eps), rel=1e-4)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError, match="spatial"):
+            weight_gradient(
+                np.zeros((1, 1, 6, 6)), np.zeros((1, 1, 3, 3)), (3, 3)
+            )
+        with pytest.raises(ValueError, match="batch"):
+            weight_gradient(
+                np.zeros((2, 1, 6, 6)), np.zeros((1, 1, 4, 4)), (3, 3)
+            )
+
+
+class TestWorkspace:
+    def make_plan(self, size=8):
+        return WinogradPlan(
+            spec=FmrSpec.uniform(2, 2, 3),
+            input_shape=(1, 16, size, size),
+            c_out=16,
+            padding=(0, 0),
+        )
+
+    def test_components_sum(self):
+        ws = self.make_plan().workspace_bytes()
+        assert ws["total"] == ws["U"] + ws["V"] + ws["X"] + ws["output_tiles"]
+        # U: T * NB * C * 4 bytes.
+        plan = self.make_plan()
+        assert ws["U"] == plan.t_matrices * plan.gemm_rows * 16 * 4
+
+    def test_network_maximum(self):
+        plans = [self.make_plan(8), self.make_plan(16)]
+        assert max_workspace_bytes(plans) == plans[1].workspace_bytes()["total"]
+        with pytest.raises(ValueError):
+            max_workspace_bytes([])
+
+    def test_small_fraction_of_activations(self):
+        """Sec. 4.4: for a deep network the workspace is a small fraction
+        of total activation memory (which scales with layer count)."""
+        plan = self.make_plan(16)
+        act_bytes_per_layer = np.prod(plan.input_shape) * 4
+        n_layers = 20
+        assert plan.workspace_bytes()["total"] < n_layers * act_bytes_per_layer

@@ -1,0 +1,186 @@
+"""Cross-module integration tests.
+
+These exercise whole slices of the system together: all three executors
+on one problem, autotuner-driven execution, 4-D convolution (the N-D
+claim beyond the paper's own 2D/3D evaluation), and the accuracy harness
+driven through Table-2 surrogates.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.autotune import autotune_layer
+from repro.core.blocked_pipeline import BlockedWinogradExecutor
+from repro.core.blocking import BlockingConfig
+from repro.core.convolution import WinogradPlan, winograd_convolution
+from repro.core.fmr import FmrSpec
+from repro.core.parallel_convolution import ParallelWinogradExecutor
+from repro.machine.spec import KNL_7210
+from repro.nets.accuracy import measure_accuracy
+from repro.nets.layers import ConvLayerSpec, get_layer
+from repro.nets.reference import direct_convolution
+
+BLK = BlockingConfig(n_blk=6, c_blk=32, cprime_blk=32)
+
+
+class TestThreeExecutorsAgree:
+    def test_plain_blocked_parallel_identical_problem(self):
+        """The algorithmic plan, the layout/JIT executor and the parallel
+        executor all compute the same convolution."""
+        plan = WinogradPlan(
+            spec=FmrSpec(m=(2, 3), r=(3, 3)),
+            input_shape=(2, 32, 9, 11),
+            c_out=32,
+            padding=(1, 0),
+            dtype=np.float64,
+        )
+        rng = np.random.default_rng(0)
+        images = rng.normal(size=plan.input_shape)
+        kernels = rng.normal(size=(32, 32, 3, 3))
+
+        plain = plan.execute(images, kernels)
+        blocked = BlockedWinogradExecutor(plan=plan, blocking=BLK).execute(
+            images, kernels
+        )
+        with ParallelWinogradExecutor(plan=plan, blocking=BLK, n_threads=3) as pex:
+            parallel = pex.execute(images, kernels)
+
+        want = direct_convolution(images, kernels, padding=(1, 0))
+        for name, got in (("plain", plain), ("blocked", blocked), ("parallel", parallel)):
+            np.testing.assert_allclose(got, want, rtol=1e-9, atol=1e-10, err_msg=name)
+
+
+class TestFourDimensional:
+    """The paper claims N-dimensional generality; nothing in the code is
+    specialized to N <= 3, so 4-D must work out of the box."""
+
+    def test_4d_matches_direct(self):
+        rng = np.random.default_rng(1)
+        images = rng.normal(size=(1, 2, 5, 5, 5, 5))
+        kernels = rng.normal(size=(2, 2, 2, 2, 2, 2))
+        spec = FmrSpec.uniform(4, 2, 2)
+        got = winograd_convolution(images, kernels, spec, dtype=np.float64)
+        want = direct_convolution(images, kernels)
+        np.testing.assert_allclose(got, want, rtol=1e-9, atol=1e-10)
+
+    def test_4d_anisotropic(self):
+        rng = np.random.default_rng(2)
+        images = rng.normal(size=(1, 1, 4, 6, 5, 7))
+        kernels = rng.normal(size=(1, 1, 2, 3, 1, 2))
+        spec = FmrSpec(m=(2, 2, 3, 2), r=(2, 3, 1, 2))
+        got = winograd_convolution(images, kernels, spec, dtype=np.float64)
+        want = direct_convolution(images, kernels)
+        np.testing.assert_allclose(got, want, rtol=1e-9, atol=1e-10)
+
+
+class TestAutotunedExecution:
+    def test_autotuned_blocking_drives_blocked_executor(self):
+        """End-to-end: autotune a (scaled) Table-2 layer on the model,
+        then execute the real computation with the chosen blocking."""
+        layer = ConvLayerSpec("T", "t", 2, 64, 64, (12, 12), (1, 1), (3, 3))
+        fmr = FmrSpec.uniform(2, 2, 3)
+        tune = autotune_layer(
+            layer, fmr, KNL_7210,
+            threads_per_core_options=(1,), n_blk_values=(6, 14, 28),
+        )
+        plan = WinogradPlan(
+            spec=fmr,
+            input_shape=(layer.batch, layer.c_in) + layer.image,
+            c_out=layer.c_out,
+            padding=layer.padding,
+            dtype=np.float64,
+        )
+        execu = BlockedWinogradExecutor(plan=plan, blocking=tune.blocking)
+        rng = np.random.default_rng(3)
+        images = rng.normal(size=plan.input_shape)
+        kernels = rng.normal(size=(64, 64, 3, 3))
+        got = execu.execute(images, kernels)
+        want = direct_convolution(images, kernels, padding=(1, 1))
+        np.testing.assert_allclose(got, want, rtol=1e-9, atol=1e-10)
+
+
+class TestAccuracyHarness:
+    def test_rejects_mismatched_spec(self):
+        layer = ConvLayerSpec("T", "t", 1, 16, 16, (8, 8), (0, 0), (3, 3))
+        with pytest.raises(ValueError, match="does not match"):
+            measure_accuracy(layer, [FmrSpec.uniform(2, 2, 5)], "train")
+
+    def test_rejects_bad_mode(self):
+        layer = ConvLayerSpec("T", "t", 1, 16, 16, (8, 8), (0, 0), (3, 3))
+        with pytest.raises(ValueError, match="mode"):
+            measure_accuracy(layer, [], "validate")
+
+    def test_direct_row_always_first(self):
+        layer = ConvLayerSpec("T", "t", 1, 16, 16, (8, 8), (0, 0), (3, 3))
+        rows = measure_accuracy(layer, [FmrSpec.uniform(2, 2, 3)], "train")
+        assert rows[0].algorithm == "direct"
+        assert rows[1].algorithm == "F(2x2,3x3)"
+        assert rows[0].stats.max_error >= 0
+
+    def test_scaled_table2_layer(self):
+        layer = get_layer("C3D", "C4b").scaled(
+            batch=1, channels_divisor=16, image_divisor=2
+        )
+        rows = measure_accuracy(layer, [FmrSpec.uniform(3, 2, 3)], "infer")
+        assert all(r.stats.max_error < 1e-3 for r in rows)
+
+
+class TestNumericalEdgeCases:
+    def test_nan_propagates(self):
+        """NaNs in the input must surface in the output, never be
+        silently swallowed by the transforms."""
+        images = np.zeros((1, 16, 8, 8), dtype=np.float32)
+        images[0, 3, 4, 4] = np.nan
+        kernels = np.ones((16, 16, 3, 3), dtype=np.float32)
+        out = winograd_convolution(images, kernels, FmrSpec.uniform(2, 2, 3))
+        assert np.isnan(out).any()
+
+    def test_zero_input_zero_output(self):
+        images = np.zeros((1, 16, 8, 8), dtype=np.float32)
+        kernels = np.ones((16, 16, 3, 3), dtype=np.float32)
+        out = winograd_convolution(images, kernels, FmrSpec.uniform(2, 2, 3))
+        np.testing.assert_array_equal(out, 0.0)
+
+    def test_delta_kernel_identity(self):
+        """A centered delta kernel with padding reproduces the input."""
+        rng = np.random.default_rng(4)
+        images = rng.normal(size=(1, 1, 10, 10))
+        kernels = np.zeros((1, 1, 3, 3))
+        kernels[0, 0, 1, 1] = 1.0
+        out = winograd_convolution(
+            images, kernels, FmrSpec.uniform(2, 2, 3), padding=(1, 1),
+            dtype=np.float64,
+        )
+        np.testing.assert_allclose(out, images, rtol=1e-10, atol=1e-12)
+
+    def test_single_tile_image(self):
+        """Image exactly one tile large (no OLA needed)."""
+        rng = np.random.default_rng(5)
+        images = rng.normal(size=(1, 2, 4, 4))
+        kernels = rng.normal(size=(2, 2, 3, 3))
+        got = winograd_convolution(images, kernels, FmrSpec.uniform(2, 2, 3),
+                                   dtype=np.float64)
+        np.testing.assert_allclose(
+            got, direct_convolution(images, kernels), rtol=1e-10, atol=1e-12
+        )
+
+    def test_1x1_kernel(self):
+        """r=1: Winograd degenerates to a pure channel mix, still correct."""
+        rng = np.random.default_rng(6)
+        images = rng.normal(size=(2, 3, 6, 6))
+        kernels = rng.normal(size=(3, 4, 1, 1))
+        got = winograd_convolution(images, kernels, FmrSpec.uniform(2, 3, 1),
+                                   dtype=np.float64)
+        np.testing.assert_allclose(
+            got, direct_convolution(images, kernels), rtol=1e-10, atol=1e-12
+        )
+
+    def test_large_magnitude_inputs(self):
+        """The pipeline is linear: scaling inputs scales outputs exactly."""
+        rng = np.random.default_rng(7)
+        images = rng.normal(size=(1, 2, 8, 8))
+        kernels = rng.normal(size=(2, 2, 3, 3))
+        spec = FmrSpec.uniform(2, 4, 3)
+        base = winograd_convolution(images, kernels, spec, dtype=np.float64)
+        scaled = winograd_convolution(images * 1e6, kernels, spec, dtype=np.float64)
+        np.testing.assert_allclose(scaled, base * 1e6, rtol=1e-9)

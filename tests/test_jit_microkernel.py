@@ -1,0 +1,104 @@
+"""Tests for the microkernel trace generator and its cycle behaviour."""
+
+import pytest
+
+from repro.core.jit_gemm import (
+    MicrokernelSpec,
+    microkernel_efficiency,
+    microkernel_trace,
+    simulate_microkernel,
+)
+from repro.machine.spec import KNL_7210
+from repro.machine.trace import InstrKind
+
+
+def spec(**kw):
+    defaults = dict(n_blk=28, c_blk=64, cprime_blk=64, beta=1)
+    defaults.update(kw)
+    return MicrokernelSpec(**defaults)
+
+
+class TestSpecValidation:
+    def test_valid(self):
+        assert spec().registers_needed == 28 + 1 + 2
+
+    def test_bad_beta(self):
+        with pytest.raises(ValueError, match="beta"):
+            spec(beta=2)
+
+    def test_cprime_simd_multiple(self):
+        with pytest.raises(ValueError, match="multiple"):
+            spec(cprime_blk=40)
+
+    def test_from_blocking(self):
+        from repro.core.blocking import BlockingConfig
+
+        blk = BlockingConfig(n_blk=8, c_blk=64, cprime_blk=64)
+        mk = MicrokernelSpec.from_blocking(blk, beta=0)
+        assert (mk.n_blk, mk.c_blk, mk.cprime_blk, mk.beta) == (8, 64, 64, 0)
+
+
+class TestTraceStructure:
+    def test_fma_count(self):
+        """FMAs = n_blk * C_blk * (C'_blk / S): every MAC slot exactly once."""
+        mk = spec(n_blk=8, c_blk=32, cprime_blk=32)
+        trace = microkernel_trace(mk, KNL_7210)
+        fmas = sum(1 for i in trace if i.kind == InstrKind.FMA)
+        assert fmas == 8 * 32 * (32 // 16)
+
+    def test_beta0_skips_accumulator_loads(self):
+        t0 = microkernel_trace(spec(beta=0), KNL_7210)
+        t1 = microkernel_trace(spec(beta=1), KNL_7210)
+        loads0 = sum(1 for i in t0 if i.kind == InstrKind.LOAD)
+        loads1 = sum(1 for i in t1 if i.kind == InstrKind.LOAD)
+        q_blocks = 64 // 16
+        assert loads1 - loads0 == 28 * q_blocks
+
+    def test_streaming_store_flag(self):
+        nt = microkernel_trace(spec(streaming_stores=True), KNL_7210)
+        reg = microkernel_trace(spec(streaming_stores=False), KNL_7210)
+        assert any(i.kind == InstrKind.STREAM_STORE for i in nt)
+        assert not any(i.kind == InstrKind.STREAM_STORE for i in reg)
+        assert any(i.kind == InstrKind.STORE for i in reg)
+
+    def test_prefetch_knob(self):
+        t4 = microkernel_trace(spec(prefetches_per_iter=4), KNL_7210)
+        t0 = microkernel_trace(spec(prefetches_per_iter=0), KNL_7210)
+        p4 = sum(1 for i in t4 if i.kind == InstrKind.PREFETCH)
+        p0 = sum(1 for i in t0 if i.kind == InstrKind.PREFETCH)
+        assert p4 > p0
+
+
+class TestCycleBehaviour:
+    def test_good_config_near_peak(self):
+        """The paper's kernel with n_blk >= 6 approaches 2 FMA/cycle."""
+        eff = microkernel_efficiency(spec(n_blk=28), KNL_7210)
+        assert eff > 0.8
+
+    def test_small_n_blk_starves(self):
+        """n_blk below 6 cannot hide FMA latency (Sec. 4.3.2)."""
+        eff3 = microkernel_efficiency(spec(n_blk=3), KNL_7210)
+        eff12 = microkernel_efficiency(spec(n_blk=12), KNL_7210)
+        assert eff3 < 0.35
+        assert eff12 > 0.7
+
+    def test_register_spill_penalty(self):
+        """n_blk beyond the register file (30+2 aux) collapses throughput --
+        why the search stops at 30."""
+        ok = microkernel_efficiency(spec(n_blk=29), KNL_7210)
+        spilled = microkernel_efficiency(spec(n_blk=40), KNL_7210)
+        assert spilled < ok
+
+    def test_load_on_use_slower(self):
+        """load_ahead=0 (LIBXSMM-ish) loses cycles to V-row load stalls."""
+        ahead = simulate_microkernel(spec(load_ahead=1), KNL_7210).cycles
+        on_use = simulate_microkernel(spec(load_ahead=0), KNL_7210).cycles
+        assert ahead < on_use
+
+    def test_efficiency_monotone_region(self):
+        """Efficiency is non-decreasing from n_blk=4 up to ~12 (latency
+        hiding improves with more accumulators)."""
+        effs = [
+            microkernel_efficiency(spec(n_blk=n), KNL_7210) for n in (4, 6, 8, 12)
+        ]
+        assert effs[0] <= effs[1] <= effs[-1] + 1e-9

@@ -1,0 +1,141 @@
+"""Tests for the Table-2 layer registry and the initializers."""
+
+import numpy as np
+import pytest
+
+from repro.nets.initializers import (
+    pretrained_like_kernels,
+    uniform_images,
+    xavier_kernels,
+)
+from repro.nets.layers import (
+    BUDDEN_NET,
+    TABLE2_LAYERS,
+    ConvLayerSpec,
+    get_layer,
+    layers_for_network,
+)
+
+
+class TestTable2:
+    def test_sixteen_rows(self):
+        assert len(TABLE2_LAYERS) == 16
+
+    def test_network_partition(self):
+        assert len(layers_for_network("VGG")) == 5
+        assert len(layers_for_network("FusionNet")) == 5
+        assert len(layers_for_network("C3D")) == 3
+        assert len(layers_for_network("3DUNet")) == 3
+
+    def test_unknown_network(self):
+        with pytest.raises(KeyError, match="unknown network"):
+            layers_for_network("ResNet")
+
+    def test_get_layer(self):
+        layer = get_layer("VGG", "3.2")
+        assert (layer.batch, layer.c_in, layer.c_out) == (64, 256, 256)
+        assert layer.image == (56, 56)
+        with pytest.raises(KeyError):
+            get_layer("VGG", "9.9")
+
+    def test_exact_paper_values_spot_checks(self):
+        c2a = get_layer("C3D", "C2a")
+        assert c2a.batch == 32
+        assert (c2a.c_in, c2a.c_out) == (64, 128)
+        assert c2a.image == (16, 56, 56)
+        assert c2a.padding == (1, 1, 1)
+        assert c2a.kernel == (3, 3, 3)
+        unet = get_layer("3DUNet", "1.2")
+        assert unet.image == (114, 130, 130)
+        assert unet.batch == 1
+        fusion = get_layer("FusionNet", "5.2")
+        assert (fusion.c_in, fusion.c_out) == (1024, 1024)
+        assert fusion.padding == (0, 0)
+
+    def test_all_channels_simd_divisible(self):
+        """Sec. 4.1's assumption holds for every benchmarked layer."""
+        for layer in TABLE2_LAYERS:
+            assert layer.c_in % 16 == 0
+            assert layer.c_out % 16 == 0
+
+    def test_output_image(self):
+        assert get_layer("VGG", "1.2").output_image == (224, 224)  # pad 1
+        assert get_layer("FusionNet", "1.2").output_image == (638, 638)
+
+    def test_flops_and_voxels(self):
+        layer = get_layer("VGG", "5.2")
+        assert layer.output_voxels == 64 * 512 * 14 * 14
+        assert layer.direct_flops() == 2 * 64 * 512 * 512 * 14 * 14 * 9
+
+    def test_fmr_helper(self):
+        spec = get_layer("C3D", "C2a").fmr((4, 6, 6))
+        assert spec.m == (4, 6, 6)
+        assert spec.r == (3, 3, 3)
+        spec2 = get_layer("VGG", "1.2").fmr(4)
+        assert spec2.m == (4, 4)
+
+    def test_scaled_surrogate(self):
+        layer = get_layer("VGG", "3.2").scaled(
+            batch=2, channels_divisor=8, image_divisor=4
+        )
+        assert layer.batch == 2
+        assert layer.c_in == 32
+        assert layer.image == (14, 14)
+        assert layer.kernel == (3, 3)
+        with pytest.raises(ValueError):
+            get_layer("VGG", "3.2").scaled(channels_divisor=0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="rank"):
+            ConvLayerSpec("X", "y", 1, 16, 16, (8, 8), (1,), (3, 3))
+        with pytest.raises(ValueError, match="positive"):
+            ConvLayerSpec("X", "y", 0, 16, 16, (8,), (1,), (3,))
+
+    def test_budden_net(self):
+        assert len(BUDDEN_NET) == 3
+        for layer in BUDDEN_NET:
+            assert layer.kernel == (4, 4)
+            assert layer.c_in == layer.c_out == 32
+
+
+class TestInitializers:
+    def layer(self):
+        return ConvLayerSpec("T", "t", 2, 16, 32, (8, 8), (0, 0), (3, 3))
+
+    def test_uniform_images_range_and_shape(self):
+        rng = np.random.default_rng(0)
+        imgs = uniform_images(self.layer(), rng)
+        assert imgs.shape == (2, 16, 8, 8)
+        assert imgs.dtype == np.float32
+        assert imgs.min() >= -0.1 and imgs.max() <= 0.1
+
+    def test_xavier_scale(self):
+        rng = np.random.default_rng(1)
+        ker = xavier_kernels(self.layer(), rng)
+        assert ker.shape == (16, 32, 3, 3)
+        bound = np.sqrt(6.0 / (16 * 9 + 32 * 9))
+        assert np.abs(ker).max() <= bound
+        # Uniform distribution: std should be near bound/sqrt(3).
+        assert np.std(ker) == pytest.approx(bound / np.sqrt(3), rel=0.1)
+
+    def test_pretrained_like_smaller_variance(self):
+        """Trained-like kernels must have lower variance than Xavier --
+        the property that makes inference errors smaller (Table 3)."""
+        rng1, rng2 = np.random.default_rng(2), np.random.default_rng(2)
+        xavier = xavier_kernels(self.layer(), rng1)
+        trained = pretrained_like_kernels(self.layer(), rng2)
+        assert trained.shape == xavier.shape
+        assert np.std(trained) < np.std(xavier)
+
+    def test_pretrained_like_center_heavy(self):
+        rng = np.random.default_rng(3)
+        ker = pretrained_like_kernels(self.layer(), rng)
+        center = np.abs(ker[:, :, 1, 1]).mean()
+        corner = np.abs(ker[:, :, 0, 0]).mean()
+        assert center > corner
+
+    def test_3d_initializers(self):
+        layer = ConvLayerSpec("T", "t", 1, 16, 16, (6, 6, 6), (0, 0, 0), (3, 3, 3))
+        rng = np.random.default_rng(4)
+        assert xavier_kernels(layer, rng).shape == (16, 16, 3, 3, 3)
+        assert pretrained_like_kernels(layer, rng).shape == (16, 16, 3, 3, 3)

@@ -1,0 +1,183 @@
+"""Tests for the Table-1 data layouts: round trips and address formulas."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.blocking import BlockingConfig
+from repro.core.layout import (
+    ImageLayout,
+    KernelLayout,
+    TransformedImageLayout,
+    TransformedKernelLayout,
+    transformed_output_layout,
+)
+
+BLK = BlockingConfig(n_blk=6, c_blk=32, cprime_blk=32)
+
+
+class TestImageLayout:
+    def test_stored_shape(self):
+        lay = ImageLayout(batch=2, channels=32, spatial=(4, 5), simd_width=16)
+        assert lay.stored_shape == (2, 2, 4, 5, 16)
+        assert lay.size == 2 * 2 * 4 * 5 * 16
+
+    def test_roundtrip(self):
+        lay = ImageLayout(batch=2, channels=32, spatial=(3, 4, 5), simd_width=16)
+        rng = np.random.default_rng(0)
+        imgs = rng.normal(size=(2, 32, 3, 4, 5))
+        np.testing.assert_array_equal(lay.unpack(lay.pack(imgs)), imgs)
+
+    def test_locate_matches_pack(self):
+        """The Table-1 formula I[b][c/S][pos][c mod S] must agree with the
+        actual packed array for every element."""
+        lay = ImageLayout(batch=2, channels=16, spatial=(3, 4), simd_width=8)
+        imgs = np.arange(2 * 16 * 3 * 4, dtype=float).reshape(2, 16, 3, 4)
+        flat = lay.pack(imgs).reshape(-1)
+        for b in range(2):
+            for c in range(16):
+                for d in range(3):
+                    for h in range(4):
+                        assert flat[lay.locate(b, c, (d, h))] == imgs[b, c, d, h]
+
+    def test_divisibility_enforced(self):
+        with pytest.raises(ValueError, match="divisible"):
+            ImageLayout(batch=1, channels=20, spatial=(4,), simd_width=16)
+
+    def test_pack_shape_check(self):
+        lay = ImageLayout(batch=1, channels=16, spatial=(4,), simd_width=16)
+        with pytest.raises(ValueError):
+            lay.pack(np.zeros((1, 16, 5)))
+
+    def test_vector_block_contiguity(self):
+        """S consecutive channels at a fixed position are contiguous -- the
+        property enabling aligned vector loads (Sec. 4.1)."""
+        lay = ImageLayout(batch=1, channels=32, spatial=(4,), simd_width=16)
+        offsets = [lay.locate(0, c, (2,)) for c in range(16)]
+        assert offsets == list(range(offsets[0], offsets[0] + 16))
+
+
+class TestKernelLayout:
+    def test_roundtrip(self):
+        lay = KernelLayout(c_in=5, c_out=32, kernel=(3, 3), simd_width=16)
+        rng = np.random.default_rng(1)
+        ker = rng.normal(size=(5, 32, 3, 3))
+        np.testing.assert_array_equal(lay.unpack(lay.pack(ker)), ker)
+
+    def test_locate(self):
+        lay = KernelLayout(c_in=3, c_out=16, kernel=(3,), simd_width=8)
+        ker = np.arange(3 * 16 * 3, dtype=float).reshape(3, 16, 3)
+        flat = lay.pack(ker).reshape(-1)
+        for c in range(3):
+            for cp in range(16):
+                for k in range(3):
+                    assert flat[lay.locate(c, cp, (k,))] == ker[c, cp, k]
+
+    def test_divisibility(self):
+        with pytest.raises(ValueError, match="divisible"):
+            KernelLayout(c_in=4, c_out=20, kernel=(3,), simd_width=16)
+
+
+class TestTransformedImageLayout:
+    def test_shape_and_padding(self):
+        lay = TransformedImageLayout(nb=20, channels=64, t=16, blocking=BLK)
+        assert lay.row_blocks == 4  # ceil(20/6)
+        assert lay.padded_rows == 24
+        assert lay.stored_shape == (4, 2, 16, 6, 32)
+
+    def test_roundtrip(self):
+        lay = TransformedImageLayout(nb=20, channels=64, t=9, blocking=BLK)
+        rng = np.random.default_rng(2)
+        mats = rng.normal(size=(9, 20, 64))
+        np.testing.assert_array_equal(lay.unpack(lay.pack(mats)), mats)
+
+    def test_pad_rows_are_zero(self):
+        lay = TransformedImageLayout(nb=7, channels=32, t=4, blocking=BLK)
+        mats = np.ones((4, 7, 32))
+        stored = lay.pack(mats)
+        # Rows 7..11 of the padded 12-row matrix live in block 1, rows 1..5.
+        assert stored[1, 0, :, 1:, :].sum() == 0.0
+
+    def test_locate(self):
+        lay = TransformedImageLayout(nb=10, channels=64, t=3, blocking=BLK)
+        mats = np.arange(3 * 10 * 64, dtype=float).reshape(3, 10, 64)
+        flat = lay.pack(mats).reshape(-1)
+        for t in range(3):
+            for n in range(10):
+                for c in range(64):
+                    assert flat[lay.locate(n, c, t)] == mats[t, n, c]
+
+    def test_scattering_range(self):
+        lay = TransformedImageLayout(nb=20, channels=64, t=16, blocking=BLK)
+        assert lay.scattering_range() == 16 * 6 * 32
+
+    def test_divisibility(self):
+        with pytest.raises(ValueError, match="divisible"):
+            TransformedImageLayout(nb=20, channels=48, t=4, blocking=BLK)
+
+    @settings(max_examples=20, deadline=None)
+    @given(nb=st.integers(1, 40), t=st.integers(1, 8))
+    def test_roundtrip_property(self, nb, t):
+        lay = TransformedImageLayout(nb=nb, channels=32, t=t, blocking=BLK)
+        rng = np.random.default_rng(0)
+        mats = rng.normal(size=(t, nb, 32))
+        np.testing.assert_array_equal(lay.unpack(lay.pack(mats)), mats)
+
+
+class TestTransformedKernelLayout:
+    def test_roundtrip(self):
+        lay = TransformedKernelLayout(channels=64, c_out=64, t=16, blocking=BLK)
+        rng = np.random.default_rng(3)
+        mats = rng.normal(size=(16, 64, 64))
+        np.testing.assert_array_equal(lay.unpack(lay.pack(mats)), mats)
+
+    def test_locate(self):
+        lay = TransformedKernelLayout(channels=32, c_out=32, t=2, blocking=BLK)
+        mats = np.arange(2 * 32 * 32, dtype=float).reshape(2, 32, 32)
+        flat = lay.pack(mats).reshape(-1)
+        for t in range(2):
+            for c in range(0, 32, 7):
+                for cp in range(0, 32, 5):
+                    assert flat[lay.locate(c, cp, t)] == mats[t, c, cp]
+
+    def test_v_submatrix_contiguous(self):
+        """Each V sub-matrix (C_blk x C'_blk slab for one t) occupies a
+        contiguous region -- that is what lets it stay resident in L2."""
+        lay = TransformedKernelLayout(channels=64, c_out=64, t=4, blocking=BLK)
+        base = lay.locate(0, 0, 2)
+        offsets = [lay.locate(c, cp, 2) for c in range(32) for cp in range(32)]
+        assert offsets == list(range(base, base + 32 * 32))
+
+    def test_divisibility(self):
+        with pytest.raises(ValueError, match="divisible"):
+            TransformedKernelLayout(channels=64, c_out=48, t=4, blocking=BLK)
+
+
+class TestOutputLayout:
+    def test_mirrors_input_layout_with_cprime(self):
+        lay = transformed_output_layout(nb=20, c_out=64, t=16, blocking=BLK)
+        assert lay.channels == 64
+        assert lay.blocking.c_blk == BLK.cprime_blk
+        rng = np.random.default_rng(4)
+        mats = rng.normal(size=(16, 20, 64))
+        np.testing.assert_array_equal(lay.unpack(lay.pack(mats)), mats)
+
+
+class TestAddressBounds:
+    def test_locate_bounds_checked(self):
+        lay = ImageLayout(batch=1, channels=16, spatial=(4,), simd_width=16)
+        with pytest.raises(IndexError, match="out of bounds"):
+            lay.locate(1, 0, (0,))
+        with pytest.raises(IndexError):
+            lay.locate(0, 16, (0,))
+        with pytest.raises(IndexError):
+            lay.locate(0, 0, (4,))
+
+    def test_transformed_locate_bounds(self):
+        lay = TransformedImageLayout(nb=10, channels=32, t=2, blocking=BLK)
+        with pytest.raises(IndexError):
+            lay.locate(0, 0, 2)  # t out of range
+        # Padded rows beyond nb but inside the padded block are valid
+        # addresses (they exist in memory).
+        assert lay.locate(11, 0, 0) >= 0

@@ -1,0 +1,48 @@
+"""Tests for machine specifications."""
+
+import pytest
+
+from repro.machine.spec import KNL_7210, TITAN_X_PASCAL, XEON_E7_8890
+
+
+class TestKnl:
+    def test_paper_peak_flops(self):
+        """Sec. 5: 'approximately 4.5 TFLOPS of single precision'."""
+        assert KNL_7210.peak_flops == pytest.approx(4.5e12, rel=0.01)
+
+    def test_flops_per_cycle(self):
+        """Sec. 2.1: 'Each core is thus capable of 64 single precision
+        FLOPs per cycle'."""
+        assert KNL_7210.flops_per_cycle_per_core == 64
+
+    def test_compute_to_memory_capability(self):
+        """Sec. 4.3.2: ratio 'of the Xeon Phi processor of 45'."""
+        assert KNL_7210.compute_to_memory_capability == pytest.approx(45, rel=0.02)
+
+    def test_l2_per_thread(self):
+        """Sec. 4.3.2: 64KB V leaves 448/192 KB at 1/2 threads per core."""
+        assert KNL_7210.l2_bytes_per_thread(1) == 512 * 1024
+        assert KNL_7210.l2_bytes_per_thread(2) == 256 * 1024
+        with pytest.raises(ValueError):
+            KNL_7210.l2_bytes_per_thread(0)
+
+    def test_scaling(self):
+        half = KNL_7210.with_cores(32)
+        assert half.cores == 32
+        assert half.peak_flops == pytest.approx(KNL_7210.peak_flops / 2)
+        with pytest.raises(ValueError):
+            KNL_7210.with_cores(0)
+
+
+class TestComparators:
+    def test_titan_flops_ratio(self):
+        """Sec. 5.1: the GPU 'is capable of roughly 2.5x more FLOPS'."""
+        assert TITAN_X_PASCAL.peak_flops / KNL_7210.peak_flops == pytest.approx(
+            2.5, rel=0.05
+        )
+
+    def test_haswell_flops_ratio(self):
+        """Sec. 5.1: E7-8890 peak 'is roughly 1/3 of the KNL processor'."""
+        assert XEON_E7_8890.peak_flops / KNL_7210.peak_flops == pytest.approx(
+            1 / 3, rel=0.1
+        )

@@ -1,0 +1,162 @@
+"""Tests for the spin barrier and the fork-join runtime."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.barrier import BarrierBroken, BarrierTimeout, SpinBarrier
+from repro.core.parallel import ForkJoinPool
+from repro.core.scheduling import GridSlice, static_schedule
+
+
+class TestSpinBarrier:
+    def test_single_party(self):
+        b = SpinBarrier(1)
+        assert b.wait() == 0
+        assert b.wait() == 1
+        assert b.passes == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SpinBarrier(0)
+        with pytest.raises(ValueError):
+            SpinBarrier(2, timeout=0)
+
+    def test_synchronizes_threads(self):
+        n = 4
+        b = SpinBarrier(n)
+        arrived = []
+        released = []
+        lock = threading.Lock()
+
+        def worker(i):
+            with lock:
+                arrived.append(i)
+            b.wait()
+            with lock:
+                released.append(i)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(n)]
+        for t in threads[:-1]:
+            t.start()
+        time.sleep(0.05)
+        assert released == []  # nobody passes until the last arrives
+        threads[-1].start()
+        for t in threads:
+            t.join(timeout=5)
+        assert sorted(released) == list(range(n))
+
+    def test_reusable_generations(self):
+        n = 3
+        b = SpinBarrier(n)
+        counter = {"v": 0}
+        lock = threading.Lock()
+
+        def worker():
+            for _ in range(10):
+                b.wait()
+                with lock:
+                    counter["v"] += 1
+                b.wait()
+
+        threads = [threading.Thread(target=worker) for _ in range(n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10)
+        assert counter["v"] == 30
+        assert b.passes == 20
+
+    def test_timeout_raises(self):
+        b = SpinBarrier(2, timeout=0.1)
+        with pytest.raises(BarrierTimeout):
+            b.wait()
+
+    def test_broken_after_abort(self):
+        b = SpinBarrier(2)
+        b.abort()
+        with pytest.raises(BarrierBroken):
+            b.wait()
+
+
+class TestForkJoinPool:
+    def test_executes_all_slices(self):
+        grid = (4, 6)
+        slices = static_schedule(grid, 3)
+        done = np.zeros(grid, dtype=int)
+        lock = threading.Lock()
+
+        def stage(tid, sl: GridSlice):
+            for task in sl.tasks():
+                with lock:
+                    done[task] += 1
+
+        with ForkJoinPool(3) as pool:
+            pool.run(stage, slices)
+        assert (done == 1).all()
+
+    def test_pool_reuse_across_forks(self):
+        slices = static_schedule((8,), 2)
+        hits = []
+        lock = threading.Lock()
+
+        def stage(tid, sl):
+            with lock:
+                hits.append(tid)
+
+        with ForkJoinPool(2) as pool:
+            for _ in range(5):
+                pool.run(stage, slices)
+            assert pool.joins == 5
+        assert sorted(hits) == [0] * 5 + [1] * 5
+
+    def test_worker_exception_propagates(self):
+        slices = static_schedule((2,), 2)
+
+        def stage(tid, sl):
+            if tid == 1:
+                raise RuntimeError("boom in worker")
+
+        with ForkJoinPool(2) as pool:
+            with pytest.raises(RuntimeError, match="boom in worker"):
+                pool.run(stage, slices)
+            # Pool still usable after a failure.
+            pool.run(lambda tid, sl: None, slices)
+
+    def test_slice_count_mismatch(self):
+        with ForkJoinPool(2) as pool:
+            with pytest.raises(ValueError, match="slices"):
+                pool.run(lambda tid, sl: None, static_schedule((4,), 3))
+
+    def test_shutdown_idempotent(self):
+        pool = ForkJoinPool(2)
+        pool.shutdown()
+        pool.shutdown()
+        with pytest.raises(RuntimeError, match="shut down"):
+            pool.run(lambda tid, sl: None, static_schedule((2,), 2))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ForkJoinPool(0)
+
+    def test_parallel_stage_computes_correctly(self):
+        """A real mini stage-1: per-thread tile transforms writing into a
+        shared output; result matches the serial computation."""
+        from repro.core.transforms import winograd_1d
+
+        t = winograd_1d(2, 3)
+        b = np.array([[float(x) for x in row] for row in t.b])
+        rng = np.random.default_rng(0)
+        tiles = rng.normal(size=(16, 4))
+        out = np.zeros((16, 4))
+        slices = static_schedule((16,), 4)
+
+        def stage(tid, sl):
+            for (i,) in sl.tasks():
+                out[i] = b @ tiles[i]
+
+        with ForkJoinPool(4) as pool:
+            pool.run(stage, slices)
+        np.testing.assert_allclose(out, tiles @ b.T, rtol=1e-12)

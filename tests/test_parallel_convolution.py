@@ -1,0 +1,88 @@
+"""Tests for the statically scheduled parallel executor."""
+
+import numpy as np
+import pytest
+
+from repro.core.blocking import BlockingConfig
+from repro.core.convolution import WinogradPlan
+from repro.core.fmr import FmrSpec
+from repro.core.parallel_convolution import ParallelWinogradExecutor
+from repro.nets.reference import direct_convolution
+
+BLK = BlockingConfig(n_blk=6, c_blk=32, cprime_blk=32)
+
+
+def make(ndim=2, m=2, size=8, b=2, c=32, cp=32, pad=0, threads=3):
+    plan = WinogradPlan(
+        spec=FmrSpec.uniform(ndim, m, 3),
+        input_shape=(b, c) + (size,) * ndim,
+        c_out=cp,
+        padding=(pad,) * ndim,
+        dtype=np.float64,
+    )
+    execu = ParallelWinogradExecutor(
+        plan=plan, blocking=BLK, n_threads=threads
+    )
+    rng = np.random.default_rng(size * 7 + b)
+    images = rng.normal(size=plan.input_shape)
+    kernels = rng.normal(size=(c, cp, 3) + ((3,) * (ndim - 1)))
+    return plan, execu, images, kernels
+
+
+class TestParallelEquivalence:
+    @pytest.mark.parametrize("threads", [1, 2, 4, 7])
+    def test_matches_sequential_2d(self, threads):
+        plan, execu, images, kernels = make(threads=threads)
+        with execu:
+            got = execu.execute(images, kernels)
+        want = plan.execute(images, kernels)
+        np.testing.assert_allclose(got, want, rtol=1e-10, atol=1e-12)
+
+    def test_matches_direct_with_padding(self):
+        plan, execu, images, kernels = make(m=4, size=10, pad=1)
+        with execu:
+            got = execu.execute(images, kernels)
+        want = direct_convolution(images, kernels, padding=(1, 1))
+        np.testing.assert_allclose(got, want, rtol=1e-9, atol=1e-10)
+
+    def test_3d(self):
+        plan, execu, images, kernels = make(ndim=3, size=6, b=1)
+        with execu:
+            got = execu.execute(images, kernels)
+        want = direct_convolution(images, kernels)
+        np.testing.assert_allclose(got, want, rtol=1e-9, atol=1e-10)
+
+    def test_ragged_gemm_rows(self):
+        plan, execu, images, kernels = make(b=1, size=9)
+        assert plan.gemm_rows % BLK.n_blk != 0
+        with execu:
+            got = execu.execute(images, kernels)
+        np.testing.assert_allclose(
+            got, plan.execute(images, kernels), rtol=1e-10, atol=1e-12
+        )
+
+    def test_repeated_execution_reuses_pool(self):
+        plan, execu, images, kernels = make()
+        with execu:
+            a = execu.execute(images, kernels)
+            b = execu.execute(images, kernels)
+            assert execu.pool.joins == 8  # 4 stages x 2 runs
+        np.testing.assert_array_equal(a, b)
+
+
+class TestParallelValidation:
+    def test_channel_divisibility(self):
+        plan = WinogradPlan(
+            spec=FmrSpec.uniform(2, 2, 3),
+            input_shape=(1, 24, 8, 8),
+            c_out=24,
+            padding=(0, 0),
+        )
+        with pytest.raises(ValueError, match="divisible"):
+            ParallelWinogradExecutor(plan=plan, blocking=BLK)
+
+    def test_wrong_image_shape(self):
+        plan, execu, images, kernels = make()
+        with execu:
+            with pytest.raises(ValueError, match="images shape"):
+                execu.execute(np.zeros((1, 32, 8, 8)), kernels)

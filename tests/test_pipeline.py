@@ -1,0 +1,142 @@
+"""Tests for the vector-pipeline simulator."""
+
+import pytest
+
+from repro.machine.spec import KNL_7210, TITAN_X_PASCAL
+from repro.machine.trace import Instr, InstrKind, MemLevel, fma, load, prefetch, store
+from repro.machine.vector import simulate_pipeline
+
+
+class TestBasics:
+    def test_empty_trace(self):
+        res = simulate_pipeline([], KNL_7210)
+        assert res.cycles == 0
+        assert res.fma_count == 0
+
+    def test_single_fma(self):
+        res = simulate_pipeline([fma("acc0", "a", "b")], KNL_7210)
+        assert res.cycles == KNL_7210.fma_latency
+        assert res.fma_count == 1
+
+    def test_roofline_spec_rejected(self):
+        with pytest.raises(ValueError, match="roofline"):
+            simulate_pipeline([fma("x", "y")], TITAN_X_PASCAL)
+
+    def test_invalid_instr(self):
+        with pytest.raises(ValueError, match="destination"):
+            Instr(InstrKind.LOAD)
+        with pytest.raises(ValueError, match="source"):
+            Instr(InstrKind.FMA, dst="x")
+
+
+class TestLatencyHiding:
+    def test_dependent_chain_stalls(self):
+        """A chain of FMAs into the same accumulator pays full latency."""
+        trace = [fma("acc", f"v{i}") for i in range(10)]
+        res = simulate_pipeline(trace, KNL_7210)
+        assert res.cycles == 10 * KNL_7210.fma_latency
+        assert res.fma_throughput < 0.2
+
+    def test_independent_streams_reach_peak(self):
+        """With >= 2*latency independent accumulators both VPUs stay busy --
+        the reason the paper requires n_blk >= 6 (Sec. 4.3.2)."""
+        n_acc = 2 * KNL_7210.fma_latency  # 12 accumulators
+        trace = []
+        for _ in range(50):
+            for j in range(n_acc):
+                trace.append(fma(f"acc{j}", "v"))
+        res = simulate_pipeline(trace, KNL_7210)
+        assert res.fma_throughput > 1.9  # ~2 FMA/cycle
+
+    def test_too_few_accumulators_starve(self):
+        """n_blk < 6 cannot hide the 6-cycle FMA latency on 2 VPUs."""
+        trace3 = []
+        for _ in range(60):
+            for j in range(3):
+                trace3.append(fma(f"acc{j}", "v"))
+        res3 = simulate_pipeline(trace3, KNL_7210)
+        trace12 = []
+        for _ in range(60):
+            for j in range(12):
+                trace12.append(fma(f"acc{j}", "v"))
+        res12 = simulate_pipeline(trace12, KNL_7210)
+        assert res3.fma_throughput < 0.7
+        assert res12.fma_throughput > 1.9
+
+    def test_load_latency_levels(self):
+        """A dependent FMA waits for its load: L1 < L2 < MEM."""
+        def run(level):
+            return simulate_pipeline(
+                [load("v", level), fma("acc", "v")], KNL_7210
+            ).cycles
+
+        assert run(MemLevel.L1) < run(MemLevel.L2) < run(MemLevel.MEM)
+
+    def test_prefetch_hides_nothing_by_itself(self):
+        """Prefetches consume a memory slot but create no dependencies."""
+        res = simulate_pipeline([prefetch(), prefetch(), fma("a", "b")], KNL_7210)
+        assert res.fma_count == 1
+
+
+class TestStructuralHazards:
+    def test_issue_width_limits(self):
+        """At most issue_width instructions per cycle: 100 independent
+        1-cycle stores need >= 50 cycles on the 2-wide front end."""
+        trace = [store(f"v{i}") for i in range(100)]
+        res = simulate_pipeline(trace, KNL_7210)
+        assert res.cycles >= 50
+
+    def test_two_vpus(self):
+        """More than 2 FMAs per cycle is impossible."""
+        trace = [fma(f"acc{i}", "v") for i in range(100)]
+        res = simulate_pipeline(trace, KNL_7210)
+        assert res.cycles >= 50 + KNL_7210.fma_latency - 1
+
+    def test_mem_port_limit_shared_by_loads_and_stores(self):
+        trace = []
+        for i in range(30):
+            trace.append(load(f"l{i}"))
+            trace.append(store(f"l{i}"))
+            trace.append(prefetch())
+        res = simulate_pipeline(trace, KNL_7210)
+        # 90 memory ops / 2 ports = at least 45 cycles.
+        assert res.cycles >= 45
+
+    def test_load_ahead_beats_load_on_use(self):
+        """Fig. 4's pattern -- loading the (i+1)-th row of V *during* the
+        FMAs of iteration i -- beats loading right before use, because a
+        load immediately followed by its consumer stalls the in-order
+        pipeline for the full L2 latency."""
+        n_iter, n_rows = 8, 8
+
+        def iteration_fmas(i):
+            return [fma(f"acc{j}", f"v{i}") for j in range(n_rows)]
+
+        naive = []
+        for i in range(n_iter):
+            naive.append(load(f"v{i}", MemLevel.L2))  # load-on-use
+            naive.extend(iteration_fmas(i))
+
+        ahead = [load("v0", MemLevel.L2)]
+        for i in range(n_iter):
+            body = iteration_fmas(i)
+            if i + 1 < n_iter:
+                # Interleave next iteration's load among this one's FMAs.
+                body.insert(1, load(f"v{i + 1}", MemLevel.L2))
+            ahead.extend(body)
+
+        t_naive = simulate_pipeline(naive, KNL_7210).cycles
+        t_ahead = simulate_pipeline(ahead, KNL_7210).cycles
+        assert t_ahead < t_naive
+
+
+class TestAccounting:
+    def test_flops(self):
+        res = simulate_pipeline([fma("a", "b")] * 4, KNL_7210)
+        assert res.flops(16) == 4 * 2 * 16
+
+    def test_seconds(self):
+        res = simulate_pipeline([fma("a", "b")], KNL_7210)
+        assert res.seconds(KNL_7210) == pytest.approx(
+            KNL_7210.fma_latency / KNL_7210.frequency_hz
+        )

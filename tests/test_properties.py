@@ -1,0 +1,159 @@
+"""System-level property tests (hypothesis).
+
+Algebraic invariants the whole pipeline must satisfy independent of any
+reference implementation: linearity in images and in kernels,
+tile-translation equivariance, kernel-delta behaviour, scheduler
+determinism, and transform-matrix structure across the curated point
+table.
+"""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fmr import FmrSpec
+from repro.core.convolution import winograd_convolution
+from repro.core.scheduling import static_schedule
+from repro.core.transforms import winograd_1d
+from repro.nets.reference import direct_convolution
+
+
+def conv(images, kernels, m):
+    spec = FmrSpec.uniform(images.ndim - 2, m, kernels.shape[-1])
+    return winograd_convolution(images, kernels, spec, dtype=np.float64)
+
+
+class TestLinearity:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        seed=st.integers(0, 2**31),
+        m=st.integers(1, 4),
+        alpha=st.floats(-3, 3),
+    )
+    def test_linear_in_images(self, seed, m, alpha):
+        rng = np.random.default_rng(seed)
+        a = rng.normal(size=(1, 2, 9, 9))
+        b = rng.normal(size=(1, 2, 9, 9))
+        k = rng.normal(size=(2, 2, 3, 3))
+        lhs = conv(a + alpha * b, k, m)
+        rhs = conv(a, k, m) + alpha * conv(b, k, m)
+        np.testing.assert_allclose(lhs, rhs, rtol=1e-9, atol=1e-9)
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 2**31), m=st.integers(1, 4))
+    def test_linear_in_kernels(self, seed, m):
+        rng = np.random.default_rng(seed)
+        img = rng.normal(size=(1, 2, 9, 9))
+        k1 = rng.normal(size=(2, 2, 3, 3))
+        k2 = rng.normal(size=(2, 2, 3, 3))
+        lhs = conv(img, k1 + k2, m)
+        rhs = conv(img, k1, m) + conv(img, k2, m)
+        np.testing.assert_allclose(lhs, rhs, rtol=1e-9, atol=1e-9)
+
+
+class TestEquivariance:
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 2**31), m=st.integers(1, 4), shift=st.integers(1, 3))
+    def test_translation(self, seed, m, shift):
+        """Shifting the input shifts the output (valid-mode crop)."""
+        rng = np.random.default_rng(seed)
+        size = 14
+        img = rng.normal(size=(1, 1, size, size))
+        k = rng.normal(size=(1, 1, 3, 3))
+        base = conv(img, k, m)
+        shifted_img = np.roll(img, shift, axis=2)
+        shifted = conv(shifted_img, k, m)
+        # Rows unaffected by wraparound must match the shifted baseline.
+        np.testing.assert_allclose(
+            shifted[:, :, shift:, :], base[:, :, : base.shape[2] - shift, :],
+            rtol=1e-9, atol=1e-9,
+        )
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 2**31))
+    def test_channel_permutation(self, seed):
+        """Permuting input channels together with the kernel's C axis is a
+        no-op."""
+        rng = np.random.default_rng(seed)
+        img = rng.normal(size=(1, 4, 8, 8))
+        k = rng.normal(size=(4, 3, 3, 3))
+        perm = rng.permutation(4)
+        base = conv(img, k, 2)
+        permuted = conv(img[:, perm], k[perm], 2)
+        np.testing.assert_allclose(permuted, base, rtol=1e-9, atol=1e-10)
+
+
+class TestAgainstOracleFuzz:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(0, 2**31),
+        m=st.integers(1, 5),
+        r=st.integers(1, 4),
+        pad=st.integers(0, 2),
+    )
+    def test_winograd_vs_direct_2d(self, seed, m, r, pad):
+        rng = np.random.default_rng(seed)
+        size = m + r + 6
+        img = rng.normal(size=(1, 2, size, size + 1))
+        k = rng.normal(size=(2, 2, r, r))
+        spec = FmrSpec.uniform(2, m, r)
+        got = winograd_convolution(img, k, spec, padding=(pad, pad), dtype=np.float64)
+        want = direct_convolution(img, k, padding=(pad, pad))
+        np.testing.assert_allclose(got, want, rtol=1e-8, atol=1e-8)
+
+
+class TestSchedulerProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        grid=st.lists(st.integers(1, 10), min_size=1, max_size=4).map(tuple),
+        k=st.integers(1, 12),
+    )
+    def test_deterministic(self, grid, k):
+        """Static scheduling is a pure function (no hidden state) -- the
+        property that makes the paper's pre-assignment valid."""
+        a = static_schedule(grid, k)
+        b = static_schedule(grid, k)
+        assert a == b
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        grid=st.lists(st.integers(1, 10), min_size=1, max_size=3).map(tuple),
+        k=st.integers(1, 12),
+    )
+    def test_slices_are_rectangular_and_ordered(self, grid, k):
+        for sl in static_schedule(grid, k):
+            for (a, b), p in zip(sl.ranges, grid):
+                assert 0 <= a <= b <= p
+
+
+class TestTransformTableProperties:
+    @pytest.mark.parametrize("m,r", [(m, r) for m in range(1, 9) for r in (1, 2, 3)])
+    def test_matrix_shapes_entire_supported_range(self, m, r):
+        t = winograd_1d(m, r)
+        alpha = m + r - 1
+        assert len(t.a) == m and all(len(row) == alpha for row in t.a)
+        assert len(t.b) == alpha and all(len(row) == alpha for row in t.b)
+        assert len(t.g) == alpha and all(len(row) == r for row in t.g)
+
+    @pytest.mark.parametrize("m", range(1, 9))
+    def test_b_integer_up_to_integer_points(self, m):
+        """B stays integral exactly while the consumed prefix of the point
+        table is integral (first 5 points: 0, 1, -1, 2, -2)."""
+        t = winograd_1d(m, 3)
+        n_points = m + 1
+        if n_points <= 5:
+            assert all(x.denominator == 1 for row in t.b for x in row)
+
+    def test_infinity_row_structure(self):
+        """Last G row selects the leading kernel coefficient; last column
+        of A has a single nonzero (the infinity point)."""
+        for m, r in [(2, 3), (4, 3), (6, 3)]:
+            t = winograd_1d(m, r)
+            assert t.g[-1] == tuple(
+                Fraction(1) if i == r - 1 else Fraction(0) for i in range(r)
+            )
+            last_col = [t.a[i][-1] for i in range(m)]
+            assert sum(1 for x in last_col if x != 0) == 1

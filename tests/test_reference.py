@@ -1,0 +1,129 @@
+"""Tests for the reference direct convolution (semantic oracle)."""
+
+import numpy as np
+import pytest
+from scipy.signal import correlate
+
+from repro.nets.reference import (
+    direct_convolution,
+    output_shape,
+    pad_images,
+    reference_convolution,
+)
+
+
+class TestOutputShape:
+    def test_valid(self):
+        assert output_shape((8, 8), (3, 3)) == (6, 6)
+
+    def test_padded(self):
+        assert output_shape((8, 8), (3, 3), (1, 1)) == (8, 8)
+
+    def test_kernel_too_large(self):
+        with pytest.raises(ValueError, match="larger"):
+            output_shape((2, 2), (3, 3))
+
+    def test_rank_mismatch(self):
+        with pytest.raises(ValueError, match="rank"):
+            output_shape((8, 8), (3,))
+
+
+class TestPadImages:
+    def test_zero_padding_is_identity(self):
+        x = np.ones((1, 1, 4, 4))
+        assert pad_images(x, (0, 0)) is x
+
+    def test_padding_shape(self):
+        x = np.ones((2, 3, 4, 5))
+        assert pad_images(x, (1, 2)).shape == (2, 3, 6, 9)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            pad_images(np.ones((1, 1, 4, 4)), (-1, 0))
+
+
+class TestDirectConvolution:
+    def test_single_channel_matches_scipy(self):
+        rng = np.random.default_rng(0)
+        img = rng.normal(size=(1, 1, 9, 11))
+        ker = rng.normal(size=(1, 1, 3, 3))
+        got = direct_convolution(img, ker)
+        want = correlate(img[0, 0], ker[0, 0], mode="valid")
+        np.testing.assert_allclose(got[0, 0], want, rtol=1e-12)
+
+    def test_multichannel_sum(self):
+        """Eqn. 6: output channel is the sum over input channels."""
+        rng = np.random.default_rng(1)
+        img = rng.normal(size=(2, 3, 6, 6))
+        ker = rng.normal(size=(3, 4, 3, 3))
+        got = direct_convolution(img, ker)
+        assert got.shape == (2, 4, 4, 4)
+        want = np.zeros_like(got)
+        for b in range(2):
+            for cp in range(4):
+                for c in range(3):
+                    want[b, cp] += correlate(img[b, c], ker[c, cp], mode="valid")
+        np.testing.assert_allclose(got, want, rtol=1e-10, atol=1e-12)
+
+    def test_3d(self):
+        rng = np.random.default_rng(2)
+        img = rng.normal(size=(1, 2, 5, 6, 7))
+        ker = rng.normal(size=(2, 3, 3, 3, 3))
+        got = direct_convolution(img, ker)
+        assert got.shape == (1, 3, 3, 4, 5)
+        want = sum(
+            correlate(img[0, c], ker[c, 1], mode="valid") for c in range(2)
+        )
+        np.testing.assert_allclose(got[0, 1], want, rtol=1e-10, atol=1e-12)
+
+    def test_1d(self):
+        img = np.arange(6, dtype=float).reshape(1, 1, 6)
+        ker = np.array([1.0, 0.0, -1.0]).reshape(1, 1, 3)
+        got = direct_convolution(img, ker)
+        np.testing.assert_allclose(got[0, 0], [-2, -2, -2, -2])
+
+    def test_padding_matches_manual_pad(self):
+        rng = np.random.default_rng(3)
+        img = rng.normal(size=(1, 2, 5, 5))
+        ker = rng.normal(size=(2, 2, 3, 3))
+        padded = np.pad(img, [(0, 0), (0, 0), (1, 1), (1, 1)])
+        np.testing.assert_allclose(
+            direct_convolution(img, ker, padding=(1, 1)),
+            direct_convolution(padded, ker),
+            rtol=1e-12,
+        )
+
+    def test_channel_mismatch(self):
+        with pytest.raises(ValueError, match="channel mismatch"):
+            direct_convolution(np.ones((1, 2, 5, 5)), np.ones((3, 2, 3, 3)))
+
+    def test_rank_mismatch(self):
+        with pytest.raises(ValueError, match="spatial dims"):
+            direct_convolution(np.ones((1, 2, 5, 5)), np.ones((2, 2, 3)))
+
+    def test_dtype_control(self):
+        img = np.ones((1, 1, 4, 4), dtype=np.float32)
+        ker = np.ones((1, 1, 3, 3), dtype=np.float32)
+        assert direct_convolution(img, ker).dtype == np.float32
+        assert direct_convolution(img, ker, dtype=np.float64).dtype == np.float64
+
+
+class TestReferenceConvolution:
+    def test_longdouble_output(self):
+        img = np.ones((1, 1, 4, 4), dtype=np.float32)
+        ker = np.ones((1, 1, 3, 3), dtype=np.float32)
+        out = reference_convolution(img, ker)
+        assert out.dtype == np.longdouble
+        np.testing.assert_allclose(out.astype(float), 9.0)
+
+    def test_more_precise_than_float32(self):
+        """Extended precision must beat float32 on an ill-conditioned sum."""
+        rng = np.random.default_rng(4)
+        img = rng.normal(size=(1, 64, 1, 6, 6)).astype(np.float32)[:, :, 0]
+        ker = rng.normal(size=(64, 1, 3, 3)).astype(np.float32)
+        f32 = direct_convolution(img, ker)
+        ref = reference_convolution(img, ker)
+        f64 = direct_convolution(img, ker, dtype=np.float64)
+        err32 = np.abs(f32 - ref).max()
+        err64 = np.abs(f64 - ref).max()
+        assert err64 < err32

@@ -1,0 +1,63 @@
+"""Tests for the utilization report and the analyze CLI command."""
+
+import pytest
+
+from repro.cli import main
+from repro.core.fmr import FmrSpec
+from repro.machine.report import analyze_layer, render_report
+from repro.machine.spec import KNL_7210
+from repro.nets.layers import ConvLayerSpec
+
+
+def small_layer():
+    return ConvLayerSpec("T", "t", 8, 64, 64, (28, 28), (1, 1), (3, 3))
+
+
+class TestAnalyzeLayer:
+    def test_shares_sum_to_one(self):
+        cost, stages, meta = analyze_layer(
+            small_layer(), FmrSpec.uniform(2, 4, 3), KNL_7210
+        )
+        assert sum(s.share for s in stages) == pytest.approx(1.0)
+        assert meta["total_seconds"] == pytest.approx(cost.seconds)
+
+    def test_gemm_dominates_and_utilizes(self):
+        _, stages, meta = analyze_layer(
+            small_layer(), FmrSpec.uniform(2, 4, 3), KNL_7210
+        )
+        gemm = next(s for s in stages if s.name == "gemm")
+        assert gemm.share == max(s.share for s in stages)
+        assert gemm.bound == "compute"
+        assert gemm.flops_utilization > 0.5
+        assert 0 < meta["effective_flops"] <= KNL_7210.peak_flops
+
+    def test_fx_mode_drops_stage(self):
+        _, stages, _ = analyze_layer(
+            small_layer(), FmrSpec.uniform(2, 4, 3), KNL_7210,
+            transform_kernels=False,
+        )
+        assert all(s.name != "kernel_transform" for s in stages)
+
+    def test_render(self):
+        layer = small_layer()
+        fmr = FmrSpec.uniform(2, 4, 3)
+        _, stages, meta = analyze_layer(layer, fmr, KNL_7210)
+        text = render_report(layer, fmr, KNL_7210, stages, meta)
+        assert "of peak" in text
+        assert "gemm" in text
+        assert "#" in text  # the bar chart
+
+
+class TestAnalyzeCli:
+    def test_analyze_command(self, capsys):
+        assert main([
+            "analyze", "--network", "VGG", "--layer", "5.2",
+            "--fmr", "F(2x2,3x3)",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "VGG-5.2" in out
+        assert "compute-bound" in out or "memory-bound" in out
+
+    def test_analyze_unknown(self, capsys):
+        assert main(["analyze", "--network", "X", "--layer", "1",
+                     "--fmr", "F(2x2,3x3)"]) == 2

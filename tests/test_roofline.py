@@ -1,0 +1,96 @@
+"""Tests for the roofline analysis and the codelet-trace bridge."""
+
+import pytest
+
+from repro.core.codelets import generate_codelet
+from repro.core.fmr import FmrSpec
+from repro.core.transforms import winograd_1d
+from repro.machine.codelet_trace import (
+    closed_form_cycles,
+    codelet_to_trace,
+    simulate_codelet,
+)
+from repro.machine.roofline import (
+    RooflinePoint,
+    direct_point,
+    fft_point,
+    im2col_point,
+    layer_roofline,
+    winograd_point,
+)
+from repro.machine.spec import KNL_7210
+from repro.machine.trace import InstrKind
+from repro.nets.layers import get_layer
+
+
+class TestRooflinePoints:
+    def test_point_arithmetic(self):
+        p = RooflinePoint(algorithm="x", flops=100.0, bytes_moved=10.0)
+        assert p.arithmetic_intensity == 10.0
+        assert p.attainable_flops(KNL_7210) == pytest.approx(10.0 * 400e9)
+        assert p.bound(KNL_7210) == "memory"
+
+    def test_ridge_point(self):
+        ridge = KNL_7210.peak_flops / KNL_7210.mem_bandwidth  # ~11.3 F/B
+        hi = RooflinePoint("hi", flops=100 * ridge, bytes_moved=50.0)
+        assert hi.bound(KNL_7210) == "compute"
+
+    def test_winograd_fewer_flops_lower_ai(self):
+        """The paper's central trade: Winograd cuts FLOPs but adds
+        transformed-tensor traffic, lowering arithmetic intensity."""
+        layer = get_layer("VGG", "3.2")
+        d = direct_point(layer)
+        w = winograd_point(layer, FmrSpec.uniform(2, 4, 3))
+        assert w.flops < 0.4 * d.flops
+        assert w.arithmetic_intensity < d.arithmetic_intensity
+
+    def test_winograd_wins_attainable_time_on_vgg(self):
+        layer = get_layer("VGG", "3.2")
+        d = direct_point(layer)
+        w = winograd_point(layer, FmrSpec.uniform(2, 4, 3))
+        assert w.attainable_seconds(KNL_7210) < d.attainable_seconds(KNL_7210)
+
+    def test_fft_flops_high_for_small_kernels(self):
+        layer = get_layer("VGG", "4.2")
+        f = fft_point(layer)
+        w = winograd_point(layer, FmrSpec.uniform(2, 4, 3))
+        assert f.attainable_seconds(KNL_7210) > w.attainable_seconds(KNL_7210)
+
+    def test_im2col_more_traffic_than_direct(self):
+        layer = get_layer("C3D", "C3b")
+        assert im2col_point(layer).bytes_moved > 5 * direct_point(layer).bytes_moved
+
+    def test_layer_roofline_sorted(self):
+        layer = get_layer("VGG", "4.2")
+        pts = layer_roofline(layer, FmrSpec.uniform(2, 4, 3), KNL_7210)
+        times = [p.attainable_seconds(KNL_7210) for p in pts]
+        assert times == sorted(times)
+        assert pts[0].algorithm.startswith("winograd")
+
+
+class TestCodeletTrace:
+    def test_lowering_kinds(self):
+        cod = generate_codelet(winograd_1d(4, 3).b)
+        trace = codelet_to_trace(cod)
+        kinds = {i.kind for i in trace}
+        assert InstrKind.LOAD in kinds
+        assert InstrKind.FMA in kinds
+        assert InstrKind.STREAM_STORE in kinds
+        trace_reg = codelet_to_trace(cod, streaming_stores=False)
+        assert InstrKind.STORE in {i.kind for i in trace_reg}
+
+    @pytest.mark.parametrize("m,r", [(2, 3), (4, 3), (6, 3), (3, 4)])
+    def test_simulation_vs_closed_form(self, m, r):
+        """The cost model's closed form tracks the cycle simulation
+        within a small factor for every benchmarked transform."""
+        t = winograd_1d(m, r)
+        for mat in (t.a, t.b, t.g):
+            cod = generate_codelet(mat)
+            sim = simulate_codelet(cod, KNL_7210).cycles
+            formula = closed_form_cycles(cod, KNL_7210)
+            assert formula <= sim <= 4.0 * formula, (m, r)
+
+    def test_simulated_cycles_lower_bounded_by_critical_path(self):
+        cod = generate_codelet(winograd_1d(6, 3).b)
+        sim = simulate_codelet(cod, KNL_7210)
+        assert sim.cycles >= cod.critical_path(KNL_7210.fma_latency)

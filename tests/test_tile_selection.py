@@ -1,0 +1,81 @@
+"""Tests for automatic tile-size selection."""
+
+import pytest
+
+from repro.core.fmr import FmrSpec
+from repro.core.tile_selection import (
+    INFER_MAX_ALPHA,
+    TRAIN_MAX_ALPHA,
+    candidate_tiles,
+    select_tile_size,
+)
+from repro.machine.spec import KNL_7210
+from repro.nets.layers import ConvLayerSpec, get_layer
+
+
+def small_layer(size=28, c=64):
+    return ConvLayerSpec("T", "t", 8, c, c, (size, size), (1, 1), (3, 3))
+
+
+class TestCandidates:
+    def test_training_cap(self):
+        tiles = candidate_tiles(small_layer(), mode="train")
+        for spec in tiles:
+            assert all(m + 3 - 1 <= TRAIN_MAX_ALPHA for m in spec.m)
+        assert FmrSpec.uniform(2, 6, 3) in tiles
+        assert FmrSpec.uniform(2, 8, 3) not in tiles
+
+    def test_inference_allows_larger(self):
+        tiles = candidate_tiles(small_layer(), mode="infer")
+        assert FmrSpec.uniform(2, 8, 3) in tiles
+        assert FmrSpec(m=(6, 8), r=(3, 3)) in tiles
+        for spec in tiles:
+            assert all(m + 2 <= INFER_MAX_ALPHA for m in spec.m)
+
+    def test_anisotropy_bounded(self):
+        for spec in candidate_tiles(small_layer(), mode="infer"):
+            assert max(spec.m) / min(spec.m) <= 2
+
+    def test_bad_mode(self):
+        with pytest.raises(ValueError, match="mode"):
+            candidate_tiles(small_layer(), mode="test")
+
+    def test_3d(self):
+        layer = ConvLayerSpec("T", "t", 2, 32, 32, (8, 8, 8), (1, 1, 1), (3, 3, 3))
+        tiles = candidate_tiles(layer, mode="train")
+        assert FmrSpec(m=(4, 6, 6), r=(3, 3, 3)) in tiles
+
+
+class TestSelection:
+    def test_ranked_output(self):
+        choices = select_tile_size(small_layer(), KNL_7210, mode="train", top_k=5)
+        times = [c.predicted_seconds for c in choices]
+        assert times == sorted(times)
+        assert len(choices) <= 5
+        best = choices[0]
+        assert best.multiplication_reduction > 1.0
+
+    def test_padding_penalizes_large_m_on_small_images(self):
+        """VGG 5.2 (14x14): m=6 wastes 65% in padding; the selector must
+        not rank F(6^2) above every smaller tile on merit of FLOPs alone
+        -- its overhead is recorded and priced."""
+        layer = get_layer("VGG", "5.2")
+        choices = select_tile_size(layer, KNL_7210, mode="train", top_k=10)
+        by_spec = {c.spec: c for c in choices}
+        f6 = by_spec.get(FmrSpec.uniform(2, 6, 3))
+        if f6 is not None:
+            assert f6.padding_overhead > 0.6
+
+    def test_large_image_prefers_larger_tiles(self):
+        """On a 56x56 layer with 256 channels, bigger tiles win (the
+        Fig. 5 pattern: F(6^2) fastest on large VGG layers)."""
+        layer = ConvLayerSpec("T", "t", 8, 256, 256, (54, 54), (1, 1), (3, 3))
+        choices = select_tile_size(layer, KNL_7210, mode="train", top_k=1)
+        best = choices[0].spec
+        assert min(best.m) >= 4
+
+    def test_inference_mode_skips_kernel_transform(self):
+        layer = small_layer()
+        t_train = select_tile_size(layer, KNL_7210, mode="train", top_k=1)[0]
+        t_infer = select_tile_size(layer, KNL_7210, mode="infer", top_k=1)[0]
+        assert t_infer.predicted_seconds <= t_train.predicted_seconds * 1.05

@@ -1,0 +1,132 @@
+"""Tests for N-D overlap-add tiling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fmr import FmrSpec
+from repro.core.tiling import assemble_output, extract_tiles, plan_tiles
+
+
+class TestPlanTiles:
+    def test_basic(self):
+        grid = plan_tiles(FmrSpec.uniform(2, 4, 3), (10, 10))
+        assert grid.output_shape == (8, 8)
+        assert grid.counts == (2, 2)
+        assert grid.total_tiles == 4
+        assert grid.padded_input_shape == (10, 10)
+
+    def test_with_tile_padding(self):
+        grid = plan_tiles(FmrSpec.uniform(2, 6, 3), (16, 16))
+        assert grid.output_shape == (14, 14)
+        assert grid.counts == (3, 3)
+        assert grid.padded_output_shape == (18, 18)
+        assert grid.padded_input_shape == (20, 20)
+
+    def test_too_small(self):
+        with pytest.raises(ValueError, match="smaller than kernel"):
+            plan_tiles(FmrSpec.uniform(2, 2, 3), (2, 5))
+
+    def test_rank_mismatch(self):
+        with pytest.raises(ValueError, match="rank"):
+            plan_tiles(FmrSpec.uniform(2, 2, 3), (5, 5, 5))
+
+
+class TestExtractTiles:
+    def test_shapes(self):
+        spec = FmrSpec.uniform(2, 2, 3)
+        grid = plan_tiles(spec, (6, 6))
+        imgs = np.arange(2 * 3 * 6 * 6, dtype=float).reshape(2, 3, 6, 6)
+        tiles = extract_tiles(imgs, grid)
+        assert tiles.shape == (2, 3, 2, 2, 4, 4)
+
+    def test_overlap_content(self):
+        """Adjacent tiles share r-1 input columns (OLA, Sec. 3.1)."""
+        spec = FmrSpec(m=(2,), r=(3,))
+        grid = plan_tiles(spec, (6,))
+        img = np.arange(6, dtype=float).reshape(1, 1, 6)
+        tiles = extract_tiles(img, grid)
+        np.testing.assert_array_equal(tiles[0, 0, 0], [0, 1, 2, 3])
+        np.testing.assert_array_equal(tiles[0, 0, 1], [2, 3, 4, 5])
+
+    def test_zero_extension_for_partial_tiles(self):
+        spec = FmrSpec(m=(4,), r=(3,))
+        grid = plan_tiles(spec, (8,))  # out 6 -> 2 tiles -> padded input 10
+        img = np.ones((1, 1, 8))
+        tiles = extract_tiles(img, grid)
+        assert tiles.shape == (1, 1, 2, 6)
+        np.testing.assert_array_equal(tiles[0, 0, 1], [1, 1, 1, 1, 0, 0])
+
+    def test_returns_copy(self):
+        spec = FmrSpec(m=(2,), r=(3,))
+        grid = plan_tiles(spec, (6,))
+        img = np.zeros((1, 1, 6))
+        tiles = extract_tiles(img, grid)
+        tiles[...] = 7.0
+        assert img.sum() == 0.0
+
+    def test_rejects_oversized_image(self):
+        spec = FmrSpec(m=(2,), r=(3,))
+        grid = plan_tiles(spec, (6,))
+        with pytest.raises(ValueError, match="exceeds"):
+            extract_tiles(np.zeros((1, 1, 99)), grid)
+
+    def test_rejects_wrong_rank(self):
+        spec = FmrSpec(m=(2, 2), r=(3, 3))
+        grid = plan_tiles(spec, (6, 6))
+        with pytest.raises(ValueError, match="spatial dims"):
+            extract_tiles(np.zeros((1, 1, 6)), grid)
+
+
+class TestAssembleOutput:
+    def test_roundtrip_disjoint_tiles(self):
+        """Cutting an output image into m-tiles and assembling is identity."""
+        spec = FmrSpec.uniform(2, 3, 3)
+        grid = plan_tiles(spec, (11, 11))  # out 9x9 -> 3x3 tiles
+        rng = np.random.default_rng(0)
+        out = rng.normal(size=(2, 4, 9, 9))
+        tiles = out.reshape(2, 4, 3, 3, 3, 3).transpose(0, 1, 2, 4, 3, 5)
+        np.testing.assert_array_equal(assemble_output(tiles, grid), out)
+
+    def test_crops_padding(self):
+        spec = FmrSpec(m=(4,), r=(3,))
+        grid = plan_tiles(spec, (8,))  # out 6, padded out 8
+        tiles = np.arange(8, dtype=float).reshape(1, 1, 2, 4)
+        out = assemble_output(tiles, grid)
+        np.testing.assert_array_equal(out[0, 0], [0, 1, 2, 3, 4, 5])
+
+    def test_shape_check(self):
+        spec = FmrSpec(m=(4,), r=(3,))
+        grid = plan_tiles(spec, (8,))
+        with pytest.raises(ValueError, match="trailing shape"):
+            assemble_output(np.zeros((1, 1, 3, 4)), grid)
+
+
+class TestExtractAssembleProperty:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        ndim=st.integers(1, 3),
+        m=st.integers(1, 4),
+        r=st.integers(1, 3),
+        extra=st.integers(0, 5),
+    )
+    def test_identity_kernel_roundtrip(self, ndim, m, r, extra):
+        """Extracting tiles and reading back their leading m-blocks must
+        reproduce the (padded) image: tiles tile the output plane."""
+        spec = FmrSpec.uniform(ndim, m, r)
+        size = m + r - 1 + extra
+        grid = plan_tiles(spec, (size,) * ndim)
+        rng = np.random.default_rng(42)
+        img = rng.normal(size=(1, 1) + (size,) * ndim)
+        tiles = extract_tiles(img, grid)
+        lead = tiles[
+            (slice(None), slice(None))
+            + (slice(None),) * ndim
+            + tuple(slice(0, md) for md in spec.m)
+        ]
+        out = assemble_output(lead, grid)
+        expected = img[
+            (slice(None), slice(None)) + tuple(slice(0, o) for o in grid.output_shape)
+        ]
+        np.testing.assert_array_equal(out, expected)

@@ -1,0 +1,101 @@
+"""Tests for the instruction-trace containers and scheduling bridge."""
+
+import pytest
+
+from repro.core.codelets import VectorOp, generate_codelet
+from repro.core.transforms import winograd_1d
+from repro.machine.codelet_trace import schedule_ops
+from repro.machine.trace import (
+    Instr,
+    InstrKind,
+    MemLevel,
+    fma,
+    load,
+    prefetch,
+    store,
+)
+
+
+class TestConstructors:
+    def test_fma(self):
+        i = fma("acc", "a", "b")
+        assert i.kind == InstrKind.FMA
+        assert i.dst == "acc"
+        assert i.srcs == ("acc", "a", "b")  # dst is read-modify-write
+
+    def test_load_levels(self):
+        assert load("v").level == MemLevel.L1
+        assert load("v", MemLevel.MEM).level == MemLevel.MEM
+
+    def test_store_kinds(self):
+        assert store("v").kind == InstrKind.STORE
+        assert store("v", streaming=True).kind == InstrKind.STREAM_STORE
+        assert store("v").srcs == ("v",)
+
+    def test_prefetch_no_deps(self):
+        p = prefetch()
+        assert p.kind == InstrKind.PREFETCH
+        assert p.dst is None
+        assert p.srcs == ()
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="destination"):
+            Instr(InstrKind.FMA, srcs=("a",))
+        with pytest.raises(ValueError, match="source"):
+            Instr(InstrKind.FMA, dst="x", srcs=())
+
+
+class TestScheduleOps:
+    def test_preserves_op_multiset(self):
+        cod = generate_codelet(winograd_1d(4, 3).b)
+        scheduled = schedule_ops(cod.ops)
+        assert sorted(id(o) for o in scheduled) != None  # trivially valid
+        assert len(scheduled) == len(cod.ops)
+        assert {id(o) for o in scheduled} == {id(o) for o in cod.ops}
+
+    def test_respects_raw_dependencies(self):
+        ops = [
+            VectorOp("load", "x0"),
+            VectorOp("neg", "t", ("x0",)),
+            VectorOp("add", "t", ("t", "x0")),
+            VectorOp("store", "out0", ("t",)),
+        ]
+        scheduled = schedule_ops(ops)
+        pos = {id(o): i for i, o in enumerate(scheduled)}
+        assert pos[id(ops[0])] < pos[id(ops[1])] < pos[id(ops[2])] < pos[id(ops[3])]
+
+    def test_respects_war(self):
+        """A read of 't' must stay before the op that overwrites 't'."""
+        ops = [
+            VectorOp("load", "x0"),
+            VectorOp("load", "x1"),
+            VectorOp("neg", "t", ("x0",)),
+            VectorOp("add", "y0", ("t", "x1")),   # reads t
+            VectorOp("neg", "t", ("x1",)),        # overwrites t
+            VectorOp("store", "out0", ("y0",)),
+            VectorOp("store", "out1", ("t",)),
+        ]
+        scheduled = schedule_ops(ops)
+        pos = {id(o): i for i, o in enumerate(scheduled)}
+        assert pos[id(ops[3])] < pos[id(ops[4])]
+
+    def test_interleaves_independent_rows(self):
+        """Row-serial op lists get interleaved (the ILP win)."""
+        ops = []
+        for row in range(3):
+            ops.append(VectorOp("load", f"x{row}"))
+        for row in range(3):
+            ops.append(VectorOp("neg", f"y{row}", (f"x{row}",)))
+            ops.append(VectorOp("add", f"y{row}", (f"y{row}", f"x{row}")))
+            ops.append(VectorOp("add", f"y{row}", (f"y{row}", f"x{row}")))
+        scheduled = schedule_ops(ops)
+        # After scheduling, the three first-level negs appear before any
+        # third-level add: depth-ordered, i.e. rows run in lockstep.
+        kinds_at = [
+            (o.kind, o.dst) for o in scheduled if o.kind in ("neg", "add")
+        ]
+        first_add_idx = next(
+            i for i, (k, _) in enumerate(kinds_at) if k == "add"
+        )
+        negs_before = sum(1 for k, _ in kinds_at[:first_add_idx] if k == "neg")
+        assert negs_before == 3

@@ -1,0 +1,180 @@
+"""Tests for exact Winograd transform generation.
+
+The cornerstone test is *exactness*: the generated A, B, G satisfy the
+minimal-filtering identity over the rationals for every F(m, r), so any
+floating-point discrepancy downstream is rounding, never algebra.
+"""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fmr import FmrSpec
+from repro.core.transforms import (
+    DEFAULT_POINTS,
+    interpolation_points,
+    mode_n_multiply,
+    transform_tensor,
+    winograd_1d,
+    winograd_nd,
+)
+
+
+def exact_fir(d, g, m):
+    """Reference F(m, r): y_k = sum_j d[k+j] g[j], exact Fractions."""
+    r = len(g)
+    return [sum(d[k + j] * g[j] for j in range(r)) for k in range(m)]
+
+
+def exact_winograd(t, d, g):
+    """Apply y = A[(G g) (.) (B d)] with exact Fraction arithmetic."""
+    alpha = t.alpha
+    gg = [sum(t.g[i][j] * g[j] for j in range(t.r)) for i in range(alpha)]
+    bd = [sum(t.b[i][j] * d[j] for j in range(alpha)) for i in range(alpha)]
+    prod = [gg[i] * bd[i] for i in range(alpha)]
+    return [sum(t.a[k][i] * prod[i] for i in range(alpha)) for k in range(t.m)]
+
+
+class TestExactIdentity:
+    @pytest.mark.parametrize(
+        "m, r",
+        [(2, 3), (4, 3), (6, 3), (8, 3), (2, 2), (3, 4), (4, 4), (6, 5), (1, 3), (4, 1), (1, 1)],
+    )
+    def test_identity_fixed_inputs(self, m, r):
+        t = winograd_1d(m, r)
+        alpha = m + r - 1
+        d = [Fraction(i * 7 - 3, 5) for i in range(alpha)]
+        g = [Fraction(2 - i, 3) for i in range(r)]
+        assert exact_winograd(t, d, g) == exact_fir(d, g, m)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        m=st.integers(1, 7),
+        r=st.integers(1, 5),
+        data=st.data(),
+    )
+    def test_identity_property(self, m, r, data):
+        t = winograd_1d(m, r)
+        alpha = m + r - 1
+        ints = st.integers(-50, 50)
+        d = [Fraction(data.draw(ints), 1 + abs(data.draw(ints))) for _ in range(alpha)]
+        g = [Fraction(data.draw(ints), 1 + abs(data.draw(ints))) for _ in range(r)]
+        assert exact_winograd(t, d, g) == exact_fir(d, g, m)
+
+    def test_custom_points(self):
+        pts = (Fraction(0), Fraction(1), Fraction(-1), Fraction(3))
+        t = winograd_1d(3, 3, points=pts)
+        d = [Fraction(i) for i in range(5)]
+        g = [Fraction(1), Fraction(-2), Fraction(1)]
+        assert exact_winograd(t, d, g) == exact_fir(d, g, 3)
+
+
+class TestShapesAndStructure:
+    def test_f23_matches_paper_structure(self):
+        """F(2,3) matrices match the paper's Sec. 2.2 example up to
+        equivalent paired sign flips."""
+        t = winograd_1d(2, 3)
+        a, b, g = t.as_arrays()
+        assert a.shape == (2, 4)
+        assert b.shape == (4, 4)
+        assert g.shape == (4, 3)
+        # G rows 1, 2 are the paper's (1/2, +-1/2, 1/2) rows exactly.
+        assert t.g[1] == (Fraction(1, 2), Fraction(1, 2), Fraction(1, 2))
+        assert t.g[2] == (Fraction(1, 2), Fraction(-1, 2), Fraction(1, 2))
+        # 4 multiplications instead of 6 (Sec. 2.2).
+        assert t.alpha == 4
+
+    def test_b_is_integer_for_integer_points(self):
+        """Folding Lagrange denominators into G keeps B integral when the
+        points are integers -- the property that makes transform codelets
+        cheap (adds and subtractions, few multiplies)."""
+        pts = (Fraction(0), Fraction(1), Fraction(-1), Fraction(2), Fraction(-2))
+        t = winograd_1d(4, 3, points=pts)
+        for row in t.b:
+            for x in row:
+                assert x.denominator == 1
+
+    def test_conditioning_grows_with_m(self):
+        entries = [winograd_1d(m, 3).max_abs_entry() for m in (2, 4, 6, 8)]
+        assert entries == sorted(entries)
+        assert entries[-1] > 10 * entries[0]
+
+    def test_duplicate_points_rejected(self):
+        with pytest.raises(ValueError, match="distinct"):
+            winograd_1d(3, 3, points=(Fraction(0), Fraction(1), Fraction(1), Fraction(2)))
+
+    def test_wrong_point_count_rejected(self):
+        with pytest.raises(ValueError, match="finite points"):
+            winograd_1d(3, 3, points=(Fraction(0), Fraction(1)))
+
+    def test_bad_m_r(self):
+        with pytest.raises(ValueError):
+            winograd_1d(0, 3)
+        with pytest.raises(ValueError):
+            winograd_1d(2, 0)
+
+    def test_point_table_exhaustion(self):
+        with pytest.raises(ValueError, match="curated"):
+            interpolation_points(len(DEFAULT_POINTS) + 1)
+
+    def test_points_distinct(self):
+        assert len(set(DEFAULT_POINTS)) == len(DEFAULT_POINTS)
+
+    def test_caching_returns_same_object(self):
+        assert winograd_1d(4, 3) is winograd_1d(4, 3)
+
+
+class TestNDTransforms:
+    def test_nd_spec_dims(self):
+        spec = FmrSpec(m=(4, 6), r=(3, 3))
+        nd = winograd_nd(spec)
+        assert len(nd.dims) == 2
+        assert nd.dims[0].m == 4 and nd.dims[1].m == 6
+        assert nd.tile_shape == (6, 8)
+
+    def test_nd_shared_cache(self):
+        nd = winograd_nd(FmrSpec.uniform(3, 4, 3))
+        assert nd.dims[0] is nd.dims[1] is nd.dims[2]
+
+
+class TestModeN:
+    def test_mode_n_matches_einsum(self):
+        rng = np.random.default_rng(0)
+        t = rng.normal(size=(3, 5, 4, 6))
+        m = rng.normal(size=(7, 4))
+        got = mode_n_multiply(t, m, axis=2)
+        want = np.einsum("bxyz,py->bxpz", t, m)
+        np.testing.assert_allclose(got, want, rtol=1e-12)
+        assert got.shape == (3, 5, 7, 6)
+
+    def test_mode_n_shape_mismatch(self):
+        with pytest.raises(ValueError, match="axis"):
+            mode_n_multiply(np.zeros((2, 3)), np.zeros((4, 5)), axis=1)
+
+    def test_mode_n_rejects_non_2d_matrix(self):
+        with pytest.raises(ValueError, match="2-D"):
+            mode_n_multiply(np.zeros((2, 3)), np.zeros((4, 3, 1)), axis=1)
+
+    def test_transform_tensor_separable_equals_kron(self):
+        """Applying per-axis matrices equals the Kronecker-product operator
+        on the flattened tile -- the separability behind Eqn. 8."""
+        rng = np.random.default_rng(1)
+        tile = rng.normal(size=(4, 5))
+        m0 = rng.normal(size=(2, 4))
+        m1 = rng.normal(size=(3, 5))
+        got = transform_tensor(tile, [m0, m1])
+        want = (np.kron(m0, m1) @ tile.reshape(-1)).reshape(2, 3)
+        np.testing.assert_allclose(got, want, rtol=1e-12)
+
+    def test_transform_tensor_batched(self):
+        rng = np.random.default_rng(2)
+        batch = rng.normal(size=(6, 4, 4))
+        m = np.eye(4)
+        np.testing.assert_array_equal(transform_tensor(batch, [m, m]), batch)
+
+    def test_transform_tensor_axis_count_mismatch(self):
+        with pytest.raises(ValueError, match="axes"):
+            transform_tensor(np.zeros((4, 4)), [np.eye(4)], axes=[0, 1])

@@ -1,0 +1,95 @@
+"""Tests for the util package: alignment, errors, reporting."""
+
+import numpy as np
+import pytest
+
+from repro.util.alignment import (
+    CACHE_LINE_BYTES,
+    VECTOR_WIDTH_AVX2,
+    VECTOR_WIDTH_AVX512,
+    check_channel_divisibility,
+    round_up,
+)
+from repro.util.errors import ErrorStats, element_errors
+from repro.util.reporting import bar_chart, format_table, write_csv
+
+
+class TestAlignment:
+    def test_constants(self):
+        assert VECTOR_WIDTH_AVX512 == 16
+        assert VECTOR_WIDTH_AVX2 == 8
+        assert CACHE_LINE_BYTES == 64
+
+    @pytest.mark.parametrize("v,m,out", [(17, 16, 32), (32, 16, 32), (0, 16, 0), (1, 1, 1)])
+    def test_round_up(self, v, m, out):
+        assert round_up(v, m) == out
+
+    def test_round_up_validation(self):
+        with pytest.raises(ValueError):
+            round_up(5, 0)
+        with pytest.raises(ValueError):
+            round_up(-1, 4)
+
+    def test_check_divisibility(self):
+        check_channel_divisibility(64, 16)
+        with pytest.raises(ValueError, match="pad to 64"):
+            check_channel_divisibility(50, 16)
+        with pytest.raises(ValueError, match="positive"):
+            check_channel_divisibility(0, 16)
+
+
+class TestErrors:
+    def test_stats(self):
+        a = np.array([1.0, 2.0, 3.0], dtype=np.float32)
+        b = np.array([1.0, 2.5, 3.0], dtype=np.float64)
+        stats = element_errors(a, b)
+        assert isinstance(stats, ErrorStats)
+        assert stats.max_error == pytest.approx(0.5)
+        assert stats.avg_error == pytest.approx(0.5 / 3)
+        assert stats.n_elements == 3
+
+    def test_shape_mismatch_loud(self):
+        with pytest.raises(ValueError, match="shape mismatch"):
+            element_errors(np.zeros(3), np.zeros(4))
+
+    def test_str(self):
+        s = str(element_errors(np.zeros(2), np.zeros(2)))
+        assert "max=" in s and "avg=" in s
+
+
+class TestReporting:
+    def test_format_table(self):
+        out = format_table(["a", "bb"], [[1, 22], [333, 4]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert "333" in lines[2] or "333" in lines[3]
+
+    def test_format_table_empty_rows(self):
+        out = format_table(["col"], [])
+        assert "col" in out
+
+    def test_write_csv(self, tmp_path):
+        p = tmp_path / "t.csv"
+        write_csv(p, ["x", "y"], [[1, 2], [3, 4]])
+        assert p.read_text() == "x,y\n1,2\n3,4\n"
+
+    def test_write_csv_quotes_commas(self, tmp_path):
+        p = tmp_path / "t.csv"
+        write_csv(p, ["x"], [["a,b"], ['he said "hi"']])
+        lines = p.read_text().splitlines()
+        assert lines[1] == '"a,b"'
+        assert lines[2] == '"he said ""hi"""'
+
+    def test_bar_chart(self):
+        out = bar_chart(["short", "longer"], [1.0, 2.0], width=10)
+        lines = out.splitlines()
+        assert len(lines) == 2
+        assert lines[1].count("#") == 10
+        assert lines[0].count("#") == 5
+
+    def test_bar_chart_validation(self):
+        with pytest.raises(ValueError, match="labels"):
+            bar_chart(["a"], [1.0, 2.0])
+        with pytest.raises(ValueError, match="positive"):
+            bar_chart(["a"], [0.0])
+        assert bar_chart([], []) == ""
