@@ -1,0 +1,171 @@
+"""E16 (extension) -- serving-path throughput through the execution engine.
+
+The paper's premise is that Winograd wins only once per-layer overheads
+are amortized (Sec. 4.2-4.4).  This bench quantifies that premise on the
+serving path: a *cold* ``winograd_convolution`` call pays exact-rational
+transform generation, plan construction and workspace allocation on
+every request, while a *warm* :class:`repro.core.engine.ConvolutionEngine`
+call hits the plan cache, reuses the kernel transforms (FX mode), leases
+buffers from the workspace arena, and runs a tuned ``F(m, r)``.
+
+Measured per layer (three representative scaled Table-2 VGG rows):
+
+* cold latency -- one-shot ``winograd_convolution`` with process caches
+  cleared first (what a naive fresh-process deployment pays),
+* first-call engine latency -- plan-cache miss (build + first run),
+* warm latency + sustained req/s -- steady-state serving,
+* the honest same-spec ratio -- warm vs. a cold call pinned to the same
+  ``F(m, r)`` the engine chose, isolating the amortization win from the
+  tile-size win.
+
+Results land in ``results/BENCH_serving.json`` so the perf trajectory is
+tracked across PRs.  Acceptance gate: warm engine >= 5x faster than the
+cold one-shot path on at least one VGG-style layer.
+
+Set ``REPRO_BENCH_SMOKE=1`` for a quick CI smoke run (one layer, fewer
+repeats, relaxed 2x gate).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+
+from conftest import format_table
+from repro.core.convolution import winograd_convolution
+from repro.core.engine import ConvolutionEngine, clear_compile_caches
+from repro.nets.layers import TABLE2_LAYERS
+from repro.nets.reference import direct_convolution
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+#: (table-2 row index, scaling) -- all VGG rows, scaled to laptop size
+#: while spanning distinct channel/extent combinations.
+_LAYER_SCALING = [
+    (0, dict(batch=8, channels_divisor=2, image_divisor=8)),   # VGG-1.2: C=32, 28x28
+    (2, dict(batch=8, channels_divisor=4, image_divisor=2)),   # VGG-3.2: C=64, 28x28
+    (4, dict(batch=8, channels_divisor=8, image_divisor=1)),   # VGG-5.2: C=64, 14x14
+]
+
+
+def _mintime(fn, repeats, setup=None):
+    """Min-of-k wall clock -- the only stable statistic on a noisy
+    shared-CPU container (observed 2x run-to-run swings in the mean)."""
+    best = float("inf")
+    for _ in range(repeats):
+        if setup is not None:
+            setup()
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_serving_throughput(benchmark, results_dir):
+    """[real] cold one-shot vs warm engine latency and sustained req/s."""
+    scalings = _LAYER_SCALING[:1] if SMOKE else _LAYER_SCALING
+    cold_repeats = 2 if SMOKE else 4
+    warm_iters = 6 if SMOKE else 20
+
+    def run():
+        rows = []
+        records = []
+        for idx, scaling in scalings:
+            layer = TABLE2_LAYERS[idx].scaled(**scaling)
+            rng = np.random.default_rng(idx)
+            img = rng.standard_normal(
+                (layer.batch, layer.c_in) + layer.image
+            ).astype(np.float32)
+            ker = (
+                rng.standard_normal((layer.c_in, layer.c_out) + layer.kernel) * 0.1
+            ).astype(np.float32)
+
+            # Cold path: fresh-process equivalent (caches cleared), the
+            # conservative default F(2, 3) spec.
+            t_cold = _mintime(
+                lambda: winograd_convolution(img, ker, padding=layer.padding),
+                cold_repeats, setup=clear_compile_caches,
+            )
+
+            # Engine: first call is the plan-cache miss...
+            engine = ConvolutionEngine()
+            clear_compile_caches()
+            t0 = time.perf_counter()
+            y = engine.run(img, ker, padding=layer.padding)
+            t_first = time.perf_counter() - t0
+
+            # ...then steady-state serving.
+            warm = []
+            for _ in range(warm_iters):
+                t0 = time.perf_counter()
+                engine.run(img, ker, padding=layer.padding)
+                warm.append(time.perf_counter() - t0)
+            t_warm = min(warm)
+            req_s = len(warm) / sum(warm)
+
+            # Honest same-spec cold baseline: pin the engine's F(m, r).
+            spec = engine.plans.keys()[0].spec
+            t_cold_same = _mintime(
+                lambda: winograd_convolution(
+                    img, ker, fmr=spec, padding=layer.padding
+                ),
+                cold_repeats, setup=clear_compile_caches,
+            )
+
+            # Cheap correctness guard so the speedup is of the right answer.
+            ref = direct_convolution(
+                img.astype(np.float64), ker.astype(np.float64), layer.padding
+            )
+            relerr = float(np.abs(y - ref).max() / np.abs(ref).max())
+            assert relerr < 1e-3, f"{layer.label}: relerr {relerr}"
+
+            stats = engine.stats()
+            record = {
+                "layer": layer.label,
+                "scaled_shape": f"B{layer.batch} {layer.c_in}->{layer.c_out}"
+                                f"@{'x'.join(map(str, layer.image))}",
+                "spec": str(spec),
+                "cold_ms": t_cold * 1e3,
+                "cold_same_spec_ms": t_cold_same * 1e3,
+                "first_call_ms": t_first * 1e3,
+                "warm_ms": t_warm * 1e3,
+                "req_per_s": req_s,
+                "speedup_vs_cold": t_cold / t_warm,
+                "speedup_same_spec": t_cold_same / t_warm,
+                "relerr_vs_direct": relerr,
+                "cache": stats["plans"],
+                "arena": stats["arena"],
+            }
+            records.append(record)
+            rows.append([
+                layer.label, record["scaled_shape"], record["spec"],
+                f"{record['cold_ms']:.2f}", f"{record['first_call_ms']:.2f}",
+                f"{record['warm_ms']:.2f}", f"{record['req_per_s']:.0f}",
+                f"{record['speedup_vs_cold']:.2f}",
+                f"{record['speedup_same_spec']:.2f}",
+            ])
+        return rows, records
+
+    rows, records = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    headers = ["layer", "scaled shape", "F(m,r)", "cold_ms", "first_ms",
+               "warm_ms", "req/s", "vs_cold", "same_spec"]
+    print("\nServing path [real] -- cold one-shot vs warm engine")
+    print(format_table(headers, rows))
+
+    payload = {"smoke": SMOKE, "layers": records}
+    out = results_dir / "BENCH_serving.json"
+    out.write_text(json.dumps(payload, indent=2))
+    print(f"wrote {out}")
+
+    best = max(r["speedup_vs_cold"] for r in records)
+    gate = 2.0 if SMOKE else 5.0
+    assert best >= gate, (
+        f"warm engine only {best:.2f}x faster than cold winograd_convolution "
+        f"(gate {gate}x)"
+    )
+    # Amortization alone (same F(m, r)) must also win, just by less.
+    assert all(r["speedup_same_spec"] > 1.0 for r in records)

@@ -10,10 +10,12 @@ table).  This CLI reproduces those entry points::
     python -m repro accuracy [--net VGG|C3D|both]
     python -m repro gemm
     python -m repro tune --network VGG --layer 4.2 --fmr "F(4x4,3x3)"
+    python -m repro serve --network VGG --layer 3.2 --requests 50
     python -m repro info
 
 All performance numbers are from the simulated machine substrate and
-are labelled as such; ``accuracy`` is a real float32 measurement.
+are labelled as such; ``accuracy`` is a real float32 measurement, and
+``serve`` reports real wall-clock latency through the execution engine.
 """
 
 from __future__ import annotations
@@ -219,6 +221,72 @@ def cmd_analyze(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Serve repeated inference requests through the execution engine [real].
+
+    Runs a scaled-down Table-2 layer for ``--requests`` iterations through
+    :class:`repro.core.engine.ConvolutionEngine` and reports first-call
+    latency, warm latency percentiles, sustained request rate, and the
+    plan-cache/arena statistics.  Unlike ``bench`` these are real wall
+    clock numbers on this host, not machine-model predictions.
+    """
+    import numpy as np
+
+    from repro.core.engine import ConvolutionEngine
+
+    try:
+        layer = get_layer(args.network, args.layer)
+    except KeyError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    layer = layer.scaled(
+        batch=args.batch,
+        channels_divisor=args.channels_divisor,
+        image_divisor=args.image_divisor,
+    )
+    engine = ConvolutionEngine(wisdom_path=args.wisdom)
+    rng = np.random.default_rng(0)
+    images = rng.standard_normal(
+        (layer.batch, layer.c_in) + layer.image
+    ).astype(np.float32)
+    kernels = (
+        rng.standard_normal((layer.c_in, layer.c_out) + layer.kernel) * 0.05
+    ).astype(np.float32)
+
+    latencies = []
+    for _ in range(args.requests):
+        t0 = time.perf_counter()
+        engine.run(images, kernels, padding=layer.padding)
+        latencies.append(time.perf_counter() - t0)
+    warm = sorted(latencies[1:]) if len(latencies) > 1 else sorted(latencies)
+
+    def pct(p):
+        return warm[min(len(warm) - 1, int(p / 100 * len(warm)))] * 1e3
+
+    print(f"layer             : {layer.label} (scaled: B={layer.batch} "
+          f"C={layer.c_in} C'={layer.c_out} I={'x'.join(map(str, layer.image))})")
+    print(f"requests          : {args.requests}")
+    print(f"first-call latency: {latencies[0] * 1e3:.2f} ms")
+    print(f"warm p50 / p95    : {pct(50):.2f} / {pct(95):.2f} ms")
+    print(f"sustained rate    : {(len(warm) / sum(warm)):.1f} req/s")
+    stats = engine.stats()
+    plans = stats["plans"]
+    print(f"plan cache        : {plans['hits']} hits / {plans['misses']} misses "
+          f"({plans['bytes_cached'] / 1e6:.1f} MB cached)")
+    print(f"workspace arena   : {stats['arena']['capacity_bytes'] / 1e6:.1f} MB, "
+          f"{stats['arena']['grows']} grows over {stats['arena']['leases']} leases")
+    if args.wisdom:
+        # Tune the blocked-mode blocking for this layer too, so the saved
+        # wisdom is useful beyond the fused serving path exercised above.
+        engine.tune_blocking(
+            images.shape, layer.c_out, padding=layer.padding
+        )
+        engine.save_wisdom()
+        print(f"wisdom saved to   : {args.wisdom} "
+              f"({len(engine.wisdom)} entries)")
+    return 0
+
+
 def cmd_info(args) -> int:
     for spec in (KNL_7210,):
         print(f"{spec.name}")
@@ -274,6 +342,19 @@ def build_parser() -> argparse.ArgumentParser:
     a2.add_argument("--layer", required=True)
     a2.add_argument("--fmr", required=True, help='e.g. "F(4x4,3x3)"')
     a2.set_defaults(fn=cmd_analyze)
+
+    sv = sub.add_parser(
+        "serve", help="serve repeated inference through the execution engine [real]"
+    )
+    sv.add_argument("--network", default="VGG")
+    sv.add_argument("--layer", default="3.2")
+    sv.add_argument("--requests", type=int, default=20)
+    sv.add_argument("--batch", type=int, default=4,
+                    help="scaled batch size for this host (default 4)")
+    sv.add_argument("--channels-divisor", type=int, default=4)
+    sv.add_argument("--image-divisor", type=int, default=4)
+    sv.add_argument("--wisdom", help="wisdom file to load/update")
+    sv.set_defaults(fn=cmd_serve)
 
     i = sub.add_parser("info", help="simulated machine specifications")
     i.set_defaults(fn=cmd_info)

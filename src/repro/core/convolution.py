@@ -34,6 +34,13 @@ def _default_gemm(u: np.ndarray, v: np.ndarray) -> np.ndarray:
     return np.matmul(u, v)
 
 
+def _check_out(out: np.ndarray, shape: tuple[int, ...], dtype: np.dtype) -> None:
+    if tuple(out.shape) != tuple(shape) or out.dtype != dtype:
+        raise ValueError(
+            f"out buffer has shape {out.shape}/{out.dtype}, expected {shape}/{dtype}"
+        )
+
+
 @dataclass(frozen=True)
 class TransformedKernels:
     """Memoized kernel transforms for inference-only execution.
@@ -145,12 +152,18 @@ class WinogradPlan:
     # ------------------------------------------------------------------
     # Stage 1a: input transform
     # ------------------------------------------------------------------
-    def transform_input(self, images: np.ndarray) -> np.ndarray:
+    def transform_input(
+        self, images: np.ndarray, out: np.ndarray | None = None
+    ) -> np.ndarray:
         """Transform image tiles; returns ``(T, N*B, C)`` (operations 1-2).
 
         Layout note: the row index is ``n' = b*N + n`` exactly as in
         Table 1, so rows of the stage-2 matrices enumerate tiles of batch
         element 0 first, then batch element 1, etc.
+
+        ``out``, when given, receives the result (e.g. an arena view from
+        :class:`repro.core.engine.WorkspaceArena`) instead of a fresh
+        allocation.
         """
         if tuple(images.shape) != self.input_shape:
             raise ValueError(
@@ -165,8 +178,12 @@ class WinogradPlan:
         n = self.tiles_per_image
         t = self.t_matrices
         # (B, C, N, T) -> (T, B*N, C)
-        flat = transformed.reshape(b, c, n, t)
-        return np.ascontiguousarray(flat.transpose(3, 0, 2, 1).reshape(t, b * n, c))
+        flat = transformed.reshape(b, c, n, t).transpose(3, 0, 2, 1).reshape(t, b * n, c)
+        if out is None:
+            return np.ascontiguousarray(flat)
+        _check_out(out, (t, b * n, c), self.dtype)
+        np.copyto(out, flat)
+        return out
 
     # ------------------------------------------------------------------
     # Stage 1b: kernel transform
@@ -190,7 +207,9 @@ class WinogradPlan:
     # ------------------------------------------------------------------
     # Stage 2: batched matrix multiplication
     # ------------------------------------------------------------------
-    def multiply(self, u: np.ndarray, w: TransformedKernels) -> np.ndarray:
+    def multiply(
+        self, u: np.ndarray, w: TransformedKernels, out: np.ndarray | None = None
+    ) -> np.ndarray:
         """``T`` GEMMs of ``(N*B) x C`` by ``C x C'`` (operation 5)."""
         if w.spec != self.spec:
             raise ValueError(
@@ -201,12 +220,20 @@ class WinogradPlan:
                 f"kernel transform channels ({w.c}, {w.cprime}) != plan "
                 f"({self.c_in}, {self.c_out})"
             )
-        return self.gemm(u, w.data)
+        if out is None:
+            return self.gemm(u, w.data)
+        _check_out(out, (self.t_matrices, self.gemm_rows, self.c_out), self.dtype)
+        if self.gemm is _default_gemm:
+            return np.matmul(u, w.data, out=out)
+        np.copyto(out, self.gemm(u, w.data))
+        return out
 
     # ------------------------------------------------------------------
     # Stage 3: inverse transform
     # ------------------------------------------------------------------
-    def inverse_transform(self, x: np.ndarray) -> np.ndarray:
+    def inverse_transform(
+        self, x: np.ndarray, out: np.ndarray | None = None
+    ) -> np.ndarray:
         """Invert ``(T, N*B, C')`` to the ``(B, C', *out)`` batch (op. 6-7)."""
         t = self.t_matrices
         nb = self.gemm_rows
@@ -220,7 +247,12 @@ class WinogradPlan:
         tiles = tiles.reshape((b, self.c_out) + self.grid.counts + self.spec.tile_shape)
         a_mats = [tr.as_arrays(self.dtype)[0] for tr in self.transforms.dims]
         out_tiles = transform_tensor(tiles, a_mats)  # (B, C', *counts, *m)
-        return assemble_output(out_tiles, self.grid)
+        assembled = assemble_output(out_tiles, self.grid)
+        if out is None:
+            return assembled
+        _check_out(out, assembled.shape, self.dtype)
+        np.copyto(out, assembled)
+        return out
 
     # ------------------------------------------------------------------
     # Workspace accounting (paper Sec. 4.4, "Memory overhead")
@@ -239,8 +271,6 @@ class WinogradPlan:
         u = t * self.gemm_rows * self.c_in * itemsize
         v = t * self.c_in * self.c_out * itemsize
         x = t * self.gemm_rows * self.c_out * itemsize
-        from math import prod as _prod
-
         out_tiles = (
             self.batch * self.c_out
             * self.tiles_per_image * self.spec.output_tile_elements * itemsize

@@ -1,0 +1,767 @@
+"""Serving-path execution engine: plan cache + workspace arena + fast paths.
+
+The paper's central engineering claim is that Winograd convolution wins
+only once per-layer overheads are amortized: transform matrices and
+codelets are generated at "instantiation/compile time" (Sec. 4.2),
+kernel transforms are reused across inference calls (the "FX" columns of
+Fig. 5), and one shared auxiliary workspace serves every layer of a
+network (Sec. 4.4).  :func:`repro.core.convolution.winograd_convolution`
+pays all of those costs on every call; this module is the serving-shaped
+counterpart that pays them once.
+
+Three cooperating pieces:
+
+* :class:`PlanCache` -- an LRU keyed by the full layer signature
+  ``(F(m,r), input_shape, C', padding, dtype, blocking)`` memoizing
+  :class:`~repro.core.convolution.WinogradPlan` objects, the generated
+  codelets/executors, and kernel transforms keyed by a fingerprint of
+  the kernel array.  Statistics (hits, misses, evictions, bytes) are
+  exposed for reporting.
+
+* :class:`WorkspaceArena` -- one reusable aligned byte buffer sized by
+  the maximum workspace the arena has seen (the paper's "same buffer
+  ... reused for every layer"), vending U/V/X/output-tile views for a
+  single execution.  Concurrent executions lease independent buffers
+  from a small pool, so the engine is thread-safe.
+
+* :class:`ConvolutionEngine` -- the facade: ``engine.run(images,
+  kernels)`` resolves a plan (selecting ``F(m, r)`` when not given),
+  transforms kernels at most once per distinct kernel array, and
+  executes through a fused fast path whose stage-1/stage-3 transforms
+  are single Kronecker-product GEMMs writing into arena views.  The
+  blocked Table-1 executor is available via ``blocked=True``, with
+  stage 2 in either the vectorized ``"fast"`` mode or the JIT-kernel
+  ``"traced"`` mode (the mode the machine simulator instruments).
+
+The cache and arena are an explicit *extension beyond the paper* (which
+restarts its binary per layer benchmark); see DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from functools import reduce
+from math import prod
+from pathlib import Path
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from repro.core.autotune import autotune_layer, blocking_from_wisdom, layer_key
+from repro.core.blocked_pipeline import BlockedWinogradExecutor
+from repro.core.blocking import BlockingConfig
+from repro.core.convolution import TransformedKernels, WinogradPlan
+from repro.core.fmr import FmrSpec
+from repro.core.transforms import clear_transform_caches
+from repro.machine.spec import KNL_7210, MachineSpec
+from repro.nets.layers import ConvLayerSpec
+from repro.nets.reference import output_shape
+from repro.util.alignment import CACHE_LINE_BYTES, round_up
+from repro.util.wisdom import Wisdom
+
+
+def kernel_fingerprint(kernels: np.ndarray) -> str:
+    """Content fingerprint of a kernel array (shape, dtype and bytes).
+
+    Used as the memoization key for kernel transforms: two calls with
+    equal kernel tensors share one transform, which is the paper's
+    inference-only "FX" mode made automatic.
+    """
+    arr = np.ascontiguousarray(kernels)
+    h = hashlib.blake2b(digest_size=16)
+    h.update(str(arr.shape).encode())
+    h.update(str(arr.dtype).encode())
+    h.update(arr.view(np.uint8).data)
+    return h.hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Plan cache
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PlanKey:
+    """Full signature of a planned convolution (the LRU key)."""
+
+    spec: FmrSpec
+    input_shape: tuple[int, ...]
+    c_out: int
+    padding: tuple[int, ...]
+    dtype: str
+    blocking: BlockingConfig | None = None  # None: fused numpy fast path
+
+
+@dataclass
+class CacheStats:
+    """Counters exposed by :class:`PlanCache` for reporting."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    bytes_cached: int = 0
+    kernel_hits: int = 0
+    kernel_misses: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "bytes_cached": self.bytes_cached,
+            "kernel_hits": self.kernel_hits,
+            "kernel_misses": self.kernel_misses,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class PlanEntry:
+    """One cached plan plus everything derived from it.
+
+    Holds the :class:`WinogradPlan`, the fused fast-path constants (the
+    Kronecker transform matrices), the lazily built blocked executor
+    (whose construction generates the transform codelets), and the
+    kernel transforms seen so far, keyed by kernel fingerprint.
+    """
+
+    def __init__(self, key: PlanKey, plan: WinogradPlan):
+        self.key = key
+        self.plan = plan
+        self.fast = _FusedPlan(plan)
+        self._executor: BlockedWinogradExecutor | None = None
+        self.kernels: dict[str, TransformedKernels] = {}
+        self.packed_kernels: dict[str, np.ndarray] = {}
+        self.lock = threading.Lock()
+
+    @property
+    def executor(self) -> BlockedWinogradExecutor:
+        if self.key.blocking is None:
+            raise ValueError("plan was cached for the fused path, not the blocked one")
+        with self.lock:
+            if self._executor is None:
+                # Generates the B/G/A codelets once ("compile time").
+                self._executor = BlockedWinogradExecutor(
+                    plan=self.plan, blocking=self.key.blocking
+                )
+            return self._executor
+
+    def nbytes(self) -> int:
+        n = self.fast.const_bytes
+        n += sum(w.data.nbytes for w in self.kernels.values())
+        n += sum(v.nbytes for v in self.packed_kernels.values())
+        return n
+
+
+class PlanCache:
+    """Thread-safe LRU over :class:`PlanEntry` with a byte budget.
+
+    Eviction triggers when either the plan count exceeds ``max_plans``
+    or the cached bytes (transform constants plus memoized kernel
+    transforms) exceed ``max_bytes``; least-recently-used plans go
+    first.
+    """
+
+    def __init__(self, max_plans: int = 32, max_bytes: int = 512 << 20):
+        if max_plans < 1:
+            raise ValueError(f"max_plans must be >= 1, got {max_plans}")
+        if max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
+        self.max_plans = max_plans
+        self.max_bytes = max_bytes
+        self.stats = CacheStats()
+        self._entries: OrderedDict[PlanKey, PlanEntry] = OrderedDict()
+        self._lock = threading.RLock()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: PlanKey) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def keys(self) -> list[PlanKey]:
+        with self._lock:
+            return list(self._entries)
+
+    def get_or_create(self, key: PlanKey) -> PlanEntry:
+        """Return the cached entry for ``key``, building it on a miss."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                return entry
+        # Build outside the lock: plan construction (transform
+        # generation, tile planning) can be slow and must not serialize
+        # concurrent hits on other keys.
+        plan = WinogradPlan(
+            spec=key.spec,
+            input_shape=key.input_shape,
+            c_out=key.c_out,
+            padding=key.padding,
+            dtype=np.dtype(key.dtype),
+        )
+        entry = PlanEntry(key, plan)
+        with self._lock:
+            existing = self._entries.get(key)
+            if existing is not None:  # lost a build race: reuse winner
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                return existing
+            self.stats.misses += 1
+            self._entries[key] = entry
+            self._recount()
+            self._evict()
+            return entry
+
+    def kernel_transform(self, entry: PlanEntry, kernels: np.ndarray) -> TransformedKernels:
+        """Memoized ``(T, C, C')`` kernel transform for ``kernels``."""
+        fp = kernel_fingerprint(kernels)
+        with self._lock:
+            w = entry.kernels.get(fp)
+            if w is not None:
+                self.stats.kernel_hits += 1
+                return w
+        w = entry.plan.transform_kernels(kernels)
+        with self._lock:
+            w = entry.kernels.setdefault(fp, w)
+            self.stats.kernel_misses += 1
+            self._recount()
+            self._evict()
+        return w
+
+    def packed_kernel_transform(self, entry: PlanEntry, kernels: np.ndarray) -> np.ndarray:
+        """Memoized packed-V transform for the blocked executor."""
+        fp = kernel_fingerprint(kernels)
+        with self._lock:
+            v = entry.packed_kernels.get(fp)
+            if v is not None:
+                self.stats.kernel_hits += 1
+                return v
+        execu = entry.executor
+        v = execu.transform_kernels_packed(execu.kernel_layout.pack(kernels))
+        with self._lock:
+            v = entry.packed_kernels.setdefault(fp, v)
+            self.stats.kernel_misses += 1
+            self._recount()
+            self._evict()
+        return v
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.stats.bytes_cached = 0
+
+    # -- internal (callers hold the lock) ------------------------------
+    def _recount(self) -> None:
+        self.stats.bytes_cached = sum(e.nbytes() for e in self._entries.values())
+
+    def _evict(self) -> None:
+        while self._entries and (
+            len(self._entries) > self.max_plans
+            or self.stats.bytes_cached > self.max_bytes
+        ):
+            if len(self._entries) == 1 and len(self._entries) <= self.max_plans:
+                break  # never evict the sole (and only legal) resident
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+            self._recount()
+
+
+# ----------------------------------------------------------------------
+# Workspace arena
+# ----------------------------------------------------------------------
+class ArenaLease:
+    """A borrowed slice of arena memory; carve aligned views with ``take``."""
+
+    def __init__(self, buf: np.ndarray, alignment: int):
+        self._buf = buf
+        self._alignment = alignment
+        # First view starts at the first aligned address inside the buffer.
+        self._offset = (-buf.ctypes.data) % alignment
+
+    def take(self, shape: tuple[int, ...], dtype) -> np.ndarray:
+        """Vend an aligned, C-contiguous view of the leased buffer."""
+        dtype = np.dtype(dtype)
+        nbytes = prod(shape) * dtype.itemsize
+        end = self._offset + nbytes
+        if end > self._buf.nbytes:
+            raise MemoryError(
+                f"arena lease exhausted: need {end} bytes, have {self._buf.nbytes}"
+            )
+        view = self._buf[self._offset : end].view(dtype).reshape(shape)
+        self._offset = self._offset + round_up(nbytes, self._alignment)
+        return view
+
+
+class WorkspaceArena:
+    """One reusable aligned buffer for all transient tensors (Sec. 4.4).
+
+    The paper sizes a single auxiliary buffer by the per-layer maximum
+    and reuses it across a whole network; the arena does the same across
+    the plans it has seen -- the buffer only ever grows, to
+    ``max_workspace_bytes`` over the executed plans.  A small pool (one
+    buffer per concurrent lease) keeps concurrent executions isolated.
+    """
+
+    def __init__(self, alignment: int = CACHE_LINE_BYTES, max_pooled: int = 4):
+        if alignment < 1:
+            raise ValueError(f"alignment must be >= 1, got {alignment}")
+        self.alignment = alignment
+        self.max_pooled = max_pooled
+        self.capacity_bytes = 0   # largest single buffer ever allocated
+        self.high_water_bytes = 0  # largest lease ever requested
+        self.leases = 0
+        self.grows = 0
+        self.discards = 0
+        self._free: list[np.ndarray] = []
+        self._lock = threading.Lock()
+
+    @contextmanager
+    def lease(self, nbytes: int):
+        """Borrow ``nbytes`` of workspace as an :class:`ArenaLease`."""
+        buf = self._acquire(nbytes)
+        try:
+            yield ArenaLease(buf, self.alignment)
+        finally:
+            self._release(buf)
+
+    def _acquire(self, nbytes: int) -> np.ndarray:
+        # Slack for the base-address alignment shift plus per-take padding.
+        need = round_up(max(nbytes, 1), self.alignment) + 2 * self.alignment
+        with self._lock:
+            self.leases += 1
+            self.high_water_bytes = max(self.high_water_bytes, nbytes)
+            buf: np.ndarray | None = None
+            if self._free:
+                buf = max(self._free, key=lambda b: b.nbytes)
+                self._free.remove(buf)
+            if buf is None or buf.nbytes < need:
+                buf = np.empty(max(need, self.capacity_bytes), dtype=np.uint8)
+                self.grows += 1
+            self.capacity_bytes = max(self.capacity_bytes, buf.nbytes)
+            return buf
+
+    def _release(self, buf: np.ndarray) -> None:
+        with self._lock:
+            if len(self._free) < self.max_pooled:
+                self._free.append(buf)
+            else:
+                self.discards += 1
+
+    def as_dict(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "capacity_bytes": self.capacity_bytes,
+                "high_water_bytes": self.high_water_bytes,
+                "leases": self.leases,
+                "grows": self.grows,
+                "discards": self.discards,
+                "pooled_buffers": len(self._free),
+            }
+
+
+# ----------------------------------------------------------------------
+# Fused (Kronecker) fast path
+# ----------------------------------------------------------------------
+class _FusedPlan:
+    """Per-plan constants and buffer geometry for the fused fast path.
+
+    The N-D transforms are separable mode-``n`` products (Eqn. 8);
+    since every tile is transformed by the *same* per-dimension
+    matrices, the whole stage collapses into one GEMM with the
+    Kronecker product ``B_1 (x) ... (x) B_N`` (and likewise ``A``).
+    That turns stage 1/3 from ``2N`` strided tensor passes into a
+    single BLAS call each, and stage 2 consumes the result through
+    F-contiguous sub-matrix views so no re-pack transpose is needed.
+    Numerically this is the same linear map evaluated in a different
+    association order -- verified against the reference pipeline to
+    float tolerance by ``tests/test_engine.py``.
+    """
+
+    def __init__(self, plan: WinogradPlan):
+        self.plan = plan
+        dtype = plan.dtype
+        a_mats, b_mats, _ = plan.transforms.matrices(np.float64)
+        # bk: (T, K) applied from the left to K-major tiles; akt: (T, L).
+        self.bk = np.ascontiguousarray(reduce(np.kron, b_mats).astype(dtype))
+        self.akt = np.ascontiguousarray(reduce(np.kron, a_mats).astype(dtype).T)
+        grid, spec = plan.grid, plan.spec
+        self.ndim = spec.ndim
+        self.counts = grid.counts
+        self.m = spec.m
+        self.tile_shape = spec.tile_shape
+        self.pin = grid.padded_input_shape
+        self.pout = grid.padded_output_shape
+        self.out_shape = grid.output_shape
+        self.crop = self.pout != self.out_shape
+        b, c, cp = plan.batch, plan.c_in, plan.c_out
+        n, t = plan.tiles_per_image, plan.t_matrices
+        l = spec.output_tile_elements
+        itemsize = dtype.itemsize
+        self._shapes = {
+            "padded": (b, c) + self.pin,
+            "tiles": (b, c, n, t),
+            "u": (t, b, c, n),
+            "x": (t, b, n, cp),
+            "xt": (b, n, cp, t),
+            "y": (b, n, cp, l),
+        }
+        if self.crop:
+            self._shapes["pout"] = (b, cp) + self.pout
+        self.lease_bytes = sum(
+            round_up(prod(s) * itemsize, CACHE_LINE_BYTES)
+            for s in self._shapes.values()
+        )
+        self.const_bytes = self.bk.nbytes + self.akt.nbytes
+        # Assemble permutation: (B, n_1..n_N, C', m_1..m_N) ->
+        # (B, C', n_1, m_1, ..., n_N, m_N).
+        nd = self.ndim
+        perm = [0, nd + 1]
+        for d in range(nd):
+            perm.extend([1 + d, nd + 2 + d])
+        self._assemble_perm = tuple(perm)
+
+    def run(
+        self,
+        images: np.ndarray,
+        w: TransformedKernels,
+        lease: ArenaLease,
+        out: np.ndarray | None = None,
+    ) -> np.ndarray:
+        plan = self.plan
+        dtype = plan.dtype
+        b, c, cp = plan.batch, plan.c_in, plan.c_out
+        n, t = plan.tiles_per_image, plan.t_matrices
+
+        buf_padded = lease.take(self._shapes["padded"], dtype)
+        buf_tiles = lease.take(self._shapes["tiles"], dtype)
+        buf_u = lease.take(self._shapes["u"], dtype)
+        buf_x = lease.take(self._shapes["x"], dtype)
+        buf_xt = lease.take(self._shapes["xt"], dtype)
+        buf_y = lease.take(self._shapes["y"], dtype)
+
+        # Stage 0: conv padding + grid zero-extension in one buffer.  The
+        # arena memory is recycled across plans, so the halo must be
+        # re-zeroed each run (cheap: one streaming pass).
+        buf_padded[...] = 0
+        interior = (slice(None), slice(None)) + tuple(
+            slice(p, p + s) for p, s in zip(plan.padding, plan.input_shape[2:])
+        )
+        buf_padded[interior] = images
+
+        # Stage 1a: overlapping tiles as a zero-copy strided view, then
+        # one gather pass into (B, C, N, K).
+        view = sliding_window_view(
+            buf_padded, self.tile_shape, axis=tuple(range(2, 2 + self.ndim))
+        )
+        step = (slice(None), slice(None)) + tuple(slice(None, None, m) for m in self.m)
+        np.copyto(buf_tiles.reshape(view[step].shape), view[step])
+
+        # Stage 1b: U = B_kron @ tiles^T as a single GEMM.  The
+        # transposed operand is BLAS-native (no materialized copy), and
+        # the (T, B, C, N) result makes every stage-2 sub-matrix an
+        # F-contiguous (N, C) view -- also BLAS-native.
+        np.matmul(self.bk, buf_tiles.reshape(-1, t).T, out=buf_u.reshape(t, -1))
+
+        # Stage 2: T x B batched GEMMs (N, C) @ (C, C').
+        np.matmul(buf_u.transpose(0, 1, 3, 2), w.data[:, None], out=buf_x)
+
+        # Stage 3: one transpose pass, one GEMM with A_kron, one
+        # scatter-assemble pass writing (cropped) output tiles.
+        np.copyto(buf_xt, buf_x.transpose(1, 2, 3, 0))
+        np.matmul(buf_xt, self.akt, out=buf_y)
+
+        y_tiles = buf_y.reshape((b,) + self.counts + (cp,) + self.m)
+        if self.crop:
+            buf_pout = lease.take(self._shapes["pout"], dtype)
+            np.copyto(
+                buf_pout.reshape((b, cp) + _interleave(self.counts, self.m)),
+                y_tiles.transpose(self._assemble_perm),
+            )
+            result = _result_buffer(out, (b, cp) + self.out_shape, dtype)
+            crop_idx = (slice(None), slice(None)) + tuple(
+                slice(0, o) for o in self.out_shape
+            )
+            np.copyto(result, buf_pout[crop_idx])
+        else:
+            result = _result_buffer(out, (b, cp) + self.out_shape, dtype)
+            np.copyto(
+                result.reshape((b, cp) + _interleave(self.counts, self.m)),
+                y_tiles.transpose(self._assemble_perm),
+            )
+        return result
+
+
+def _interleave(counts: tuple[int, ...], m: tuple[int, ...]) -> tuple[int, ...]:
+    out: tuple[int, ...] = ()
+    for n, mm in zip(counts, m):
+        out += (n, mm)
+    return out
+
+
+def _result_buffer(out, shape, dtype) -> np.ndarray:
+    if out is None:
+        return np.empty(shape, dtype)
+    if tuple(out.shape) != shape or out.dtype != dtype:
+        raise ValueError(
+            f"out buffer has shape {out.shape}/{out.dtype}, expected {shape}/{dtype}"
+        )
+    return out
+
+
+# ----------------------------------------------------------------------
+# The engine facade
+# ----------------------------------------------------------------------
+class ConvolutionEngine:
+    """Serving facade wiring plan cache, arena, autotuning and wisdom.
+
+    Parameters
+    ----------
+    machine:
+        Machine model used for blocking autotuning and tile selection.
+    max_plans, max_cache_bytes:
+        LRU budget of the plan cache.
+    wisdom, wisdom_path:
+        Tuned-blocking persistence (paper Sec. 4.3.2).  When
+        ``wisdom_path`` names an existing file it is loaded; call
+        :meth:`save_wisdom` to persist newly tuned entries.
+    stage2_mode:
+        ``"fast"`` (vectorized batched GEMM) or ``"traced"`` (the
+        per-block JIT-kernel loop the machine simulator instruments).
+        Selected explicitly so simulator fidelity is never silently
+        lost.
+    tile_policy:
+        How ``F(m, r)`` is chosen when a call does not pin it:
+        ``"fixed"`` (the paper's workhorse sizes, no model evaluation)
+        or ``"model"`` (cost-model ranking via
+        :func:`repro.core.tile_selection.select_tile_size`).
+    """
+
+    def __init__(
+        self,
+        *,
+        machine: MachineSpec = KNL_7210,
+        max_plans: int = 32,
+        max_cache_bytes: int = 512 << 20,
+        wisdom: Wisdom | None = None,
+        wisdom_path: str | Path | None = None,
+        stage2_mode: str = "fast",
+        tile_policy: str = "fixed",
+    ):
+        if stage2_mode not in ("fast", "traced"):
+            raise ValueError(f"stage2_mode must be 'fast' or 'traced', got {stage2_mode!r}")
+        if tile_policy not in ("fixed", "model"):
+            raise ValueError(f"tile_policy must be 'fixed' or 'model', got {tile_policy!r}")
+        self.machine = machine
+        self.plans = PlanCache(max_plans=max_plans, max_bytes=max_cache_bytes)
+        self.arena = WorkspaceArena()
+        self.stage2_mode = stage2_mode
+        self.tile_policy = tile_policy
+        self.wisdom_path = Path(wisdom_path) if wisdom_path is not None else None
+        if wisdom is not None:
+            self.wisdom = wisdom
+        elif self.wisdom_path is not None and self.wisdom_path.exists():
+            self.wisdom = Wisdom.load(self.wisdom_path)
+        else:
+            self.wisdom = Wisdom()
+        self._spec_cache: dict[tuple, FmrSpec] = {}
+        self._blocking_cache: dict[tuple, BlockingConfig] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        images: np.ndarray,
+        kernels: np.ndarray,
+        *,
+        fmr: FmrSpec | str | None = None,
+        padding: tuple[int, ...] | None = None,
+        dtype=np.float32,
+        blocked: bool = False,
+        blocking: BlockingConfig | None = None,
+        out: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Convolve ``images`` with ``kernels`` through the cached plan.
+
+        Drop-in equivalent of
+        :func:`repro.core.convolution.winograd_convolution`; repeated
+        calls with the same layer signature hit the plan cache, and
+        repeated calls with the same kernel tensor skip the kernel
+        transform entirely (the "FX" path).
+        """
+        images = np.asarray(images)
+        kernels = np.asarray(kernels)
+        if images.ndim < 3:
+            raise ValueError(f"images must be (B, C, *spatial), got shape {images.shape}")
+        ndim = images.ndim - 2
+        r = tuple(kernels.shape[2:])
+        if padding is None:
+            padding = (0,) * ndim
+        padding = tuple(padding)
+        spec = self._resolve_spec(fmr, images.shape, kernels.shape, padding)
+        dtype = np.dtype(dtype)
+        if blocked:
+            blocking = blocking if blocking is not None else self._resolve_blocking(
+                spec, images.shape, kernels.shape[1], padding
+            )
+        elif blocking is not None:
+            raise ValueError("blocking is only meaningful with blocked=True")
+        key = PlanKey(
+            spec=spec,
+            input_shape=tuple(images.shape),
+            c_out=kernels.shape[1],
+            padding=padding,
+            dtype=dtype.name,
+            blocking=blocking,
+        )
+        entry = self.plans.get_or_create(key)
+        if blocked:
+            return self._run_blocked(entry, images, kernels)
+        w = self.plans.kernel_transform(entry, kernels)
+        with self.arena.lease(entry.fast.lease_bytes) as lease:
+            return entry.fast.run(images.astype(dtype, copy=False), w, lease, out=out)
+
+    # ------------------------------------------------------------------
+    def _run_blocked(self, entry: PlanEntry, images, kernels) -> np.ndarray:
+        execu = entry.executor
+        v = self.plans.packed_kernel_transform(entry, kernels)
+        packed = execu.image_layout.pack(
+            np.asarray(images, dtype=entry.plan.dtype)
+        )
+        u = execu.transform_input_packed(packed)
+        x_bytes = prod(execu.x_layout.stored_shape) * entry.plan.dtype.itemsize
+        with self.arena.lease(x_bytes) as lease:
+            x = lease.take(execu.x_layout.stored_shape, entry.plan.dtype)
+            execu.multiply_packed(u, v, mode=self.stage2_mode, out=x)
+            packed_out = execu.inverse_transform_packed(x)
+        return execu.output_layout.unpack(packed_out)
+
+    # ------------------------------------------------------------------
+    def _resolve_spec(self, fmr, input_shape, kernel_shape, padding) -> FmrSpec:
+        r = tuple(kernel_shape[2:])
+        if isinstance(fmr, str):
+            spec = FmrSpec.parse(fmr)
+        elif fmr is not None:
+            spec = fmr
+        else:
+            spec = self._select_spec(tuple(input_shape), tuple(kernel_shape), padding)
+        if spec.r != r:
+            raise ValueError(f"spec kernel size {spec.r} != kernels' {r}")
+        return spec
+
+    def _select_spec(self, input_shape, kernel_shape, padding) -> FmrSpec:
+        """Pick ``F(m, r)`` for an unpinned call (memoized per shape)."""
+        key = (input_shape, kernel_shape, padding, self.tile_policy)
+        with self._lock:
+            cached = self._spec_cache.get(key)
+        if cached is not None:
+            return cached
+        r = kernel_shape[2:]
+        spatial = input_shape[2:]
+        out = output_shape(spatial, r, padding)
+        if self.tile_policy == "model":
+            from repro.core.tile_selection import select_tile_size
+
+            layer = ConvLayerSpec(
+                network="engine", name="auto", batch=input_shape[0],
+                c_in=input_shape[1], c_out=kernel_shape[1],
+                image=spatial, padding=padding, kernel=r,
+            )
+            spec = select_tile_size(
+                layer, self.machine, mode="train", wisdom=self.wisdom, top_k=1
+            )[0].spec
+        else:
+            # The paper's workhorse sizes: m = 4 per dimension when the
+            # fp32 accuracy budget allows (alpha <= 8 keeps Table-3
+            # error small) and the output extent amortizes the tile;
+            # m = 2 otherwise -- always correct, merely conservative.
+            m = tuple(
+                4 if (rd + 3 <= 8 and od >= 4) else 2
+                for rd, od in zip(r, out)
+            )
+            spec = FmrSpec(m=m, r=r)
+        with self._lock:
+            self._spec_cache[key] = spec
+        return spec
+
+    def tune_blocking(
+        self, input_shape, c_out, *, fmr=None, padding=None
+    ) -> BlockingConfig:
+        """Autotune (or look up) the blocked-mode blocking for a layer
+        signature, recording the result in this engine's wisdom so that
+        :meth:`save_wisdom` persists it even when only the fused path runs.
+        """
+        input_shape = tuple(input_shape)
+        r = FmrSpec.parse(fmr).r if isinstance(fmr, str) else (
+            fmr.r if fmr is not None else (3,) * (len(input_shape) - 2)
+        )
+        kernel_shape = (input_shape[1], c_out) + r
+        if padding is None:
+            padding = (0,) * len(r)
+        padding = tuple(padding)
+        spec = self._resolve_spec(fmr, input_shape, kernel_shape, padding)
+        return self._resolve_blocking(spec, input_shape, c_out, padding)
+
+    def _resolve_blocking(self, spec, input_shape, c_out, padding) -> BlockingConfig:
+        """Wisdom-backed blocking for the blocked executor (memoized)."""
+        key = (spec, tuple(input_shape), c_out, padding)
+        with self._lock:
+            cached = self._blocking_cache.get(key)
+        if cached is not None:
+            return cached
+        layer = ConvLayerSpec(
+            network="engine", name="auto", batch=input_shape[0],
+            c_in=input_shape[1], c_out=c_out,
+            image=tuple(input_shape[2:]), padding=padding, kernel=spec.r,
+        )
+        simd = self.machine.vector_width
+        stored = self.wisdom.get(layer_key(layer, spec, self.machine))
+        if stored is not None:
+            blocking = blocking_from_wisdom(stored, simd)
+        else:
+            # Records the tuned entry in self.wisdom as a side effect, so
+            # save_wisdom() persists it (the paper's FFTW strategy).
+            tune = autotune_layer(
+                layer, spec, self.machine, wisdom=self.wisdom,
+                transform_kernels=False,
+            )
+            blocking = tune.blocking
+        with self._lock:
+            self._blocking_cache[key] = blocking
+        return blocking
+
+    # ------------------------------------------------------------------
+    def save_wisdom(self, path: str | Path | None = None) -> None:
+        """Persist tuned blockings (no-op without a path)."""
+        path = Path(path) if path is not None else self.wisdom_path
+        if path is None:
+            raise ValueError("no wisdom path configured")
+        self.wisdom.save(path)
+
+    def stats(self) -> dict[str, object]:
+        """Cache + arena counters for reporting/monitoring."""
+        return {
+            "plans": self.plans.stats.as_dict(),
+            "cached_plans": len(self.plans),
+            "arena": self.arena.as_dict(),
+            "wisdom_entries": len(self.wisdom),
+        }
+
+
+def clear_compile_caches() -> None:
+    """Reset process-wide memoized transform generation.
+
+    Benchmarks call this to measure honest cold-start latency: the next
+    plan construction redoes the exact-rational Toom-Cook generation,
+    as a fresh process would.
+    """
+    clear_transform_caches()

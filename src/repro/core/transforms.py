@@ -157,9 +157,14 @@ class Transform1D:
         return self.m + self.r - 1
 
     def as_arrays(self, dtype=np.float64) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Return ``(A, B, G)`` as numpy arrays of ``dtype``."""
-        to_np = lambda mat: np.array([[float(x) for x in row] for row in mat], dtype=dtype)
-        return to_np(self.a), to_np(self.b), to_np(self.g)
+        """Return ``(A, B, G)`` as numpy arrays of ``dtype``.
+
+        Results are memoized per ``(transform, dtype)`` and returned as
+        read-only views -- the Fraction-to-float conversion is pure, and
+        every plan for the same ``F(m, r)`` shares one set of arrays.
+        Copy before mutating.
+        """
+        return _as_arrays_cached(self, np.dtype(dtype).name)
 
     def max_abs_entry(self) -> float:
         """Largest |entry| across A, B, G -- a conditioning indicator.
@@ -174,6 +179,20 @@ class Transform1D:
 
 def _freeze(rows: list[list[Fraction]]) -> tuple[tuple[Fraction, ...], ...]:
     return tuple(tuple(row) for row in rows)
+
+
+@lru_cache(maxsize=None)
+def _as_arrays_cached(
+    transform: "Transform1D", dtype_name: str
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    dtype = np.dtype(dtype_name)
+
+    def to_np(mat):
+        arr = np.array([[float(x) for x in row] for row in mat], dtype=dtype)
+        arr.setflags(write=False)
+        return arr
+
+    return to_np(transform.a), to_np(transform.b), to_np(transform.g)
 
 
 @lru_cache(maxsize=None)
@@ -294,14 +313,25 @@ class TransformND:
         return a_list, b_list, g_list
 
 
+@lru_cache(maxsize=None)
 def winograd_nd(spec: FmrSpec) -> TransformND:
-    """Generate per-dimension transforms for an N-D spec.
+    """Generate per-dimension transforms for an N-D spec (memoized).
 
     Dimensions with equal ``(m_d, r_d)`` share the same cached
-    :class:`Transform1D` instance.
+    :class:`Transform1D` instance, and the assembled N-D triple is itself
+    memoized per spec -- exact-rational generation is pure in the spec,
+    so repeated plan construction (the serving path) pays it once per
+    process.
     """
     dims = tuple(winograd_1d(md, rd) for md, rd in zip(spec.m, spec.r))
     return TransformND(spec=spec, dims=dims)
+
+
+def clear_transform_caches() -> None:
+    """Drop all memoized transform generation (for cold-start measurement)."""
+    winograd_nd.cache_clear()
+    _as_arrays_cached.cache_clear()
+    _winograd_1d_cached.cache_clear()
 
 
 def mode_n_multiply(tensor: np.ndarray, matrix: np.ndarray, axis: int) -> np.ndarray:

@@ -87,10 +87,18 @@ class ConvLayer:
         self._weights = weights.astype(np.float32)
         self._transformed = self.plan.transform_kernels(self._weights)
 
-    def forward(self, x: np.ndarray) -> np.ndarray:
+    def forward(self, x: np.ndarray, engine=None) -> np.ndarray:
+        """One layer step; ``engine`` routes the convolution through a
+        :class:`repro.core.engine.ConvolutionEngine` (plan cache + shared
+        workspace arena) instead of this layer's private plan."""
         if self._transformed is None:
             raise RuntimeError(f"layer {self.spec.label}: weights not set")
-        out = self.plan.execute(x, self._transformed)
+        if engine is not None:
+            out = engine.run(
+                x, self._weights, fmr=self.fmr, padding=self.spec.padding
+            )
+        else:
+            out = self.plan.execute(x, self._transformed)
         if self.activation:
             out = relu(out)
         if self.pool > 1:
@@ -106,13 +114,20 @@ class ConvLayer:
 
 
 class SequentialConvNet:
-    """A chain of :class:`ConvLayer` steps with shape checking."""
+    """A chain of :class:`ConvLayer` steps with shape checking.
 
-    def __init__(self, layers: list[ConvLayer], name: str = "net"):
+    Passing an ``engine`` (a :class:`repro.core.engine.ConvolutionEngine`)
+    makes every forward pass share one plan cache and workspace arena
+    across layers -- the paper's Sec. 4.4 "same buffer reused for every
+    layer", plus automatic kernel-transform reuse across passes.
+    """
+
+    def __init__(self, layers: list[ConvLayer], name: str = "net", engine=None):
         if not layers:
             raise ValueError("network needs at least one layer")
         self.name = name
         self.layers = layers
+        self.engine = engine
         for prev, nxt in zip(layers, layers[1:]):
             if prev.output_shape != tuple(
                 (nxt.spec.batch, nxt.spec.c_in) + nxt.spec.image
@@ -131,9 +146,10 @@ class SequentialConvNet:
             ).astype(np.float32) * scale
             layer.set_weights(w)
 
-    def forward(self, x: np.ndarray) -> np.ndarray:
+    def forward(self, x: np.ndarray, engine=None) -> np.ndarray:
+        engine = engine if engine is not None else self.engine
         for layer in self.layers:
-            x = layer.forward(x)
+            x = layer.forward(x, engine=engine)
         return x
 
     @property

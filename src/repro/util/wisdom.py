@@ -14,6 +14,7 @@ rejected loudly rather than silently ignored.
 from __future__ import annotations
 
 import json
+import threading
 from dataclasses import asdict, dataclass
 from pathlib import Path
 
@@ -51,39 +52,74 @@ class WisdomEntry:
 
 
 class Wisdom:
-    """A persistent store of tuned parameters keyed by layer shape."""
+    """A persistent store of tuned parameters keyed by layer shape.
+
+    Safe for concurrent use: mutation and snapshotting are guarded by an
+    internal lock, so serving threads can tune and record entries while
+    another thread persists the store.
+    """
 
     FORMAT_VERSION = 1
 
     def __init__(self) -> None:
         self._entries: dict[str, WisdomEntry] = {}
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: str) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def get(self, key: str) -> WisdomEntry | None:
         """Return the stored entry for ``key``, or ``None``."""
-        return self._entries.get(key)
+        with self._lock:
+            return self._entries.get(key)
 
     def put(self, key: str, entry: WisdomEntry) -> None:
         """Store (or replace) the entry for ``key``."""
         if not key:
             raise ValueError("wisdom key must be a non-empty string")
-        self._entries[key] = entry
+        with self._lock:
+            self._entries[key] = entry
 
     def keys(self) -> list[str]:
-        return sorted(self._entries)
+        with self._lock:
+            return sorted(self._entries)
+
+    def merge(self, other: "Wisdom", prefer: str = "faster") -> int:
+        """Fold ``other``'s entries into this store; returns entries taken.
+
+        ``prefer`` resolves key collisions: ``"faster"`` keeps whichever
+        entry has the lower ``predicted_time`` (merging tuning results
+        from parallel workers), ``"theirs"`` always takes ``other``'s,
+        ``"ours"`` keeps existing entries.
+        """
+        if prefer not in ("faster", "theirs", "ours"):
+            raise ValueError(f"prefer must be 'faster', 'theirs' or 'ours', got {prefer!r}")
+        with other._lock:
+            incoming = dict(other._entries)
+        taken = 0
+        with self._lock:
+            for key, entry in incoming.items():
+                mine = self._entries.get(key)
+                if (
+                    mine is None
+                    or prefer == "theirs"
+                    or (prefer == "faster" and entry.predicted_time < mine.predicted_time)
+                ):
+                    self._entries[key] = entry
+                    taken += 1
+        return taken
 
     def save(self, path: str | Path) -> None:
         """Write the wisdom store to ``path`` as JSON (atomic rename)."""
         path = Path(path)
-        payload = {
-            "version": self.FORMAT_VERSION,
-            "entries": {k: asdict(v) for k, v in self._entries.items()},
-        }
+        with self._lock:
+            snapshot = {k: asdict(v) for k, v in self._entries.items()}
+        payload = {"version": self.FORMAT_VERSION, "entries": snapshot}
         tmp = path.with_suffix(path.suffix + ".tmp")
         tmp.write_text(json.dumps(payload, indent=2, sort_keys=True))
         tmp.replace(path)

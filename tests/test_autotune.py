@@ -34,6 +34,7 @@ class TestAutotune:
         assert res.predicted_seconds > 0
         assert res.candidates_evaluated > 0
 
+    @pytest.mark.slow
     def test_prefers_high_ratio_blocking_for_big_channels(self):
         """For 256-channel layers the 128x128 blocking (ratio 85) should
         beat 64x64 (ratio 43) -- Sec. 4.3.2's own comparison."""

@@ -152,6 +152,7 @@ class TestCapabilityEnvelopes:
 
 
 class TestPredictedTimes:
+    @pytest.mark.slow
     def test_all_positive_on_vgg(self):
         layer = get_layer("VGG", "4.2")
         impls = [

@@ -19,6 +19,7 @@ class TestCli:
         assert "direct" in out
         assert "C3D" not in out
 
+    @pytest.mark.slow
     def test_gemm(self, capsys):
         assert main(["gemm"]) == 0
         out = capsys.readouterr().out
@@ -62,6 +63,7 @@ class TestCli:
 
 
 class TestCliSelect:
+    @pytest.mark.slow
     def test_select_ranking(self, capsys):
         from repro.cli import main as cli_main
 

@@ -114,3 +114,112 @@ class TestPoolStress:
                         slices,
                     )
             pool.run(lambda tid, sl: None, slices)  # still alive
+
+
+class TestEngineConcurrency:
+    """Thread-safety of concurrent :class:`ConvolutionEngine` serving."""
+
+    def _workload(self):
+        from repro.nets.reference import direct_convolution
+
+        rng = np.random.default_rng(7)
+        shapes = [
+            ((1, 8, 10, 10), (8, 8, 3, 3)),
+            ((1, 8, 12, 12), (8, 16, 3, 3)),
+            ((2, 4, 9, 9), (4, 4, 3, 3)),
+        ]
+        work = []
+        for ishape, kshape in shapes:
+            img = rng.standard_normal(ishape).astype(np.float32)
+            ker = rng.standard_normal(kshape).astype(np.float32)
+            ref = direct_convolution(
+                img.astype(np.float64), ker.astype(np.float64), (1, 1)
+            )
+            work.append((img, ker, ref))
+        return work
+
+    def test_concurrent_runs_same_plan(self):
+        """Many threads hammering ONE layer signature: the plan builds
+        once, every result is correct (no arena cross-talk)."""
+        from repro.core.engine import ConvolutionEngine
+
+        engine = ConvolutionEngine()
+        img, ker, ref = self._workload()[0]
+        errors = []
+
+        def worker():
+            try:
+                for _ in range(20):
+                    y = engine.run(img, ker, padding=(1, 1))
+                    relerr = np.abs(y - ref).max() / np.abs(ref).max()
+                    if relerr > 1e-3:
+                        errors.append(relerr)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+        assert not errors
+        s = engine.plans.stats
+        assert s.misses == 1  # build race resolved to a single plan
+        assert s.hits == 6 * 20 - 1
+
+    def test_concurrent_runs_mixed_plans(self):
+        """Threads serving different layer shapes share one cache+arena."""
+        from repro.core.engine import ConvolutionEngine
+
+        engine = ConvolutionEngine()
+        work = self._workload()
+        errors = []
+
+        def worker(i):
+            try:
+                for n in range(12):
+                    img, ker, ref = work[(i + n) % len(work)]
+                    y = engine.run(img, ker, padding=(1, 1))
+                    relerr = np.abs(y - ref).max() / np.abs(ref).max()
+                    if relerr > 1e-3:
+                        errors.append((i, n, relerr))
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+        assert not errors
+        assert len(engine.plans) == len(work)
+        # The arena pool bounds buffer count even under full contention.
+        assert engine.arena.as_dict()["pooled_buffers"] <= engine.arena.max_pooled
+
+    def test_concurrent_eviction_churn(self):
+        """A 2-plan cache under 3-shape traffic: constant eviction must
+        stay consistent (no leaks, no double frees, correct results)."""
+        from repro.core.engine import ConvolutionEngine
+
+        engine = ConvolutionEngine(max_plans=2)
+        work = self._workload()
+        errors = []
+
+        def worker(i):
+            try:
+                for n in range(10):
+                    img, ker, ref = work[(i * 5 + n) % len(work)]
+                    y = engine.run(img, ker, padding=(1, 1))
+                    if np.abs(y - ref).max() / np.abs(ref).max() > 1e-3:
+                        errors.append((i, n))
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+        assert not errors
+        assert len(engine.plans) <= 2
+        assert engine.plans.stats.evictions > 0

@@ -39,6 +39,7 @@ class TestThroughputModels:
         gap_large = ours_large.flops_per_cycle / large.flops_per_cycle
         assert gap_small > gap_large
 
+    @pytest.mark.slow
     def test_nobody_exceeds_two_fma_per_cycle(self):
         """Physical sanity: flops/cycle <= 2 FMAs * 2 * 16 lanes = 64."""
         for c, cp in FIG6_SHAPES:
@@ -59,6 +60,7 @@ class TestSpeedupTable:
             "v_shape", "ours_gflops", "speedup_vs_mkl", "speedup_vs_libxsmm",
         }
 
+    @pytest.mark.slow
     def test_all_speedups_above_one(self):
         rows = speedup_table(FIG6_SHAPES)
         for r in rows:

@@ -123,6 +123,7 @@ class TestSequentialNet:
 
 
 class TestNetworkModelTime:
+    @pytest.mark.slow
     def test_sum_of_layer_costs(self):
         layers = [
             (get_layer("VGG", "4.2"), FmrSpec.uniform(2, 4, 3)),

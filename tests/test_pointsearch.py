@@ -46,6 +46,7 @@ class TestSearch:
         naive = winograd_1d(4, 3, points=tuple(Fraction(i) for i in range(5)))
         assert res.score < error_bound_proxy(naive)
 
+    @pytest.mark.slow
     def test_at_least_as_good_as_default(self):
         """The exhaustive search over a pool containing the curated
         points can never be worse than the curated choice."""

@@ -55,6 +55,7 @@ class TestSelection:
         best = choices[0]
         assert best.multiplication_reduction > 1.0
 
+    @pytest.mark.slow
     def test_padding_penalizes_large_m_on_small_images(self):
         """VGG 5.2 (14x14): m=6 wastes 65% in padding; the selector must
         not rank F(6^2) above every smaller tile on merit of FLOPs alone
@@ -66,6 +67,7 @@ class TestSelection:
         if f6 is not None:
             assert f6.padding_overhead > 0.6
 
+    @pytest.mark.slow
     def test_large_image_prefers_larger_tiles(self):
         """On a 56x56 layer with 256 channels, bigger tiles win (the
         Fig. 5 pattern: F(6^2) fastest on large VGG layers)."""
@@ -74,6 +76,7 @@ class TestSelection:
         best = choices[0].spec
         assert min(best.m) >= 4
 
+    @pytest.mark.slow
     def test_inference_mode_skips_kernel_transform(self):
         layer = small_layer()
         t_train = select_tile_size(layer, KNL_7210, mode="train", top_k=1)[0]
