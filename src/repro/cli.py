@@ -10,7 +10,8 @@ table).  This CLI reproduces those entry points::
     python -m repro accuracy [--net VGG|C3D|both]
     python -m repro gemm
     python -m repro tune --network VGG --layer 4.2 --fmr "F(4x4,3x3)"
-    python -m repro serve --network VGG --layer 3.2 --requests 50
+    python -m repro serve --network VGG --layer 3.2 --requests 50 --backend process
+    python -m repro run --network VGG --layer 3.2 --backend process --check
     python -m repro info
 
 All performance numbers are from the simulated machine substrate and
@@ -38,6 +39,7 @@ from repro.baselines import (
     zlateski_direct,
 )
 from repro.core.autotune import DEFAULT_N_BLK_VALUES, autotune_layer
+from repro.core.engine import BACKENDS as ENGINE_BACKENDS
 from repro.core.fmr import FmrSpec
 from repro.machine.spec import KNL_7210
 from repro.nets.layers import TABLE2_LAYERS, get_layer
@@ -244,7 +246,9 @@ def cmd_serve(args) -> int:
         channels_divisor=args.channels_divisor,
         image_divisor=args.image_divisor,
     )
-    engine = ConvolutionEngine(wisdom_path=args.wisdom)
+    engine = ConvolutionEngine(
+        wisdom_path=args.wisdom, backend=args.backend, n_workers=args.workers
+    )
     rng = np.random.default_rng(0)
     images = rng.standard_normal(
         (layer.batch, layer.c_in) + layer.image
@@ -253,37 +257,99 @@ def cmd_serve(args) -> int:
         rng.standard_normal((layer.c_in, layer.c_out) + layer.kernel) * 0.05
     ).astype(np.float32)
 
-    latencies = []
-    for _ in range(args.requests):
+    try:
+        latencies = []
+        for _ in range(args.requests):
+            t0 = time.perf_counter()
+            engine.run(images, kernels, padding=layer.padding)
+            latencies.append(time.perf_counter() - t0)
+        warm = sorted(latencies[1:]) if len(latencies) > 1 else sorted(latencies)
+
+        def pct(p):
+            return warm[min(len(warm) - 1, int(p / 100 * len(warm)))] * 1e3
+
+        print(f"layer             : {layer.label} (scaled: B={layer.batch} "
+              f"C={layer.c_in} C'={layer.c_out} I={'x'.join(map(str, layer.image))})")
+        print(f"backend           : {args.backend}"
+              + (f" ({engine.n_workers} workers)"
+                 if args.backend in ("thread", "process") else ""))
+        print(f"requests          : {args.requests}")
+        print(f"first-call latency: {latencies[0] * 1e3:.2f} ms")
+        print(f"warm p50 / p95    : {pct(50):.2f} / {pct(95):.2f} ms")
+        print(f"sustained rate    : {(len(warm) / sum(warm)):.1f} req/s")
+        stats = engine.stats()
+        plans = stats["plans"]
+        print(f"plan cache        : {plans['hits']} hits / {plans['misses']} misses "
+              f"({plans['bytes_cached'] / 1e6:.1f} MB cached)")
+        print(f"workspace arena   : {stats['arena']['capacity_bytes'] / 1e6:.1f} MB, "
+              f"{stats['arena']['grows']} grows over {stats['arena']['leases']} leases")
+        if args.wisdom:
+            # Tune the blocked-mode blocking for this layer too, so the saved
+            # wisdom is useful beyond the serving path exercised above.
+            engine.tune_blocking(
+                images.shape, layer.c_out, padding=layer.padding
+            )
+            engine.save_wisdom()
+            print(f"wisdom saved to   : {args.wisdom} "
+                  f"({len(engine.wisdom)} entries)")
+    finally:
+        # Parallel backends hold worker pools / shared memory.
+        engine.close()
+    return 0
+
+
+def cmd_run(args) -> int:
+    """One-shot convolution through a chosen engine backend [real].
+
+    Runs a single scaled Table-2 layer once, prints the wall time and
+    an output checksum, and with ``--check`` verifies the result
+    against the direct-convolution reference oracle.
+    """
+    import numpy as np
+
+    from repro.core.engine import ConvolutionEngine
+    from repro.nets.reference import direct_convolution
+
+    try:
+        layer = get_layer(args.network, args.layer)
+    except KeyError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    layer = layer.scaled(
+        batch=args.batch,
+        channels_divisor=args.channels_divisor,
+        image_divisor=args.image_divisor,
+    )
+    rng = np.random.default_rng(args.seed)
+    images = rng.standard_normal(
+        (layer.batch, layer.c_in) + layer.image
+    ).astype(np.float32)
+    kernels = (
+        rng.standard_normal((layer.c_in, layer.c_out) + layer.kernel) * 0.05
+    ).astype(np.float32)
+
+    with ConvolutionEngine(backend=args.backend, n_workers=args.workers) as engine:
         t0 = time.perf_counter()
-        engine.run(images, kernels, padding=layer.padding)
-        latencies.append(time.perf_counter() - t0)
-    warm = sorted(latencies[1:]) if len(latencies) > 1 else sorted(latencies)
+        out = engine.run(images, kernels, padding=layer.padding)
+        elapsed = time.perf_counter() - t0
+        workers = engine.n_workers
 
-    def pct(p):
-        return warm[min(len(warm) - 1, int(p / 100 * len(warm)))] * 1e3
-
-    print(f"layer             : {layer.label} (scaled: B={layer.batch} "
-          f"C={layer.c_in} C'={layer.c_out} I={'x'.join(map(str, layer.image))})")
-    print(f"requests          : {args.requests}")
-    print(f"first-call latency: {latencies[0] * 1e3:.2f} ms")
-    print(f"warm p50 / p95    : {pct(50):.2f} / {pct(95):.2f} ms")
-    print(f"sustained rate    : {(len(warm) / sum(warm)):.1f} req/s")
-    stats = engine.stats()
-    plans = stats["plans"]
-    print(f"plan cache        : {plans['hits']} hits / {plans['misses']} misses "
-          f"({plans['bytes_cached'] / 1e6:.1f} MB cached)")
-    print(f"workspace arena   : {stats['arena']['capacity_bytes'] / 1e6:.1f} MB, "
-          f"{stats['arena']['grows']} grows over {stats['arena']['leases']} leases")
-    if args.wisdom:
-        # Tune the blocked-mode blocking for this layer too, so the saved
-        # wisdom is useful beyond the fused serving path exercised above.
-        engine.tune_blocking(
-            images.shape, layer.c_out, padding=layer.padding
+    print(f"layer    : {layer.label} (scaled: B={layer.batch} C={layer.c_in} "
+          f"C'={layer.c_out} I={'x'.join(map(str, layer.image))})")
+    print(f"backend  : {args.backend}"
+          + (f" ({workers} workers)" if args.backend in ("thread", "process") else ""))
+    print(f"output   : shape {tuple(out.shape)}, checksum {float(out.sum()):+.6e}")
+    print(f"wall time: {elapsed * 1e3:.2f} ms")
+    if args.check:
+        ref = direct_convolution(
+            images.astype(np.float64), kernels.astype(np.float64),
+            padding=layer.padding,
         )
-        engine.save_wisdom()
-        print(f"wisdom saved to   : {args.wisdom} "
-              f"({len(engine.wisdom)} entries)")
+        err = float(np.max(np.abs(out.astype(np.float64) - ref)))
+        print(f"max |err| vs direct reference: {err:.3e}")
+        if err > 1e-3:
+            print("error: output does not match the reference", file=sys.stderr)
+            return 1
     return 0
 
 
@@ -353,8 +419,28 @@ def build_parser() -> argparse.ArgumentParser:
                     help="scaled batch size for this host (default 4)")
     sv.add_argument("--channels-divisor", type=int, default=4)
     sv.add_argument("--image-divisor", type=int, default=4)
+    sv.add_argument("--backend", choices=list(ENGINE_BACKENDS), default="fused",
+                    help="execution backend (process = true parallelism)")
+    sv.add_argument("--workers", type=int, default=None,
+                    help="worker count for thread/process backends "
+                         "(default: host core count)")
     sv.add_argument("--wisdom", help="wisdom file to load/update")
     sv.set_defaults(fn=cmd_serve)
+
+    rn = sub.add_parser(
+        "run", help="one-shot convolution through a chosen backend [real]"
+    )
+    rn.add_argument("--network", default="VGG")
+    rn.add_argument("--layer", default="3.2")
+    rn.add_argument("--batch", type=int, default=1)
+    rn.add_argument("--channels-divisor", type=int, default=4)
+    rn.add_argument("--image-divisor", type=int, default=4)
+    rn.add_argument("--backend", choices=list(ENGINE_BACKENDS), default="fused")
+    rn.add_argument("--workers", type=int, default=None)
+    rn.add_argument("--seed", type=int, default=0)
+    rn.add_argument("--check", action="store_true",
+                    help="verify against the direct-convolution oracle")
+    rn.set_defaults(fn=cmd_run)
 
     i = sub.add_parser("info", help="simulated machine specifications")
     i.set_defaults(fn=cmd_info)

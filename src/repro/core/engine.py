@@ -40,6 +40,7 @@ restarts its binary per layer benchmark); see DESIGN.md.
 from __future__ import annotations
 
 import hashlib
+import os
 import threading
 from collections import OrderedDict
 from contextlib import contextmanager
@@ -56,6 +57,8 @@ from repro.core.blocked_pipeline import BlockedWinogradExecutor
 from repro.core.blocking import BlockingConfig
 from repro.core.convolution import TransformedKernels, WinogradPlan
 from repro.core.fmr import FmrSpec
+from repro.core.parallel_convolution import ParallelWinogradExecutor
+from repro.core.parallel_process import ProcessWinogradExecutor
 from repro.core.transforms import clear_transform_caches
 from repro.machine.spec import KNL_7210, MachineSpec
 from repro.nets.layers import ConvLayerSpec
@@ -79,6 +82,48 @@ def kernel_fingerprint(kernels: np.ndarray) -> str:
     return h.hexdigest()
 
 
+#: Execution backends selectable per engine (or per call).
+BACKENDS = ("fused", "blocked", "thread", "process")
+
+
+def parallel_simd_width(c_in: int, c_out: int) -> int:
+    """Largest power-of-two SIMD group dividing both channel counts.
+
+    The parallel executors require ``C`` and ``C'`` divisible by ``S``;
+    shrinking ``S`` (rather than rejecting the layer) keeps the thread
+    and process backends available for arbitrary channel counts at the
+    cost of shorter vector groups.
+    """
+    for s in (16, 8, 4, 2, 1):
+        if c_in % s == 0 and c_out % s == 0:
+            return s
+    raise AssertionError("unreachable: 1 divides everything")
+
+
+def default_parallel_blocking(c_in: int, c_out: int, simd: int) -> BlockingConfig:
+    """A valid stage-2 blocking for the parallel backends.
+
+    Largest channel blocks <= 128 that divide the channel counts and are
+    multiples of ``simd`` -- correctness-first defaults when no wisdom
+    entry pins a tuned blocking.
+    """
+
+    def _blk(c: int) -> int:
+        cap = min(c, 128)
+        for d in range(cap // simd * simd, 0, -simd):
+            if c % d == 0:
+                return d
+        return simd
+
+    # n_blk at the legal maximum: stage 2 is driven by a Python loop
+    # over row blocks, so bigger blocks mean fewer interpreter
+    # iterations per GEMM (the cost model's register-pressure concerns
+    # do not apply to the numpy substrate).
+    return BlockingConfig(
+        n_blk=30, c_blk=_blk(c_in), cprime_blk=_blk(c_out), simd_width=simd
+    )
+
+
 # ----------------------------------------------------------------------
 # Plan cache
 # ----------------------------------------------------------------------
@@ -92,6 +137,7 @@ class PlanKey:
     padding: tuple[int, ...]
     dtype: str
     blocking: BlockingConfig | None = None  # None: fused numpy fast path
+    backend: str = "fused"  # fused | blocked | thread | process
 
 
 @dataclass
@@ -136,6 +182,7 @@ class PlanEntry:
         self.plan = plan
         self.fast = _FusedPlan(plan)
         self._executor: BlockedWinogradExecutor | None = None
+        self._parallel: ParallelWinogradExecutor | ProcessWinogradExecutor | None = None
         self.kernels: dict[str, TransformedKernels] = {}
         self.packed_kernels: dict[str, np.ndarray] = {}
         self.lock = threading.Lock()
@@ -151,6 +198,47 @@ class PlanEntry:
                     plan=self.plan, blocking=self.key.blocking
                 )
             return self._executor
+
+    def parallel_executor(self, n_workers: int, timeout: float = 60.0):
+        """Lazily built thread/process executor for this plan.
+
+        The executor is part of the cached entry -- its schedules, pool
+        (threads or worker processes) and shared-memory arena are the
+        "compile time" products the cache amortizes across requests.
+        """
+        if self.key.backend not in ("thread", "process") or self.key.blocking is None:
+            raise ValueError(
+                f"plan was cached for backend {self.key.backend!r}, not a parallel one"
+            )
+        with self.lock:
+            if self._parallel is None:
+                if self.key.backend == "thread":
+                    self._parallel = ParallelWinogradExecutor(
+                        plan=self.plan,
+                        blocking=self.key.blocking,
+                        n_threads=n_workers,
+                        simd_width=self.key.blocking.simd_width,
+                    )
+                else:
+                    self._parallel = ProcessWinogradExecutor(
+                        plan=self.plan,
+                        blocking=self.key.blocking,
+                        n_workers=n_workers,
+                        simd_width=self.key.blocking.simd_width,
+                        timeout=timeout,
+                    )
+            return self._parallel
+
+    def release(self) -> None:
+        """Tear down pooled resources (worker processes, shared memory).
+
+        Called on cache eviction/clear; idempotent and safe for entries
+        that never built an executor.
+        """
+        with self.lock:
+            ex, self._parallel = self._parallel, None
+        if ex is not None:
+            ex.shutdown()
 
     def nbytes(self) -> int:
         n = self.fast.const_bytes
@@ -257,8 +345,11 @@ class PlanCache:
 
     def clear(self) -> None:
         with self._lock:
+            dropped = list(self._entries.values())
             self._entries.clear()
             self.stats.bytes_cached = 0
+        for entry in dropped:
+            entry.release()
 
     # -- internal (callers hold the lock) ------------------------------
     def _recount(self) -> None:
@@ -271,7 +362,8 @@ class PlanCache:
         ):
             if len(self._entries) == 1 and len(self._entries) <= self.max_plans:
                 break  # never evict the sole (and only legal) resident
-            self._entries.popitem(last=False)
+            _, entry = self._entries.popitem(last=False)
+            entry.release()  # tear down worker pools / shared memory
             self.stats.evictions += 1
             self._recount()
 
@@ -544,6 +636,20 @@ class ConvolutionEngine:
         ``"fixed"`` (the paper's workhorse sizes, no model evaluation)
         or ``"model"`` (cost-model ranking via
         :func:`repro.core.tile_selection.select_tile_size`).
+    backend:
+        Default execution backend for :meth:`run`: ``"fused"`` (the
+        Kronecker fast path), ``"blocked"`` (the Table-1 pipeline),
+        ``"thread"`` (fork-join threads; GIL-bound, faithful to the
+        paper's schedule) or ``"process"`` (worker processes over
+        shared memory -- true parallelism).  Engines using the
+        parallel backends own pooled workers; call :meth:`close` (or
+        use the engine as a context manager) to release them.
+    n_workers:
+        Worker count for the thread/process backends (defaults to the
+        host core count).
+    worker_timeout:
+        Per-stage watchdog for the process backend's barriers; a dead
+        worker surfaces as ``WorkerCrashError`` within this bound.
     """
 
     def __init__(
@@ -556,11 +662,21 @@ class ConvolutionEngine:
         wisdom_path: str | Path | None = None,
         stage2_mode: str = "fast",
         tile_policy: str = "fixed",
+        backend: str = "fused",
+        n_workers: int | None = None,
+        worker_timeout: float = 60.0,
     ):
         if stage2_mode not in ("fast", "traced"):
             raise ValueError(f"stage2_mode must be 'fast' or 'traced', got {stage2_mode!r}")
         if tile_policy not in ("fixed", "model"):
             raise ValueError(f"tile_policy must be 'fixed' or 'model', got {tile_policy!r}")
+        if backend not in BACKENDS:
+            raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
+        if n_workers is not None and n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        self.backend = backend
+        self.n_workers = n_workers if n_workers is not None else (os.cpu_count() or 1)
+        self.worker_timeout = worker_timeout
         self.machine = machine
         self.plans = PlanCache(max_plans=max_plans, max_bytes=max_cache_bytes)
         self.arena = WorkspaceArena()
@@ -588,6 +704,7 @@ class ConvolutionEngine:
         dtype=np.float32,
         blocked: bool = False,
         blocking: BlockingConfig | None = None,
+        backend: str | None = None,
         out: np.ndarray | None = None,
     ) -> np.ndarray:
         """Convolve ``images`` with ``kernels`` through the cached plan.
@@ -596,7 +713,9 @@ class ConvolutionEngine:
         :func:`repro.core.convolution.winograd_convolution`; repeated
         calls with the same layer signature hit the plan cache, and
         repeated calls with the same kernel tensor skip the kernel
-        transform entirely (the "FX" path).
+        transform entirely (the "FX" path).  ``backend`` overrides the
+        engine default per call; ``blocked=True`` is the legacy spelling
+        of ``backend="blocked"``.
         """
         images = np.asarray(images)
         kernels = np.asarray(kernels)
@@ -607,10 +726,20 @@ class ConvolutionEngine:
         if padding is None:
             padding = (0,) * ndim
         padding = tuple(padding)
+        if backend is None:
+            backend = "blocked" if blocked else self.backend
+        elif blocked and backend != "blocked":
+            raise ValueError(f"blocked=True conflicts with backend={backend!r}")
+        if backend not in BACKENDS:
+            raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
         spec = self._resolve_spec(fmr, images.shape, kernels.shape, padding)
         dtype = np.dtype(dtype)
-        if blocked:
+        if backend == "blocked":
             blocking = blocking if blocking is not None else self._resolve_blocking(
+                spec, images.shape, kernels.shape[1], padding
+            )
+        elif backend in ("thread", "process"):
+            blocking = blocking if blocking is not None else self._parallel_blocking(
                 spec, images.shape, kernels.shape[1], padding
             )
         elif blocking is not None:
@@ -622,10 +751,14 @@ class ConvolutionEngine:
             padding=padding,
             dtype=dtype.name,
             blocking=blocking,
+            backend=backend,
         )
         entry = self.plans.get_or_create(key)
-        if blocked:
+        if backend == "blocked":
             return self._run_blocked(entry, images, kernels)
+        if backend in ("thread", "process"):
+            execu = entry.parallel_executor(self.n_workers, timeout=self.worker_timeout)
+            return execu.execute(images, kernels)
         w = self.plans.kernel_transform(entry, kernels)
         with self.arena.lease(entry.fast.lease_bytes) as lease:
             return entry.fast.run(images.astype(dtype, copy=False), w, lease, out=out)
@@ -738,6 +871,61 @@ class ConvolutionEngine:
         with self._lock:
             self._blocking_cache[key] = blocking
         return blocking
+
+    def _parallel_blocking(self, spec, input_shape, c_out, padding) -> BlockingConfig:
+        """Blocking for the thread/process backends (memoized).
+
+        Prefers a tuned wisdom entry when it satisfies the parallel
+        executors' divisibility constraints (``C``/``C'`` multiples of
+        the SIMD group and of the channel blocks); otherwise falls back
+        to correctness-first defaults sized by the channel counts --
+        autotuning is never triggered from the parallel hot path.
+        """
+        c_in = input_shape[1]
+        simd = parallel_simd_width(c_in, c_out)
+        key = ("parallel", spec, tuple(input_shape), c_out, padding)
+        with self._lock:
+            cached = self._blocking_cache.get(key)
+        if cached is not None:
+            return cached
+        layer = ConvLayerSpec(
+            network="engine", name="auto", batch=input_shape[0],
+            c_in=c_in, c_out=c_out,
+            image=tuple(input_shape[2:]), padding=padding, kernel=spec.r,
+        )
+        blocking: BlockingConfig | None = None
+        stored = self.wisdom.get(layer_key(layer, spec, self.machine))
+        if stored is not None:
+            cand = blocking_from_wisdom(stored, self.machine.vector_width)
+            if (
+                c_in % cand.simd_width == 0
+                and c_out % cand.simd_width == 0
+                and c_in % cand.c_blk == 0
+                and c_out % cand.cprime_blk == 0
+            ):
+                blocking = cand
+        if blocking is None:
+            blocking = default_parallel_blocking(c_in, c_out, simd)
+        with self._lock:
+            self._blocking_cache[key] = blocking
+        return blocking
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release pooled resources held by cached plans.
+
+        Parallel-backend entries own worker processes/threads and named
+        shared-memory segments; dropping the plan cache shuts them all
+        down.  The engine stays usable afterwards -- plans simply
+        rebuild on the next call.
+        """
+        self.plans.clear()
+
+    def __enter__(self) -> "ConvolutionEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     def save_wisdom(self, path: str | Path | None = None) -> None:

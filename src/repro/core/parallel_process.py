@@ -1,0 +1,586 @@
+"""True-parallel execution of the static schedule on worker *processes*.
+
+:class:`~repro.core.parallel_convolution.ParallelWinogradExecutor` is
+behaviourally faithful to the paper's Sec. 4.5 runtime but runs under
+the GIL, so its speedup is zero by construction.  This module maps the
+very same per-stage :class:`~repro.core.scheduling.GridSlice` schedules
+onto a persistent pool of **processes**, which CPython cannot serialize:
+
+* every pipeline buffer (padded input, kernels, U, V, X/M, output tiles)
+  lives in a :class:`~repro.core.shm.SharedTensorArena` segment that all
+  workers map read-write, reproducing the paper's shared U/V/M workspace
+  (Sec. 4.4) across address spaces;
+* the fork-join protocol is the paper's double-barrier design: the main
+  process publishes a stage command, everyone crosses the *start*
+  barrier, workers execute their pre-assigned slice against the shared
+  views, and everyone crosses the *done* barrier -- one fork-join per
+  stage, no work queues, no stealing (``multiprocessing.Barrier`` is the
+  kernel-assisted stand-in for the paper's spin barrier; a busy-wait
+  barrier across processes would burn the very cores we are trying to
+  use);
+* schedules are computed once at executor construction ("compile time")
+  and shipped to the workers in their startup blob, so per-run traffic
+  is *only* the input/kernel bytes and eight barrier crossings.
+
+Worker failures propagate cleanly: Python exceptions inside a stage are
+forwarded over an error queue and re-raised in the caller as
+:class:`WorkerError` (the pool stays usable); a dead worker (segfault,
+``os._exit``, OOM-kill) breaks the barrier and surfaces as
+:class:`WorkerCrashError` with exit codes, after which the pool is
+terminated and marked broken.
+
+Numerics: stage bodies are the vectorized equivalents of the
+thread-executor task loops -- identical per-element summation order --
+so results match :class:`ParallelWinogradExecutor` exactly and the
+sequential :class:`~repro.core.convolution.WinogradPlan` up to float
+summation order in stage 2 (blocked-K accumulation).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import pickle
+import threading
+import traceback
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from repro.core.blocking import BlockingConfig
+from repro.core.convolution import WinogradPlan
+from repro.core.scheduling import (
+    GridSlice,
+    stage1_grid,
+    stage2_grid,
+    stage3_grid,
+    static_schedule,
+)
+from repro.core.shm import SegmentSpec, SharedTensorArena, attach_segments
+from repro.core.tiling import assemble_output
+from repro.core.transforms import transform_tensor
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.fmr import FmrSpec
+
+#: Stage commands published through the shared control word.
+STAGE1, STAGE1B, STAGE2, STAGE3 = 1, 2, 3, 4
+_CMD_IDLE = 0
+_CMD_SHUTDOWN = -1
+_CMD_RAISE = -2  # fault-injection hook: raise inside the stage body
+_CMD_EXIT = -3  # fault-injection hook: die without reaching the barrier
+
+
+class WorkerError(RuntimeError):
+    """A stage body raised a Python exception inside a worker.
+
+    The double-barrier round still completed, so the pool remains
+    usable; the first worker traceback is embedded in the message.
+    """
+
+
+class WorkerCrashError(RuntimeError):
+    """A worker process died (or wedged past the barrier timeout).
+
+    The pool has been terminated and is permanently broken.
+    """
+
+
+# ----------------------------------------------------------------------
+# Startup blob shipped to every worker
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class WorkerConfig:
+    """Everything a worker needs to rebuild plan state and attach shm."""
+
+    spec: "FmrSpec"
+    input_shape: tuple[int, ...]
+    c_out: int
+    padding: tuple[int, ...]
+    dtype: str
+    blocking: BlockingConfig
+    simd_width: int
+    n_workers: int
+    schedules: dict[int, tuple[GridSlice, ...]]
+    segments: dict[str, SegmentSpec]
+
+
+class _WorkerState:
+    """Per-worker plan state: transform matrices + shared-memory views.
+
+    Reconstructed deterministically from the :class:`WorkerConfig` --
+    transform generation is exact-rational, so every worker holds the
+    same matrices the main process planned with.
+    """
+
+    def __init__(self, cfg: WorkerConfig, rank: int):
+        self.cfg = cfg
+        self.rank = rank
+        self.plan = WinogradPlan(
+            spec=cfg.spec,
+            input_shape=cfg.input_shape,
+            c_out=cfg.c_out,
+            padding=cfg.padding,
+            dtype=np.dtype(cfg.dtype),
+        )
+        plan = self.plan
+        dtype = plan.dtype
+        self.a_mats = [t.as_arrays(dtype)[0] for t in plan.transforms.dims]
+        self.b_mats = [t.as_arrays(dtype)[1] for t in plan.transforms.dims]
+        self.g_mats = [t.as_arrays(dtype)[2] for t in plan.transforms.dims]
+        self.s = cfg.simd_width
+        self.counts = plan.grid.counts
+        self.n = plan.tiles_per_image
+        self.t = plan.t_matrices
+        self.nb = plan.gemm_rows
+        self.cp_blocks = plan.c_out // self.s
+        self.slices = {stage: sched[rank] for stage, sched in cfg.schedules.items()}
+        self.attached = attach_segments(cfg.segments)
+        self.padded = self.attached["padded"]
+        self.kernels = self.attached["kernels"]
+        self.u = self.attached["u"]
+        self.v = self.attached["v"]
+        self.x = self.attached["x"]
+        self.out_tiles = self.attached["out_tiles"]
+        # Stage-1 tile sub-rectangle of this worker (fixed at compile
+        # time): flat tile ids in row-major order of the rectangle.
+        sl1 = self.slices[STAGE1]
+        tile_ranges = sl1.ranges[2:]
+        if all(b > a for a, b in sl1.ranges):
+            grids = np.meshgrid(
+                *[np.arange(a, b) for a, b in tile_ranges], indexing="ij"
+            )
+            self.tile_flats1 = np.ravel_multi_index(
+                tuple(g.ravel() for g in grids), self.counts
+            )
+        else:
+            self.tile_flats1 = np.empty(0, dtype=np.intp)
+
+    def close(self) -> None:
+        self.attached.close()
+
+
+# ----------------------------------------------------------------------
+# Stage bodies -- vectorized equivalents of the thread-executor loops
+# ----------------------------------------------------------------------
+def _stage1(st: _WorkerState) -> None:
+    """Input transform: grid ``B x (C/S) x N_1 x ... x N_n``."""
+    sl = st.slices[STAGE1]
+    if sl.task_count == 0:
+        return
+    spec = st.plan.spec
+    (b0, b1), (cb0, cb1) = sl.ranges[:2]
+    tile_ranges = sl.ranges[2:]
+    # Tile positions step by m_d over the sliding-window view.
+    window_idx = (slice(None),) + tuple(
+        slice(a * m, (b - 1) * m + 1, m) for (a, b), m in zip(tile_ranges, spec.m)
+    )
+    nsub = st.tile_flats1.size
+    s, t = st.s, st.t
+    for b_idx in range(b0, b1):
+        rows = b_idx * st.n + st.tile_flats1
+        for cb in range(cb0, cb1):
+            group = st.padded[b_idx, cb * s : (cb + 1) * s]
+            view = sliding_window_view(
+                group, spec.tile_shape, axis=tuple(range(1, 1 + spec.ndim))
+            )
+            tiles = np.ascontiguousarray(view[window_idx])  # (S, *nsub, *T)
+            transformed = transform_tensor(tiles, st.b_mats)
+            st.u[:, rows, cb * s : (cb + 1) * s] = (
+                transformed.reshape(s, nsub, t).transpose(2, 1, 0)
+            )
+
+
+def _stage1b(st: _WorkerState) -> None:
+    """Kernel transform: grid ``C x (C'/S)``."""
+    sl = st.slices[STAGE1B]
+    if sl.task_count == 0:
+        return
+    (c0, c1), (p0, p1) = sl.ranges
+    s, t = st.s, st.t
+    group = st.kernels[c0:c1, p0 * s : p1 * s]  # (dc, dp*S, *r)
+    transformed = transform_tensor(group, st.g_mats)  # (dc, dp*S, *T)
+    dc, dps = transformed.shape[:2]
+    st.v[:, c0:c1, p0 * s : p1 * s] = (
+        transformed.reshape(dc, dps, t).transpose(2, 0, 1)
+    )
+
+
+def _stage2(st: _WorkerState) -> None:
+    """Blocked batched GEMM: grid ``T x (C'/C'_blk) x (NB/n_blk)``.
+
+    The block-K accumulation loop is kept identical to the thread
+    executor's so both backends are bit-for-bit comparable.
+    """
+    sl = st.slices[STAGE2]
+    blk = st.cfg.blocking
+    c_in = st.plan.c_in
+    u, v, x = st.u, st.v, st.x
+    for ti, j, i in sl.tasks():
+        rows = slice(i * blk.n_blk, min((i + 1) * blk.n_blk, st.nb))
+        cols = slice(j * blk.cprime_blk, (j + 1) * blk.cprime_blk)
+        acc = None
+        for k in range(0, c_in, blk.c_blk):
+            block = u[ti, rows, k : k + blk.c_blk] @ v[ti, k : k + blk.c_blk, cols]
+            acc = block if acc is None else acc + block
+        x[ti, rows, cols] = acc
+
+
+def _stage3(st: _WorkerState) -> None:
+    """Inverse transform: 1-D grid ``B*N*C'/S``, vectorized per
+    ``(batch, channel-block)`` run."""
+    sl = st.slices[STAGE3]
+    (a, b) = sl.ranges[0]
+    if b <= a:
+        return
+    s = st.s
+    flats = np.arange(a, b)
+    b_all, rem = np.divmod(flats, st.n * st.cp_blocks)
+    tile_all, cpb_all = np.divmod(rem, st.cp_blocks)
+    for b_idx in np.unique(b_all):
+        in_b = b_all == b_idx
+        for cpb in np.unique(cpb_all[in_b]):
+            mask = in_b & (cpb_all == cpb)
+            tiles_f = tile_all[mask]
+            rows = b_idx * st.n + tiles_f
+            group = st.x[:, rows, cpb * s : (cpb + 1) * s]  # (T, k, S)
+            tiles = group.transpose(1, 2, 0).reshape(
+                (tiles_f.size, s) + st.plan.spec.tile_shape
+            )
+            inv = transform_tensor(tiles, st.a_mats)  # (k, S, *m)
+            tidx = np.unravel_index(tiles_f, st.counts)
+            # Scalar b_idx + the tile index arrays are non-adjacent
+            # advanced indices, so the broadcast (k,) axis leads the
+            # indexing result: shape (k, S, *m), matching inv directly.
+            st.out_tiles[(b_idx, slice(cpb * s, (cpb + 1) * s)) + tidx] = inv
+
+
+_STAGE_FNS = {STAGE1: _stage1, STAGE1B: _stage1b, STAGE2: _stage2, STAGE3: _stage3}
+
+
+# ----------------------------------------------------------------------
+# Worker main loop
+# ----------------------------------------------------------------------
+def _worker_main(rank, cfg_blob, start_barrier, done_barrier, command, errors):
+    """Double-barrier slave loop: park on *start*, run the published
+    stage against shared memory, park on *done*; repeat until shutdown."""
+    state = None
+    init_error = None
+    try:
+        state = _WorkerState(pickle.loads(cfg_blob), rank)
+    except BaseException as exc:  # noqa: BLE001 - reported on first stage
+        init_error = f"worker {rank} failed to initialize: {exc!r}"
+        errors.put((rank, init_error, traceback.format_exc()))
+    try:
+        # Readiness handshake: the constructor of the pool waits here.
+        done_barrier.wait()
+        while True:
+            start_barrier.wait()
+            cmd = command.value
+            if cmd == _CMD_SHUTDOWN:
+                return
+            try:
+                if cmd == _CMD_EXIT:
+                    os._exit(3)
+                if cmd == _CMD_RAISE:
+                    raise RuntimeError(f"injected failure in worker {rank}")
+                if state is None:
+                    raise RuntimeError(init_error or f"worker {rank} has no state")
+                if cmd != _CMD_IDLE:
+                    _STAGE_FNS[cmd](state)
+            except BaseException as exc:  # noqa: BLE001 - propagated to main
+                errors.put(
+                    (rank, f"{type(exc).__name__}: {exc}", traceback.format_exc())
+                )
+            finally:
+                done_barrier.wait()
+    except threading.BrokenBarrierError:
+        return  # pool is tearing down (crash elsewhere or shutdown race)
+    finally:
+        if state is not None:
+            state.close()
+
+
+# ----------------------------------------------------------------------
+# The pool
+# ----------------------------------------------------------------------
+class ProcessForkJoinPool:
+    """Persistent worker processes driven by the double-barrier protocol."""
+
+    def __init__(
+        self,
+        cfg: WorkerConfig,
+        timeout: float = 60.0,
+        start_method: str | None = None,
+    ):
+        if cfg.n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {cfg.n_workers}")
+        if timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {timeout}")
+        self.n_workers = cfg.n_workers
+        self.timeout = timeout
+        method = start_method or (
+            "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+        )
+        ctx = mp.get_context(method)
+        # parties = workers + the coordinating main process.
+        self._start = ctx.Barrier(cfg.n_workers + 1)
+        self._done = ctx.Barrier(cfg.n_workers + 1)
+        self._command = ctx.Value("i", _CMD_IDLE, lock=False)
+        self._errors = ctx.SimpleQueue()
+        self._broken = False
+        self._shutdown = False
+        #: Completed fork-join episodes.
+        self.joins = 0
+        blob = pickle.dumps(cfg)
+        self._workers = [
+            ctx.Process(
+                target=_worker_main,
+                args=(r, blob, self._start, self._done, self._command, self._errors),
+                daemon=True,
+                name=f"repro-winograd-{r}",
+            )
+            for r in range(cfg.n_workers)
+        ]
+        for w in self._workers:
+            w.start()
+        try:
+            self._done.wait(self.timeout)  # readiness handshake
+        except threading.BrokenBarrierError:
+            self._fail("worker pool failed to come up")
+
+    # ------------------------------------------------------------------
+    def run(self, command: int) -> None:
+        """One fork-join: publish ``command``, cross both barriers.
+
+        Raises :class:`WorkerError` for in-stage Python exceptions (pool
+        survives) and :class:`WorkerCrashError` for dead/wedged workers
+        (pool is terminated).
+        """
+        if self._broken:
+            raise WorkerCrashError("worker pool is broken")
+        if self._shutdown:
+            raise RuntimeError("pool is shut down")
+        dead = [w for w in self._workers if not w.is_alive()]
+        if dead:
+            self._fail(
+                "worker died between runs: "
+                + ", ".join(f"{w.name} exit={w.exitcode}" for w in dead)
+            )
+        self._command.value = command
+        try:
+            self._start.wait(self.timeout)  # fork
+            self._done.wait(self.timeout)  # join
+        except threading.BrokenBarrierError:
+            self._fail(f"worker crashed or stalled during command {command}")
+        self.joins += 1
+        errs = self._drain_errors()
+        if errs:
+            rank, msg, tb = errs[0]
+            raise WorkerError(
+                f"{len(errs)} worker(s) failed; first (rank {rank}): {msg}\n{tb}"
+            )
+
+    def inject(self, kind: str) -> None:
+        """Fault-injection hook for tests: ``'raise'`` or ``'exit'``."""
+        self.run({"raise": _CMD_RAISE, "exit": _CMD_EXIT}[kind])
+
+    @property
+    def broken(self) -> bool:
+        return self._broken
+
+    # ------------------------------------------------------------------
+    def _drain_errors(self) -> list[tuple[int, str, str]]:
+        errs = []
+        try:
+            while not self._errors.empty():
+                errs.append(self._errors.get())
+        except (OSError, EOFError):  # pragma: no cover - teardown race
+            pass
+        return errs
+
+    def _fail(self, reason: str) -> None:
+        self._broken = True
+        errs = self._drain_errors()
+        self._terminate()
+        codes = ", ".join(f"{w.name} exit={w.exitcode}" for w in self._workers)
+        detail = f"\nfirst worker error: {errs[0][1]}" if errs else ""
+        raise WorkerCrashError(f"{reason} [{codes}]{detail}")
+
+    def _terminate(self) -> None:
+        for w in self._workers:
+            if w.is_alive():
+                w.terminate()
+        for w in self._workers:
+            w.join(timeout=2.0)
+            if w.is_alive():  # pragma: no cover - last resort
+                w.kill()
+                w.join(timeout=1.0)
+
+    def shutdown(self) -> None:
+        """Stop the workers (idempotent)."""
+        if self._shutdown:
+            return
+        self._shutdown = True
+        if not self._broken:
+            self._command.value = _CMD_SHUTDOWN
+            try:
+                self._start.wait(min(self.timeout, 5.0))
+            except threading.BrokenBarrierError:  # pragma: no cover
+                pass
+        for w in self._workers:
+            w.join(timeout=5.0)
+        self._terminate()
+
+    def __enter__(self) -> "ProcessForkJoinPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+
+# ----------------------------------------------------------------------
+# The executor
+# ----------------------------------------------------------------------
+@dataclass
+class ProcessWinogradExecutor:
+    """Runs a :class:`WinogradPlan` on a :class:`ProcessForkJoinPool`.
+
+    Drop-in sibling of :class:`ParallelWinogradExecutor` with identical
+    validation, schedules and numerics -- but the workers are processes
+    sharing the pipeline buffers through named shared memory, so the
+    arithmetic actually runs concurrently.
+    """
+
+    plan: WinogradPlan
+    blocking: BlockingConfig
+    n_workers: int = 2
+    simd_width: int = 16
+    timeout: float = 60.0
+    start_method: str | None = None
+
+    def __post_init__(self) -> None:
+        plan = self.plan
+        s = self.simd_width
+        if plan.c_in % s or plan.c_out % s:
+            raise ValueError(
+                f"channels ({plan.c_in}, {plan.c_out}) must be divisible by S={s}"
+            )
+        if plan.c_out % self.blocking.cprime_blk:
+            raise ValueError(
+                f"C'={plan.c_out} not divisible by C'_blk={self.blocking.cprime_blk}"
+            )
+        if plan.c_in % self.blocking.c_blk:
+            raise ValueError(
+                f"C={plan.c_in} not divisible by C_blk={self.blocking.c_blk}"
+            )
+        schedules = {
+            STAGE1: tuple(
+                static_schedule(
+                    stage1_grid(plan.batch, plan.c_in, plan.grid.counts, s),
+                    self.n_workers,
+                )
+            ),
+            STAGE1B: tuple(
+                static_schedule((plan.c_in, plan.c_out // s), self.n_workers)
+            ),
+            STAGE2: tuple(
+                static_schedule(
+                    stage2_grid(
+                        plan.t_matrices, plan.c_out, plan.gemm_rows, self.blocking
+                    ),
+                    self.n_workers,
+                )
+            ),
+            STAGE3: tuple(
+                static_schedule(
+                    stage3_grid(plan.batch, plan.tiles_per_image, plan.c_out, s),
+                    self.n_workers,
+                )
+            ),
+        }
+        b, c, cp = plan.batch, plan.c_in, plan.c_out
+        t, nb = plan.t_matrices, plan.gemm_rows
+        dtype = plan.dtype
+        self.arena = SharedTensorArena(tag="wino")
+        try:
+            self._padded = self.arena.allocate(
+                "padded", (b, c) + plan.grid.padded_input_shape, dtype
+            )
+            self._kernels = self.arena.allocate(
+                "kernels", (c, cp) + plan.spec.r, dtype
+            )
+            self._u = self.arena.allocate("u", (t, nb, c), dtype)
+            self._v = self.arena.allocate("v", (t, c, cp), dtype)
+            self._x = self.arena.allocate("x", (t, nb, cp), dtype)
+            self._out_tiles = self.arena.allocate(
+                "out_tiles", (b, cp) + plan.grid.counts + plan.spec.m, dtype
+            )
+            cfg = WorkerConfig(
+                spec=plan.spec,
+                input_shape=plan.input_shape,
+                c_out=plan.c_out,
+                padding=plan.padding,
+                dtype=dtype.name,
+                blocking=self.blocking,
+                simd_width=s,
+                n_workers=self.n_workers,
+                schedules=schedules,
+                segments=self.arena.spec(),
+            )
+            self.pool = ProcessForkJoinPool(
+                cfg, timeout=self.timeout, start_method=self.start_method
+            )
+        except BaseException:
+            self.arena.release()
+            raise
+        # Interior of the padded buffer receiving the raw images (the
+        # halo beyond it is conv padding + grid zero-extension).
+        self._interior = (slice(None), slice(None)) + tuple(
+            slice(p, p + sz) for p, sz in zip(plan.padding, plan.input_shape[2:])
+        )
+        self._exec_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def execute(self, images: np.ndarray, kernels: np.ndarray) -> np.ndarray:
+        """Run all four stages across the worker processes.
+
+        Serialized internally: the executor owns ONE shared workspace,
+        so concurrent callers take turns (the engine leans on this).
+        """
+        plan = self.plan
+        images = np.asarray(images, dtype=plan.dtype)
+        kernels = np.asarray(kernels, dtype=plan.dtype)
+        if tuple(images.shape) != plan.input_shape:
+            raise ValueError(f"images shape {images.shape} != {plan.input_shape}")
+        expected_k = (plan.c_in, plan.c_out) + plan.spec.r
+        if tuple(kernels.shape) != expected_k:
+            raise ValueError(f"kernels shape {kernels.shape} != {expected_k}")
+        with self._exec_lock:
+            if self.arena.released:
+                raise RuntimeError("executor is shut down")
+            self._padded[...] = 0
+            self._padded[self._interior] = images
+            self._kernels[...] = kernels
+            for cmd in (STAGE1, STAGE1B, STAGE2, STAGE3):
+                self.pool.run(cmd)
+            out = assemble_output(self._out_tiles, plan.grid)
+            if np.shares_memory(out, self._out_tiles):  # pragma: no cover
+                out = out.copy()
+            return out
+
+    # ------------------------------------------------------------------
+    def shutdown(self) -> None:
+        """Stop the workers and unlink every shared segment (idempotent)."""
+        try:
+            self.pool.shutdown()
+        finally:
+            self.arena.release()
+
+    def __enter__(self) -> "ProcessWinogradExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()

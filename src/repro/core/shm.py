@@ -1,0 +1,252 @@
+"""Shared-memory tensor arena for the process-parallel backend.
+
+CPython's GIL means the :class:`~repro.core.parallel.ForkJoinPool`
+executes the paper's static schedule with real synchronization but no
+real arithmetic concurrency.  True parallelism needs processes, and
+processes need the paper's shared U/V/M buffers (Sec. 4.4) to live in
+memory every worker can address.  This module provides that substrate:
+a :class:`SharedTensorArena` of *named* ``multiprocessing.shared_memory``
+segments, one per pipeline buffer, with explicit lifetime management.
+
+Ownership model (POSIX shm semantics):
+
+* the **creator** (the main process) allocates every segment, owns the
+  names, and is the only party that ever calls ``unlink`` -- via
+  :meth:`SharedTensorArena.release`, the context-manager exit, ``__del__``
+  or the module ``atexit`` hook, whichever comes first (release is
+  idempotent);
+* **workers** attach read-write by name through :func:`attach_segments`
+  and merely ``close`` their mappings on exit -- attaching never implies
+  ownership.
+
+Segment names embed the creator PID plus a process-wide counter, so
+concurrent test sessions and engines never collide.  The module keeps a
+registry of live arenas; :func:`active_segment_names` lets the test
+suite assert that nothing leaks across a session, and
+:func:`segment_exists` probes the OS namespace directly.
+"""
+
+from __future__ import annotations
+
+import atexit
+import itertools
+import os
+import threading
+import weakref
+from dataclasses import dataclass
+from math import prod
+from multiprocessing import shared_memory
+
+import numpy as np
+
+__all__ = [
+    "SegmentSpec",
+    "SharedTensorArena",
+    "attach_segments",
+    "active_segment_names",
+    "segment_exists",
+]
+
+#: Creator-PID prefix: keeps names unique across concurrent sessions and
+#: makes stray /dev/shm entries attributable to a process.
+_PREFIX = f"repro-{os.getpid():x}"
+_COUNTER = itertools.count()
+_REGISTRY_LOCK = threading.Lock()
+_ARENAS: "weakref.WeakSet[SharedTensorArena]" = weakref.WeakSet()
+
+
+@dataclass(frozen=True)
+class SegmentSpec:
+    """Picklable handle a worker needs to attach one tensor segment."""
+
+    segment: str
+    shape: tuple[int, ...]
+    dtype: str
+
+    @property
+    def nbytes(self) -> int:
+        return prod(self.shape) * np.dtype(self.dtype).itemsize
+
+
+class SharedTensorArena:
+    """Named shared-memory segments vending numpy views (creator side).
+
+    Allocate once per executor (compile time), reuse across every
+    execution, release exactly once.  All views returned by
+    :meth:`allocate` and :meth:`__getitem__` become invalid after
+    :meth:`release`.
+    """
+
+    def __init__(self, tag: str = "arena"):
+        self.tag = tag
+        self._segments: dict[str, shared_memory.SharedMemory] = {}
+        self._specs: dict[str, SegmentSpec] = {}
+        self._arrays: dict[str, np.ndarray] = {}
+        self._released = False
+        self._lock = threading.Lock()
+        with _REGISTRY_LOCK:
+            _ARENAS.add(self)
+
+    # ------------------------------------------------------------------
+    def allocate(self, name: str, shape: tuple[int, ...], dtype) -> np.ndarray:
+        """Create segment ``name`` and return its zero-filled ndarray view."""
+        dtype = np.dtype(dtype)
+        shape = tuple(int(s) for s in shape)
+        if any(s < 1 for s in shape):
+            raise ValueError(f"segment {name!r}: shape {shape} must be positive")
+        with self._lock:
+            if self._released:
+                raise RuntimeError(f"arena {self.tag!r} already released")
+            if name in self._segments:
+                raise ValueError(f"segment {name!r} already allocated")
+            seg_name = f"{_PREFIX}-{next(_COUNTER):x}-{self.tag}-{name}"[:200]
+            nbytes = max(prod(shape) * dtype.itemsize, 1)
+            shm = shared_memory.SharedMemory(name=seg_name, create=True, size=nbytes)
+            arr = np.ndarray(shape, dtype=dtype, buffer=shm.buf)
+            arr[...] = 0
+            self._segments[name] = shm
+            self._specs[name] = SegmentSpec(
+                segment=seg_name, shape=shape, dtype=dtype.name
+            )
+            self._arrays[name] = arr
+            return arr
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        if self._released:
+            raise RuntimeError(f"arena {self.tag!r} already released")
+        return self._arrays[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._arrays
+
+    def spec(self) -> dict[str, SegmentSpec]:
+        """Picklable ``{buffer name -> SegmentSpec}`` map for workers."""
+        return dict(self._specs)
+
+    @property
+    def nbytes(self) -> int:
+        return sum(s.nbytes for s in self._specs.values())
+
+    @property
+    def released(self) -> bool:
+        return self._released
+
+    # ------------------------------------------------------------------
+    def release(self) -> None:
+        """Close and unlink every segment (idempotent).
+
+        Workers must have been shut down (or at least stopped touching
+        their mappings) before the creator releases: their attached
+        mappings survive the unlink, but the names are gone.
+        """
+        with self._lock:
+            if self._released:
+                return
+            self._released = True
+            # Drop the numpy views first so BufferError cannot arise
+            # from exported memoryviews at close time.
+            self._arrays.clear()
+            for shm in self._segments.values():
+                try:
+                    shm.close()
+                finally:
+                    try:
+                        shm.unlink()
+                    except FileNotFoundError:  # already gone (e.g. tmpfs purge)
+                        pass
+            self._segments.clear()
+
+    def __enter__(self) -> "SharedTensorArena":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        try:
+            self.release()
+        except Exception:
+            pass
+
+
+# ----------------------------------------------------------------------
+# Worker-side attachment
+# ----------------------------------------------------------------------
+class AttachedSegments:
+    """Worker-side view of an arena: attach by name, close on exit.
+
+    Never unlinks -- the creator owns the names.
+    """
+
+    def __init__(self, specs: dict[str, SegmentSpec]):
+        self._handles: list[shared_memory.SharedMemory] = []
+        self.arrays: dict[str, np.ndarray] = {}
+        try:
+            for name, spec in specs.items():
+                shm = shared_memory.SharedMemory(name=spec.segment)
+                self._handles.append(shm)
+                self.arrays[name] = np.ndarray(
+                    spec.shape, dtype=np.dtype(spec.dtype), buffer=shm.buf
+                )
+        except BaseException:
+            self.close()
+            raise
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        return self.arrays[name]
+
+    def close(self) -> None:
+        self.arrays.clear()
+        for shm in self._handles:
+            try:
+                shm.close()
+            except BufferError:  # pragma: no cover - view still referenced
+                pass
+        self._handles.clear()
+
+    def __enter__(self) -> "AttachedSegments":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def attach_segments(specs: dict[str, SegmentSpec]) -> AttachedSegments:
+    """Attach to a creator's segments from a worker process."""
+    return AttachedSegments(specs)
+
+
+# ----------------------------------------------------------------------
+# Leak accounting (used by tests and the atexit hook)
+# ----------------------------------------------------------------------
+def active_segment_names() -> list[str]:
+    """OS-level segment names of every unreleased arena in this process."""
+    with _REGISTRY_LOCK:
+        arenas = list(_ARENAS)
+    names: list[str] = []
+    for arena in arenas:
+        if not arena.released:
+            names.extend(s.segment for s in arena.spec().values())
+    return sorted(names)
+
+
+def segment_exists(segment_name: str) -> bool:
+    """Probe the OS shared-memory namespace for ``segment_name``."""
+    try:
+        shm = shared_memory.SharedMemory(name=segment_name)
+    except FileNotFoundError:
+        return False
+    shm.close()
+    return True
+
+
+@atexit.register
+def _release_leaked_arenas() -> None:  # pragma: no cover - exit path
+    """Interpreter-exit backstop: no segment survives its creator."""
+    with _REGISTRY_LOCK:
+        arenas = list(_ARENAS)
+    for arena in arenas:
+        try:
+            arena.release()
+        except Exception:
+            pass

@@ -87,15 +87,18 @@ class ConvLayer:
         self._weights = weights.astype(np.float32)
         self._transformed = self.plan.transform_kernels(self._weights)
 
-    def forward(self, x: np.ndarray, engine=None) -> np.ndarray:
+    def forward(self, x: np.ndarray, engine=None, backend: str | None = None) -> np.ndarray:
         """One layer step; ``engine`` routes the convolution through a
         :class:`repro.core.engine.ConvolutionEngine` (plan cache + shared
-        workspace arena) instead of this layer's private plan."""
+        workspace arena) instead of this layer's private plan, and
+        ``backend`` picks the engine's execution backend per layer
+        (``None``: the engine's default)."""
         if self._transformed is None:
             raise RuntimeError(f"layer {self.spec.label}: weights not set")
         if engine is not None:
             out = engine.run(
-                x, self._weights, fmr=self.fmr, padding=self.spec.padding
+                x, self._weights, fmr=self.fmr, padding=self.spec.padding,
+                backend=backend,
             )
         else:
             out = self.plan.execute(x, self._transformed)
@@ -122,12 +125,20 @@ class SequentialConvNet:
     layer", plus automatic kernel-transform reuse across passes.
     """
 
-    def __init__(self, layers: list[ConvLayer], name: str = "net", engine=None):
+    def __init__(
+        self,
+        layers: list[ConvLayer],
+        name: str = "net",
+        engine=None,
+        backend: str | None = None,
+    ):
         if not layers:
             raise ValueError("network needs at least one layer")
         self.name = name
         self.layers = layers
         self.engine = engine
+        #: Engine backend every forward pass requests (None: engine default).
+        self.backend = backend
         for prev, nxt in zip(layers, layers[1:]):
             if prev.output_shape != tuple(
                 (nxt.spec.batch, nxt.spec.c_in) + nxt.spec.image
@@ -146,10 +157,11 @@ class SequentialConvNet:
             ).astype(np.float32) * scale
             layer.set_weights(w)
 
-    def forward(self, x: np.ndarray, engine=None) -> np.ndarray:
+    def forward(self, x: np.ndarray, engine=None, backend: str | None = None) -> np.ndarray:
         engine = engine if engine is not None else self.engine
+        backend = backend if backend is not None else self.backend
         for layer in self.layers:
-            x = layer.forward(x, engine=engine)
+            x = layer.forward(x, engine=engine, backend=backend)
         return x
 
     @property

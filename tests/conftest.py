@@ -1,0 +1,18 @@
+"""Suite-wide fixtures: shared-memory leak accounting.
+
+The process backend allocates named OS shared-memory segments; a test
+that forgets to release an arena would leak them past the interpreter
+(until the ``atexit`` backstop).  This autouse session fixture turns any
+such leak into a hard failure at the end of the run.
+"""
+
+import pytest
+
+
+@pytest.fixture(autouse=True, scope="session")
+def no_leaked_shared_memory():
+    yield
+    from repro.core.shm import active_segment_names
+
+    leaked = active_segment_names()
+    assert not leaked, f"shared-memory segments leaked by the suite: {leaked}"

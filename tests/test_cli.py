@@ -62,6 +62,72 @@ class TestCli:
             main([])
 
 
+class TestCliServe:
+    """The serving path end-to-end: engine stats and wisdom persistence,
+    previously untested at the CLI level."""
+
+    SERVE_ARGS = [
+        "serve", "--network", "VGG", "--layer", "3.2", "--requests", "3",
+        "--batch", "1", "--channels-divisor", "16", "--image-divisor", "4",
+    ]
+
+    def test_serve_process_backend_stats_and_wisdom(self, capsys, tmp_path):
+        import json
+
+        wisdom = tmp_path / "wisdom.json"
+        assert main(self.SERVE_ARGS + [
+            "--backend", "process", "--workers", "2", "--wisdom", str(wisdom),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "backend           : process (2 workers)" in out
+        # 3 requests on one layer signature: 1 plan-cache miss, 2 hits.
+        assert "plan cache        : 2 hits / 1 misses" in out
+        assert "sustained rate" in out
+        # tune_blocking recorded a wisdom entry and save_wisdom persisted it.
+        entries = json.loads(wisdom.read_text())["entries"]
+        assert len(entries) == 1
+        entry = next(iter(entries.values()))
+        assert {"n_blk", "c_blk", "cprime_blk"} <= set(entry)
+
+    def test_serve_default_backend_is_fused(self, capsys):
+        assert main(self.SERVE_ARGS) == 0
+        out = capsys.readouterr().out
+        assert "backend           : fused" in out
+        assert "plan cache        : 2 hits / 1 misses" in out
+
+    def test_serve_releases_shared_memory(self, capsys):
+        from repro.core.shm import active_segment_names
+
+        before = set(active_segment_names())
+        assert main(self.SERVE_ARGS + ["--backend", "process", "--workers", "2"]) == 0
+        assert set(active_segment_names()) == before
+
+
+class TestCliRun:
+    RUN_ARGS = [
+        "run", "--network", "VGG", "--layer", "3.2", "--batch", "1",
+        "--channels-divisor", "16", "--image-divisor", "4",
+    ]
+
+    @pytest.mark.parametrize("backend", ["fused", "blocked", "thread", "process"])
+    def test_run_all_backends_check_against_oracle(self, capsys, backend):
+        args = self.RUN_ARGS + ["--backend", backend, "--check"]
+        if backend in ("thread", "process"):
+            args += ["--workers", "2"]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert f"backend  : {backend}" in out
+        assert "max |err| vs direct reference" in out
+
+    def test_run_rejects_unknown_backend(self):
+        with pytest.raises(SystemExit):
+            main(self.RUN_ARGS + ["--backend", "nope"])
+
+    def test_run_unknown_layer(self, capsys):
+        assert main(["run", "--network", "VGG", "--layer", "9.9"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
 class TestCliSelect:
     @pytest.mark.slow
     def test_select_ranking(self, capsys):

@@ -223,3 +223,112 @@ class TestEngineConcurrency:
         assert not errors
         assert len(engine.plans) <= 2
         assert engine.plans.stats.evictions > 0
+
+
+class TestProcessBackendStress:
+    """Fault injection and concurrency on the process-parallel backend."""
+
+    def _executor(self, timeout=60.0):
+        from repro.core.blocking import BlockingConfig
+        from repro.core.convolution import WinogradPlan
+        from repro.core.fmr import FmrSpec
+        from repro.core.parallel_process import ProcessWinogradExecutor
+
+        plan = WinogradPlan(
+            spec=FmrSpec(m=(2, 2), r=(3, 3)),
+            input_shape=(1, 8, 8, 8),
+            c_out=8,
+            padding=(1, 1),
+            dtype=np.float32,
+        )
+        blocking = BlockingConfig(n_blk=6, c_blk=8, cprime_blk=8, simd_width=4)
+        return ProcessWinogradExecutor(
+            plan=plan, blocking=blocking, n_workers=2, simd_width=4,
+            timeout=timeout,
+        )
+
+    def _data(self):
+        rng = np.random.default_rng(11)
+        img = rng.standard_normal((1, 8, 8, 8)).astype(np.float32)
+        ker = rng.standard_normal((8, 8, 3, 3)).astype(np.float32)
+        return img, ker
+
+    def test_worker_exception_propagates_and_pool_survives(self):
+        """An in-stage Python exception surfaces as WorkerError with the
+        worker's traceback; the pool stays usable afterwards."""
+        from repro.core.parallel_process import WorkerError
+
+        img, ker = self._data()
+        with self._executor() as execu:
+            y0 = execu.execute(img, ker)
+            for _ in range(3):
+                with pytest.raises(WorkerError, match="injected"):
+                    execu.pool.inject("raise")
+            y1 = execu.execute(img, ker)  # pool survived the storm
+            np.testing.assert_array_equal(y0, y1)
+
+    def test_worker_death_is_detected_and_pool_breaks(self):
+        """A worker dying mid-stage (simulated via os._exit) must surface
+        as WorkerCrashError within the timeout, and the broken pool must
+        refuse further work instead of hanging."""
+        from repro.core.parallel_process import WorkerCrashError
+
+        img, ker = self._data()
+        execu = self._executor(timeout=5.0)
+        try:
+            execu.execute(img, ker)
+            with pytest.raises(WorkerCrashError):
+                execu.pool.inject("exit")
+            assert execu.pool.broken
+            with pytest.raises(WorkerCrashError):
+                execu.execute(img, ker)
+        finally:
+            execu.shutdown()
+            execu.shutdown()  # idempotent
+        assert execu.arena.released
+
+    def test_concurrent_engine_calls_on_process_backend(self):
+        """Multiple threads driving one engine on backend='process':
+        the executor serializes internally, every result is correct."""
+        from repro.core.engine import ConvolutionEngine
+        from repro.nets.reference import direct_convolution
+
+        rng = np.random.default_rng(13)
+        img = rng.standard_normal((1, 8, 10, 10)).astype(np.float32)
+        ker = rng.standard_normal((8, 8, 3, 3)).astype(np.float32)
+        ref = direct_convolution(
+            img.astype(np.float64), ker.astype(np.float64), (1, 1)
+        )
+        errors = []
+        with ConvolutionEngine(backend="process", n_workers=2) as engine:
+
+            def worker():
+                try:
+                    for _ in range(5):
+                        y = engine.run(img, ker, padding=(1, 1))
+                        relerr = np.abs(y - ref).max() / np.abs(ref).max()
+                        if relerr > 1e-3:
+                            errors.append(relerr)
+                except Exception as exc:  # pragma: no cover - failure path
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=worker) for _ in range(4)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=120)
+        assert not errors
+        assert engine.plans.stats.misses == 1  # one plan, one worker pool
+
+    def test_engine_close_releases_segments(self):
+        """engine.close() tears down the pool and unlinks every segment."""
+        from repro.core.engine import ConvolutionEngine
+        from repro.core.shm import active_segment_names
+
+        img, ker = self._data()
+        before = set(active_segment_names())
+        engine = ConvolutionEngine(backend="process", n_workers=2)
+        engine.run(img, ker, padding=(1, 1))
+        assert len(active_segment_names()) > len(before)
+        engine.close()
+        assert set(active_segment_names()) == before

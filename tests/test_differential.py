@@ -1,0 +1,220 @@
+"""Differential harness: every executor agrees with every other.
+
+The repo now has five ways to evaluate the same convolution:
+
+1. the sequential :class:`WinogradPlan` pipeline (the reference
+   implementation of the paper's Table-1 algorithm),
+2. the blocked pipeline (packed layouts, block-K stage 2),
+3. the engine's fused Kronecker fast path,
+4. the thread-parallel executor (static GCD schedule on a fork-join
+   thread pool),
+5. the process-parallel executor (same schedule, worker processes over
+   shared memory).
+
+This matrix pins them to each other across dimensionality, odd edge
+tiles, anisotropic tiles and dtypes.  Two tolerance classes:
+
+* **bitwise** -- thread vs process: both run the identical stage bodies
+  (same block-K loop, same per-element summation order), so their
+  outputs must be ``array_equal``, not merely close;
+* **tight allclose** -- everything else: the executors associate the
+  linear maps differently (Kronecker vs mode-n products, blocked vs
+  flat K summation), which is the same math in a different order, so
+  only floating-point associativity separates them.
+
+The ``slow``-marked fuzz test drives the process backend against the
+direct-convolution oracle on randomized shapes (hypothesis when
+available, seeded stdlib ``random`` otherwise).
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.blocking import BlockingConfig
+from repro.core.convolution import WinogradPlan
+from repro.core.engine import ConvolutionEngine, parallel_simd_width
+from repro.core.fmr import FmrSpec
+from repro.core.parallel_convolution import ParallelWinogradExecutor
+from repro.core.parallel_process import ProcessWinogradExecutor
+from repro.nets.reference import direct_convolution
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - optional dependency
+    HAVE_HYPOTHESIS = False
+
+
+BLK = BlockingConfig(n_blk=6, c_blk=16, cprime_blk=16, simd_width=8)
+
+#: (id, spec, batch, channels, spatial, padding, dtype)
+CASES = [
+    ("2d-f2-even", FmrSpec(m=(2, 2), r=(3, 3)), 2, 16, (8, 8), (0, 0), np.float64),
+    ("2d-f4-odd-pad", FmrSpec(m=(4, 4), r=(3, 3)), 2, 16, (10, 10), (1, 1), np.float64),
+    ("2d-aniso", FmrSpec(m=(2, 4), r=(3, 3)), 2, 16, (9, 12), (1, 0), np.float64),
+    ("3d-f2-pad", FmrSpec(m=(2, 2, 2), r=(3, 3, 3)), 1, 16, (5, 6, 5), (1, 1, 1), np.float64),
+    ("2d-f4-float32", FmrSpec(m=(4, 4), r=(3, 3)), 2, 16, (12, 12), (1, 1), np.float32),
+]
+
+
+def _data(batch, channels, spatial, spec, dtype, seed=0):
+    rng = np.random.default_rng(seed)
+    img = rng.standard_normal((batch, channels) + spatial).astype(dtype)
+    ker = (rng.standard_normal((channels, channels) + spec.r) * 0.2).astype(dtype)
+    return img, ker
+
+
+def _all_five(spec, img, ker, padding, dtype):
+    """Run every executor, return {name: output} plus the plan."""
+    plan = WinogradPlan(
+        spec=spec, input_shape=img.shape, c_out=ker.shape[1],
+        padding=padding, dtype=np.dtype(dtype),
+    )
+    outs = {"sequential": plan.execute(img, plan.transform_kernels(ker))}
+    with ConvolutionEngine() as engine:
+        outs["fused"] = engine.run(img, ker, fmr=spec, padding=padding, dtype=dtype)
+        outs["blocked"] = engine.run(
+            img, ker, fmr=spec, padding=padding, dtype=dtype,
+            blocked=True, blocking=BLK,
+        )
+    thread = ParallelWinogradExecutor(
+        plan=plan, blocking=BLK, n_threads=2, simd_width=8
+    )
+    try:
+        outs["thread"] = thread.execute(img, ker)
+    finally:
+        thread.shutdown()
+    with ProcessWinogradExecutor(
+        plan=plan, blocking=BLK, n_workers=2, simd_width=8
+    ) as proc:
+        outs["process"] = proc.execute(img, ker)
+    return outs
+
+
+@pytest.mark.parametrize(
+    "spec,batch,channels,spatial,padding,dtype",
+    [c[1:] for c in CASES],
+    ids=[c[0] for c in CASES],
+)
+def test_executor_matrix(spec, batch, channels, spatial, padding, dtype):
+    img, ker = _data(batch, channels, spatial, spec, dtype)
+    outs = _all_five(spec, img, ker, padding, dtype)
+
+    ref = direct_convolution(
+        img.astype(np.float64), ker.astype(np.float64), padding
+    )
+    scale = float(np.abs(ref).max())
+    # Ground truth first: every executor computes the right convolution.
+    oracle_atol = 1e-10 * scale if np.dtype(dtype) == np.float64 else 5e-4 * scale
+    for name, y in outs.items():
+        assert y.shape == ref.shape, f"{name}: shape {y.shape} != {ref.shape}"
+        assert y.dtype == np.dtype(dtype), f"{name}: dtype {y.dtype}"
+        np.testing.assert_allclose(
+            y.astype(np.float64), ref, atol=oracle_atol, rtol=0,
+            err_msg=f"{name} vs direct oracle",
+        )
+
+    # Bitwise class: identical summation order.
+    np.testing.assert_array_equal(
+        outs["process"], outs["thread"],
+        err_msg="process and thread backends must agree bitwise",
+    )
+
+    # Tight class: same math, different association order.
+    pair_atol = 1e-12 * scale if np.dtype(dtype) == np.float64 else 1e-5 * scale
+    base = outs["sequential"].astype(np.float64)
+    for name in ("fused", "blocked", "thread"):
+        np.testing.assert_allclose(
+            outs[name].astype(np.float64), base, atol=pair_atol, rtol=0,
+            err_msg=f"{name} vs sequential plan",
+        )
+
+
+def test_executor_matrix_repeatable():
+    """Repeated executions are deterministic per executor (no state
+    bleed through the pools, arenas or caches)."""
+    spec, batch, channels, spatial, padding, dtype = CASES[1][1:]
+    img, ker = _data(batch, channels, spatial, spec, dtype, seed=3)
+    first = _all_five(spec, img, ker, padding, dtype)
+    second = _all_five(spec, img, ker, padding, dtype)
+    for name in first:
+        np.testing.assert_array_equal(
+            first[name], second[name], err_msg=f"{name} not deterministic"
+        )
+
+
+# ----------------------------------------------------------------------
+# Shape fuzzing: process backend vs the im2col-style direct oracle.
+# ----------------------------------------------------------------------
+def _fuzz_one(ndim, m, channels, c_out, batch, size, pad):
+    spec = FmrSpec(m=(m,) * ndim, r=(3,) * ndim)
+    spatial = tuple(size + d for d in range(ndim))  # slightly anisotropic
+    padding = (pad,) * ndim
+    rng = np.random.default_rng(hash((ndim, m, channels, c_out, batch, size, pad)) % 2**32)
+    img = rng.standard_normal((batch, channels) + spatial).astype(np.float32)
+    ker = (rng.standard_normal((channels, c_out) + spec.r) * 0.2).astype(np.float32)
+
+    simd = parallel_simd_width(channels, c_out)
+    plan = WinogradPlan(
+        spec=spec, input_shape=img.shape, c_out=c_out,
+        padding=padding, dtype=np.float32,
+    )
+    blocking = BlockingConfig(
+        n_blk=6, c_blk=channels, cprime_blk=c_out, simd_width=simd
+    )
+    with ProcessWinogradExecutor(
+        plan=plan, blocking=blocking, n_workers=2, simd_width=simd
+    ) as proc:
+        y = proc.execute(img, ker)
+    ref = direct_convolution(
+        img.astype(np.float64), ker.astype(np.float64), padding
+    )
+    scale = float(np.abs(ref).max()) or 1.0
+    np.testing.assert_allclose(
+        y.astype(np.float64), ref, atol=5e-4 * scale, rtol=0,
+        err_msg=f"process backend vs oracle: ndim={ndim} m={m} C={channels} "
+                f"C'={c_out} B={batch} I={spatial} P={padding}",
+    )
+
+
+if HAVE_HYPOTHESIS:
+
+    @pytest.mark.slow
+    @settings(max_examples=25, deadline=None)
+    @given(
+        ndim=st.sampled_from([2, 3]),
+        m=st.sampled_from([2, 4]),
+        channels=st.sampled_from([8, 16, 32]),
+        c_out=st.sampled_from([8, 16]),
+        batch=st.integers(min_value=1, max_value=3),
+        size=st.integers(min_value=5, max_value=13),
+        pad=st.integers(min_value=0, max_value=1),
+    )
+    def test_fuzz_process_vs_oracle(ndim, m, channels, c_out, batch, size, pad):
+        if ndim == 3:  # keep 3-D volumes laptop-sized
+            size = min(size, 7)
+            channels = min(channels, 16)
+        _fuzz_one(ndim, m, channels, c_out, batch, size, pad)
+
+else:  # pragma: no cover - exercised only without hypothesis
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("seed", range(25))
+    def test_fuzz_process_vs_oracle(seed):
+        r = random.Random(1000 + seed)
+        ndim = r.choice([2, 3])
+        _fuzz_one(
+            ndim=ndim,
+            m=r.choice([2, 4]),
+            channels=r.choice([8, 16] if ndim == 3 else [8, 16, 32]),
+            c_out=r.choice([8, 16]),
+            batch=r.randint(1, 3),
+            size=r.randint(5, 7 if ndim == 3 else 13),
+            pad=r.randint(0, 1),
+        )

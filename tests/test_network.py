@@ -121,6 +121,29 @@ class TestSequentialNet:
             l.spec.direct_flops() for l in net.layers
         )
 
+    def test_forward_through_process_backend(self):
+        """A whole-network pass on backend='process' matches the plain
+        per-layer plans within float32 tolerance, and the engine's pools
+        and shared memory are released afterwards."""
+        from repro.core.engine import ConvolutionEngine
+        from repro.core.shm import active_segment_names
+
+        net = scaled_fusionnet()
+        rng = np.random.default_rng(5)
+        net.initialize(rng)
+        x = rng.normal(size=net.input_shape).astype(np.float32)
+        want = net.forward(x)
+
+        before = set(active_segment_names())
+        with ConvolutionEngine(backend="process", n_workers=2) as engine:
+            got = net.forward(x, engine=engine)
+            # Per-net override: backend= on forward wins over the default.
+            fused = net.forward(x, engine=engine, backend="fused")
+        scale = float(np.abs(want).max())
+        np.testing.assert_allclose(got, want, atol=5e-5 * scale, rtol=0)
+        np.testing.assert_allclose(fused, want, atol=5e-5 * scale, rtol=0)
+        assert set(active_segment_names()) == before
+
 
 class TestNetworkModelTime:
     @pytest.mark.slow

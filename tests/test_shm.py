@@ -1,0 +1,128 @@
+"""Unit tests for the shared-memory tensor arena (``repro.core.shm``).
+
+Lifetime is the whole point of this module: segments are OS-level
+objects that outlive Python references, so every path -- explicit
+release, context manager, interpreter exit -- must end with the names
+gone from the OS namespace.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.shm import (
+    SegmentSpec,
+    SharedTensorArena,
+    active_segment_names,
+    attach_segments,
+    segment_exists,
+)
+
+SRC = str(Path(__file__).resolve().parents[1] / "src")
+
+
+class TestArenaBasics:
+    def test_allocate_vends_zeroed_views(self):
+        with SharedTensorArena(tag="t0") as arena:
+            a = arena.allocate("u", (3, 4), np.float64)
+            assert a.shape == (3, 4) and a.dtype == np.float64
+            assert (a == 0).all()
+            a[1, 2] = 7.0
+            # __getitem__ returns the same backing memory.
+            assert arena["u"][1, 2] == 7.0
+            assert "u" in arena and "v" not in arena
+
+    def test_spec_is_picklable_metadata(self):
+        with SharedTensorArena(tag="t1") as arena:
+            arena.allocate("u", (2, 5), np.float32)
+            spec = arena.spec()["u"]
+            assert isinstance(spec, SegmentSpec)
+            assert spec.shape == (2, 5)
+            assert spec.dtype == "float32"
+            assert spec.nbytes == 2 * 5 * 4
+            assert arena.nbytes == spec.nbytes
+
+    def test_duplicate_and_invalid_names_rejected(self):
+        with SharedTensorArena(tag="t2") as arena:
+            arena.allocate("u", (2,), np.float32)
+            with pytest.raises(ValueError, match="already allocated"):
+                arena.allocate("u", (2,), np.float32)
+            with pytest.raises(ValueError, match="positive"):
+                arena.allocate("w", (0, 3), np.float32)
+
+    def test_release_is_idempotent_and_final(self):
+        arena = SharedTensorArena(tag="t3")
+        arena.allocate("u", (4,), np.float64)
+        seg = arena.spec()["u"].segment
+        assert segment_exists(seg)
+        arena.release()
+        assert not segment_exists(seg)
+        arena.release()  # second release is a no-op
+        with pytest.raises(RuntimeError, match="released"):
+            arena.allocate("v", (4,), np.float64)
+        with pytest.raises(RuntimeError, match="released"):
+            arena["u"]
+
+
+class TestAttachment:
+    def test_attach_shares_memory(self):
+        """An attachment (even in-process) addresses the same bytes."""
+        with SharedTensorArena(tag="t4") as arena:
+            a = arena.allocate("u", (2, 3), np.float64)
+            with attach_segments(arena.spec()) as att:
+                att["u"][...] = 5.0
+            assert (a == 5.0).all()
+
+    def test_attach_from_child_process(self):
+        """A real worker process writes through the attachment and the
+        creator observes it -- the substrate of the process backend."""
+        with SharedTensorArena(tag="t5") as arena:
+            a = arena.allocate("u", (4,), np.float64)
+            spec = arena.spec()["u"]
+            code = (
+                "from repro.core.shm import SegmentSpec, attach_segments\n"
+                f"spec = SegmentSpec(segment={spec.segment!r}, "
+                f"shape={spec.shape!r}, dtype={spec.dtype!r})\n"
+                "with attach_segments({'u': spec}) as att:\n"
+                "    att['u'][:] = 42.0\n"
+            )
+            subprocess.run(
+                [sys.executable, "-c", code],
+                check=True, env={"PYTHONPATH": SRC, "PATH": ""},
+            )
+            assert (a == 42.0).all()
+
+
+class TestLeakAccounting:
+    def test_active_segment_names_tracks_lifecycle(self):
+        before = set(active_segment_names())
+        arena = SharedTensorArena(tag="t6")
+        arena.allocate("u", (2,), np.float32)
+        seg = arena.spec()["u"].segment
+        assert seg in active_segment_names()
+        arena.release()
+        assert seg not in active_segment_names()
+        assert set(active_segment_names()) == before
+
+    def test_no_segments_survive_interpreter_exit(self):
+        """An arena never released explicitly is reclaimed by the atexit
+        backstop: the OS name must be gone once the interpreter exits."""
+        code = (
+            "import numpy as np\n"
+            "from repro.core.shm import SharedTensorArena\n"
+            "arena = SharedTensorArena(tag='leaky')\n"
+            "arena.allocate('u', (8, 8), np.float64)\n"
+            "print(arena.spec()['u'].segment)\n"
+            # no release(): the atexit hook must clean up
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", code],
+            check=True, capture_output=True, text=True,
+            env={"PYTHONPATH": SRC, "PATH": ""},
+        )
+        seg = out.stdout.strip().splitlines()[-1]
+        assert seg.startswith("repro-")
+        assert not segment_exists(seg)
