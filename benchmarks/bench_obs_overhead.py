@@ -1,0 +1,104 @@
+"""E23 (extension) -- observability overhead on the warm serving path.
+
+The obs layer (span tracer + metrics registry, DESIGN.md E23) sits on
+every request of the serving engine, so its cost must be demonstrably
+negligible against the warm-path latencies ``bench_serving_throughput``
+tracks.  This bench measures warm per-request latency on one scaled
+VGG layer in three configurations:
+
+* **baseline** -- tracer disabled (``Tracer(enabled=False)``: spans are
+  one attribute check), default metrics;
+* **traced** -- the default engine configuration (tracer + metrics on);
+* **bounded** -- tracer on with a tiny ``max_spans`` ring, showing that
+  retention pressure (constant drop + re-append) does not change the
+  cost picture.
+
+Results land in ``results/BENCH_obs.json``.  Acceptance gate: enabling
+tracing+metrics costs < 50% of warm fused-path latency (in practice it
+is a few percent; the loose gate keeps a noisy shared-CPU container
+from flaking the suite).
+
+Set ``REPRO_BENCH_SMOKE=1`` for a quick CI smoke run (fewer repeats,
+gate relaxed to 2x).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+
+from conftest import format_table
+from repro.core.engine import ConvolutionEngine
+from repro.nets.layers import TABLE2_LAYERS
+from repro.obs.tracer import Tracer
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+
+def _warm_latency(engine, images, kernels, padding, iters):
+    """Median warm per-request seconds (plan cache already populated)."""
+    engine.run(images, kernels, padding=padding)  # compile + cache
+    samples = []
+    for _ in range(iters):
+        t0 = time.perf_counter()
+        engine.run(images, kernels, padding=padding)
+        samples.append(time.perf_counter() - t0)
+    samples.sort()
+    return samples[len(samples) // 2]
+
+
+def test_obs_overhead(results_dir):
+    """[real] tracer+metrics cost on the warm fused path."""
+    iters = 10 if SMOKE else 40
+    repeats = 2 if SMOKE else 3
+    gate = 2.0 if SMOKE else 1.5
+
+    layer = TABLE2_LAYERS[2].scaled(batch=4, channels_divisor=4, image_divisor=2)
+    rng = np.random.default_rng(0)
+    images = rng.standard_normal(
+        (layer.batch, layer.c_in) + layer.image
+    ).astype(np.float32)
+    kernels = (
+        rng.standard_normal((layer.c_in, layer.c_out) + layer.kernel) * 0.05
+    ).astype(np.float32)
+
+    configs = {
+        "baseline": lambda: ConvolutionEngine(tracer=Tracer(enabled=False)),
+        "traced": lambda: ConvolutionEngine(),
+        "bounded": lambda: ConvolutionEngine(tracer=Tracer(max_spans=16)),
+    }
+    best: dict[str, float] = {}
+    for name, make in configs.items():
+        best[name] = float("inf")
+        for _ in range(repeats):
+            with make() as engine:
+                lat = _warm_latency(
+                    engine, images, kernels, layer.padding, iters
+                )
+            best[name] = min(best[name], lat)
+
+    overhead = best["traced"] / best["baseline"]
+    rows = [
+        [name, f"{lat * 1e3:.3f}", f"{lat / best['baseline']:.2f}x"]
+        for name, lat in best.items()
+    ]
+    print()
+    print(f"observability overhead, warm fused path ({layer.label} scaled):")
+    print(format_table(["config", "warm_ms[real]", "vs_baseline"], rows))
+
+    payload = {
+        "layer": layer.label,
+        "iters": iters,
+        "smoke": SMOKE,
+        "warm_seconds": best,
+        "traced_over_baseline": overhead,
+    }
+    with open(results_dir / "BENCH_obs.json", "w") as f:
+        json.dump(payload, f, indent=2)
+
+    assert overhead < gate, (
+        f"tracing+metrics overhead {overhead:.2f}x exceeds the {gate}x gate"
+    )

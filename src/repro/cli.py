@@ -11,6 +11,7 @@ table).  This CLI reproduces those entry points::
     python -m repro gemm
     python -m repro tune --network VGG --layer 4.2 --fmr "F(4x4,3x3)"
     python -m repro serve --network VGG --layer 3.2 --requests 50 --backend process
+    python -m repro serve --stats --trace-json trace.json   # live [stats] lines + span dump
     python -m repro run --network VGG --layer 3.2 --backend process --check
     python -m repro info
 
@@ -52,6 +53,47 @@ def _print_table(headers, rows, file=None):
     # Resolve stdout at call time (default-argument binding would freeze
     # the stream at import and break output capture/redirection).
     print(format_table(headers, rows), file=file if file is not None else sys.stdout)
+
+
+# ----------------------------------------------------------------------
+# Observability helpers shared by ``serve`` and ``run``
+# ----------------------------------------------------------------------
+def _stage_spans(tracer):
+    """Stage-level spans in completion order (``<backend>.stage<n>``)."""
+    return [
+        s for s in tracer.spans()
+        if "." in s.name and s.name.split(".", 1)[1].startswith("stage")
+    ]
+
+
+def _print_run_stats(stats, tracer) -> None:
+    """The always-on ``run`` stats block: fallbacks + per-stage timings."""
+    events = tracer.spans("fallback")
+    detail = "".join(
+        f" ({e.attrs['source']}->{e.attrs['target']} on {e.attrs['error']})"
+        for e in events
+    )
+    print("--- stats ---")
+    print(f"fallbacks: {int(stats['fallbacks'])}{detail}")
+    print(f"shm live : {stats['shm']['segments_live']} segments")
+    print("stage timings (ms):")
+    for s in _stage_spans(tracer):
+        flag = f"  [failed: {s.attrs['error']}]" if "error" in s.attrs else ""
+        print(f"  {s.name:<15s}: {s.duration * 1e3:9.3f}{flag}")
+
+
+def _print_metrics_snapshot(stats) -> None:
+    import json
+
+    print("--- metrics ---")
+    print(json.dumps(stats["metrics"], indent=2, sort_keys=True, default=str))
+
+
+def _write_trace(tracer, path) -> None:
+    with open(path, "w") as f:
+        f.write(tracer.to_json(indent=2))
+        f.write("\n")
+    print(f"trace written to  : {path}", file=sys.stderr)
 
 
 # ----------------------------------------------------------------------
@@ -259,10 +301,25 @@ def cmd_serve(args) -> int:
 
     try:
         latencies = []
-        for _ in range(args.requests):
+        stats_every = max(1, args.requests // 5)
+        for i in range(args.requests):
             t0 = time.perf_counter()
             engine.run(images, kernels, padding=layer.padding)
             latencies.append(time.perf_counter() - t0)
+            if args.stats and (i + 1) % stats_every == 0:
+                snap = engine.stats()
+                window = sorted(latencies[1:]) or sorted(latencies)
+
+                def wpct(p):
+                    return window[min(len(window) - 1,
+                                      int(p / 100 * len(window)))] * 1e3
+
+                hits, misses = snap["plans"]["hits"], snap["plans"]["misses"]
+                print(f"[stats] req={i + 1} p50_ms={wpct(50):.2f} "
+                      f"p95_ms={wpct(95):.2f} "
+                      f"cache_hit_rate={hits / max(1, hits + misses):.2f} "
+                      f"fallbacks={int(snap['fallbacks'])} "
+                      f"shm_live={snap['shm']['segments_live']}")
         warm = sorted(latencies[1:]) if len(latencies) > 1 else sorted(latencies)
 
         def pct(p):
@@ -283,6 +340,11 @@ def cmd_serve(args) -> int:
               f"({plans['bytes_cached'] / 1e6:.1f} MB cached)")
         print(f"workspace arena   : {stats['arena']['capacity_bytes'] / 1e6:.1f} MB, "
               f"{stats['arena']['grows']} grows over {stats['arena']['leases']} leases")
+        print(f"fallbacks         : {int(stats['fallbacks'])}")
+        if args.stats:
+            _print_metrics_snapshot(stats)
+        if args.trace_json:
+            _write_trace(engine.tracer, args.trace_json)
         if args.wisdom:
             # Tune the blocked-mode blocking for this layer too, so the saved
             # wisdom is useful beyond the serving path exercised above.
@@ -333,6 +395,10 @@ def cmd_run(args) -> int:
         out = engine.run(images, kernels, padding=layer.padding)
         elapsed = time.perf_counter() - t0
         workers = engine.n_workers
+        # Snapshot while pools/segments are still alive so shm gauges
+        # reflect the serving state, not the post-close teardown.
+        stats = engine.stats()
+        tracer = engine.tracer
 
     print(f"layer    : {layer.label} (scaled: B={layer.batch} C={layer.c_in} "
           f"C'={layer.c_out} I={'x'.join(map(str, layer.image))})")
@@ -340,6 +406,11 @@ def cmd_run(args) -> int:
           + (f" ({workers} workers)" if args.backend in ("thread", "process") else ""))
     print(f"output   : shape {tuple(out.shape)}, checksum {float(out.sum()):+.6e}")
     print(f"wall time: {elapsed * 1e3:.2f} ms")
+    _print_run_stats(stats, tracer)
+    if args.stats:
+        _print_metrics_snapshot(stats)
+    if args.trace_json:
+        _write_trace(tracer, args.trace_json)
     if args.check:
         ref = direct_convolution(
             images.astype(np.float64), kernels.astype(np.float64),
@@ -425,6 +496,10 @@ def build_parser() -> argparse.ArgumentParser:
                     help="worker count for thread/process backends "
                          "(default: host core count)")
     sv.add_argument("--wisdom", help="wisdom file to load/update")
+    sv.add_argument("--stats", action="store_true",
+                    help="periodic [stats] lines plus a final metrics snapshot")
+    sv.add_argument("--trace-json", metavar="PATH",
+                    help="write the span trace as JSON to PATH")
     sv.set_defaults(fn=cmd_serve)
 
     rn = sub.add_parser(
@@ -440,6 +515,10 @@ def build_parser() -> argparse.ArgumentParser:
     rn.add_argument("--seed", type=int, default=0)
     rn.add_argument("--check", action="store_true",
                     help="verify against the direct-convolution oracle")
+    rn.add_argument("--stats", action="store_true",
+                    help="also dump the full metrics snapshot")
+    rn.add_argument("--trace-json", metavar="PATH",
+                    help="write the span trace as JSON to PATH")
     rn.set_defaults(fn=cmd_run)
 
     i = sub.add_parser("info", help="simulated machine specifications")

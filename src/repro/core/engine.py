@@ -42,6 +42,7 @@ from __future__ import annotations
 import hashlib
 import os
 import threading
+import time
 from collections import OrderedDict
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -58,11 +59,20 @@ from repro.core.blocking import BlockingConfig
 from repro.core.convolution import TransformedKernels, WinogradPlan
 from repro.core.fmr import FmrSpec
 from repro.core.parallel_convolution import ParallelWinogradExecutor
-from repro.core.parallel_process import ProcessWinogradExecutor
+from repro.core.parallel_process import (
+    ProcessWinogradExecutor,
+    WorkerCrashError,
+    WorkerError,
+    WorkspaceCorruptionError,
+)
+from repro.core.shm import live_segment_count
 from repro.core.transforms import clear_transform_caches
 from repro.machine.spec import KNL_7210, MachineSpec
 from repro.nets.layers import ConvLayerSpec
 from repro.nets.reference import output_shape
+from repro.obs.faults import FaultPlan
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.util.alignment import CACHE_LINE_BYTES, round_up
 from repro.util.wisdom import Wisdom
 
@@ -84,6 +94,15 @@ def kernel_fingerprint(kernels: np.ndarray) -> str:
 
 #: Execution backends selectable per engine (or per call).
 BACKENDS = ("fused", "blocked", "thread", "process")
+
+#: Fallback chain: where a request reroutes when its backend fails with
+#: a worker crash / in-stage error / workspace corruption.  ``blocked``
+#: is the terminal station (single-process, no pool to lose).
+FALLBACK_NEXT = {"process": "thread", "thread": "blocked"}
+
+#: Failures the fallback chain absorbs.  Anything else (shape errors,
+#: bugs in stage math) propagates -- rerouting would just re-raise it.
+FALLBACK_ERRORS = (WorkerCrashError, WorkerError, WorkspaceCorruptionError)
 
 
 def parallel_simd_width(c_in: int, c_out: int) -> int:
@@ -199,12 +218,22 @@ class PlanEntry:
                 )
             return self._executor
 
-    def parallel_executor(self, n_workers: int, timeout: float = 60.0):
+    def parallel_executor(
+        self,
+        n_workers: int,
+        timeout: float = 60.0,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
+        faults: FaultPlan | None = None,
+        respawn_budget: int = 2,
+    ):
         """Lazily built thread/process executor for this plan.
 
         The executor is part of the cached entry -- its schedules, pool
         (threads or worker processes) and shared-memory arena are the
         "compile time" products the cache amortizes across requests.
+        The observability hooks are captured at first build (one
+        executor serves one engine, so they never need to change).
         """
         if self.key.backend not in ("thread", "process") or self.key.blocking is None:
             raise ValueError(
@@ -218,6 +247,8 @@ class PlanEntry:
                         blocking=self.key.blocking,
                         n_threads=n_workers,
                         simd_width=self.key.blocking.simd_width,
+                        tracer=tracer,
+                        metrics=metrics,
                     )
                 else:
                     self._parallel = ProcessWinogradExecutor(
@@ -226,6 +257,10 @@ class PlanEntry:
                         n_workers=n_workers,
                         simd_width=self.key.blocking.simd_width,
                         timeout=timeout,
+                        tracer=tracer,
+                        metrics=metrics,
+                        faults=faults,
+                        respawn_budget=respawn_budget,
                     )
             return self._parallel
 
@@ -256,7 +291,12 @@ class PlanCache:
     first.
     """
 
-    def __init__(self, max_plans: int = 32, max_bytes: int = 512 << 20):
+    def __init__(
+        self,
+        max_plans: int = 32,
+        max_bytes: int = 512 << 20,
+        metrics: MetricsRegistry | None = None,
+    ):
         if max_plans < 1:
             raise ValueError(f"max_plans must be >= 1, got {max_plans}")
         if max_bytes < 1:
@@ -264,8 +304,14 @@ class PlanCache:
         self.max_plans = max_plans
         self.max_bytes = max_bytes
         self.stats = CacheStats()
+        self.metrics = metrics
         self._entries: OrderedDict[PlanKey, PlanEntry] = OrderedDict()
         self._lock = threading.RLock()
+
+    def _bump(self, name: str) -> None:
+        """Mirror a CacheStats increment into the shared metrics registry."""
+        if self.metrics is not None:
+            self.metrics.counter(f"plan_cache.{name}").inc()
 
     def __len__(self) -> int:
         with self._lock:
@@ -286,6 +332,7 @@ class PlanCache:
             if entry is not None:
                 self._entries.move_to_end(key)
                 self.stats.hits += 1
+                self._bump("hits")
                 return entry
         # Build outside the lock: plan construction (transform
         # generation, tile planning) can be slow and must not serialize
@@ -303,8 +350,10 @@ class PlanCache:
             if existing is not None:  # lost a build race: reuse winner
                 self._entries.move_to_end(key)
                 self.stats.hits += 1
+                self._bump("hits")
                 return existing
             self.stats.misses += 1
+            self._bump("misses")
             self._entries[key] = entry
             self._recount()
             self._evict()
@@ -317,11 +366,13 @@ class PlanCache:
             w = entry.kernels.get(fp)
             if w is not None:
                 self.stats.kernel_hits += 1
+                self._bump("kernel_hits")
                 return w
         w = entry.plan.transform_kernels(kernels)
         with self._lock:
             w = entry.kernels.setdefault(fp, w)
             self.stats.kernel_misses += 1
+            self._bump("kernel_misses")
             self._recount()
             self._evict()
         return w
@@ -333,12 +384,14 @@ class PlanCache:
             v = entry.packed_kernels.get(fp)
             if v is not None:
                 self.stats.kernel_hits += 1
+                self._bump("kernel_hits")
                 return v
         execu = entry.executor
         v = execu.transform_kernels_packed(execu.kernel_layout.pack(kernels))
         with self._lock:
             v = entry.packed_kernels.setdefault(fp, v)
             self.stats.kernel_misses += 1
+            self._bump("kernel_misses")
             self._recount()
             self._evict()
         return v
@@ -354,6 +407,8 @@ class PlanCache:
     # -- internal (callers hold the lock) ------------------------------
     def _recount(self) -> None:
         self.stats.bytes_cached = sum(e.nbytes() for e in self._entries.values())
+        if self.metrics is not None:
+            self.metrics.gauge("plan_cache.bytes").set(self.stats.bytes_cached)
 
     def _evict(self) -> None:
         while self._entries and (
@@ -365,6 +420,7 @@ class PlanCache:
             _, entry = self._entries.popitem(last=False)
             entry.release()  # tear down worker pools / shared memory
             self.stats.evictions += 1
+            self._bump("evictions")
             self._recount()
 
 
@@ -404,11 +460,17 @@ class WorkspaceArena:
     buffer per concurrent lease) keeps concurrent executions isolated.
     """
 
-    def __init__(self, alignment: int = CACHE_LINE_BYTES, max_pooled: int = 4):
+    def __init__(
+        self,
+        alignment: int = CACHE_LINE_BYTES,
+        max_pooled: int = 4,
+        metrics: MetricsRegistry | None = None,
+    ):
         if alignment < 1:
             raise ValueError(f"alignment must be >= 1, got {alignment}")
         self.alignment = alignment
         self.max_pooled = max_pooled
+        self.metrics = metrics
         self.capacity_bytes = 0   # largest single buffer ever allocated
         self.high_water_bytes = 0  # largest lease ever requested
         self.leases = 0
@@ -439,7 +501,12 @@ class WorkspaceArena:
             if buf is None or buf.nbytes < need:
                 buf = np.empty(max(need, self.capacity_bytes), dtype=np.uint8)
                 self.grows += 1
+                if self.metrics is not None:
+                    self.metrics.counter("arena.grows").inc()
             self.capacity_bytes = max(self.capacity_bytes, buf.nbytes)
+            if self.metrics is not None:
+                self.metrics.counter("arena.leases").inc()
+                self.metrics.gauge("arena.capacity_bytes").set(self.capacity_bytes)
             return buf
 
     def _release(self, buf: np.ndarray) -> None:
@@ -448,6 +515,8 @@ class WorkspaceArena:
                 self._free.append(buf)
             else:
                 self.discards += 1
+                if self.metrics is not None:
+                    self.metrics.counter("arena.discards").inc()
 
     def as_dict(self) -> dict[str, int]:
         with self._lock:
@@ -528,11 +597,13 @@ class _FusedPlan:
         w: TransformedKernels,
         lease: ArenaLease,
         out: np.ndarray | None = None,
+        tracer: Tracer | None = None,
     ) -> np.ndarray:
         plan = self.plan
         dtype = plan.dtype
         b, c, cp = plan.batch, plan.c_in, plan.c_out
         n, t = plan.tiles_per_image, plan.t_matrices
+        tracer = tracer if tracer is not None else NULL_TRACER
 
         buf_padded = lease.take(self._shapes["padded"], dtype)
         buf_tiles = lease.take(self._shapes["tiles"], dtype)
@@ -541,55 +612,60 @@ class _FusedPlan:
         buf_xt = lease.take(self._shapes["xt"], dtype)
         buf_y = lease.take(self._shapes["y"], dtype)
 
-        # Stage 0: conv padding + grid zero-extension in one buffer.  The
-        # arena memory is recycled across plans, so the halo must be
-        # re-zeroed each run (cheap: one streaming pass).
-        buf_padded[...] = 0
-        interior = (slice(None), slice(None)) + tuple(
-            slice(p, p + s) for p, s in zip(plan.padding, plan.input_shape[2:])
-        )
-        buf_padded[interior] = images
-
-        # Stage 1a: overlapping tiles as a zero-copy strided view, then
-        # one gather pass into (B, C, N, K).
-        view = sliding_window_view(
-            buf_padded, self.tile_shape, axis=tuple(range(2, 2 + self.ndim))
-        )
-        step = (slice(None), slice(None)) + tuple(slice(None, None, m) for m in self.m)
-        np.copyto(buf_tiles.reshape(view[step].shape), view[step])
-
-        # Stage 1b: U = B_kron @ tiles^T as a single GEMM.  The
-        # transposed operand is BLAS-native (no materialized copy), and
-        # the (T, B, C, N) result makes every stage-2 sub-matrix an
-        # F-contiguous (N, C) view -- also BLAS-native.
-        np.matmul(self.bk, buf_tiles.reshape(-1, t).T, out=buf_u.reshape(t, -1))
-
-        # Stage 2: T x B batched GEMMs (N, C) @ (C, C').
-        np.matmul(buf_u.transpose(0, 1, 3, 2), w.data[:, None], out=buf_x)
-
-        # Stage 3: one transpose pass, one GEMM with A_kron, one
-        # scatter-assemble pass writing (cropped) output tiles.
-        np.copyto(buf_xt, buf_x.transpose(1, 2, 3, 0))
-        np.matmul(buf_xt, self.akt, out=buf_y)
-
-        y_tiles = buf_y.reshape((b,) + self.counts + (cp,) + self.m)
-        if self.crop:
-            buf_pout = lease.take(self._shapes["pout"], dtype)
-            np.copyto(
-                buf_pout.reshape((b, cp) + _interleave(self.counts, self.m)),
-                y_tiles.transpose(self._assemble_perm),
+        with tracer.span("fused.stage1"):
+            # Stage 0: conv padding + grid zero-extension in one buffer.
+            # The arena memory is recycled across plans, so the halo must
+            # be re-zeroed each run (cheap: one streaming pass).
+            buf_padded[...] = 0
+            interior = (slice(None), slice(None)) + tuple(
+                slice(p, p + s) for p, s in zip(plan.padding, plan.input_shape[2:])
             )
-            result = _result_buffer(out, (b, cp) + self.out_shape, dtype)
-            crop_idx = (slice(None), slice(None)) + tuple(
-                slice(0, o) for o in self.out_shape
+            buf_padded[interior] = images
+
+            # Stage 1a: overlapping tiles as a zero-copy strided view,
+            # then one gather pass into (B, C, N, K).
+            view = sliding_window_view(
+                buf_padded, self.tile_shape, axis=tuple(range(2, 2 + self.ndim))
             )
-            np.copyto(result, buf_pout[crop_idx])
-        else:
-            result = _result_buffer(out, (b, cp) + self.out_shape, dtype)
-            np.copyto(
-                result.reshape((b, cp) + _interleave(self.counts, self.m)),
-                y_tiles.transpose(self._assemble_perm),
+            step = (slice(None), slice(None)) + tuple(
+                slice(None, None, m) for m in self.m
             )
+            np.copyto(buf_tiles.reshape(view[step].shape), view[step])
+
+            # Stage 1b: U = B_kron @ tiles^T as a single GEMM.  The
+            # transposed operand is BLAS-native (no materialized copy),
+            # and the (T, B, C, N) result makes every stage-2 sub-matrix
+            # an F-contiguous (N, C) view -- also BLAS-native.
+            np.matmul(self.bk, buf_tiles.reshape(-1, t).T, out=buf_u.reshape(t, -1))
+
+        with tracer.span("fused.stage2"):
+            # Stage 2: T x B batched GEMMs (N, C) @ (C, C').
+            np.matmul(buf_u.transpose(0, 1, 3, 2), w.data[:, None], out=buf_x)
+
+        with tracer.span("fused.stage3"):
+            # Stage 3: one transpose pass, one GEMM with A_kron, one
+            # scatter-assemble pass writing (cropped) output tiles.
+            np.copyto(buf_xt, buf_x.transpose(1, 2, 3, 0))
+            np.matmul(buf_xt, self.akt, out=buf_y)
+
+            y_tiles = buf_y.reshape((b,) + self.counts + (cp,) + self.m)
+            if self.crop:
+                buf_pout = lease.take(self._shapes["pout"], dtype)
+                np.copyto(
+                    buf_pout.reshape((b, cp) + _interleave(self.counts, self.m)),
+                    y_tiles.transpose(self._assemble_perm),
+                )
+                result = _result_buffer(out, (b, cp) + self.out_shape, dtype)
+                crop_idx = (slice(None), slice(None)) + tuple(
+                    slice(0, o) for o in self.out_shape
+                )
+                np.copyto(result, buf_pout[crop_idx])
+            else:
+                result = _result_buffer(out, (b, cp) + self.out_shape, dtype)
+                np.copyto(
+                    result.reshape((b, cp) + _interleave(self.counts, self.m)),
+                    y_tiles.transpose(self._assemble_perm),
+                )
         return result
 
 
@@ -650,6 +726,26 @@ class ConvolutionEngine:
     worker_timeout:
         Per-stage watchdog for the process backend's barriers; a dead
         worker surfaces as ``WorkerCrashError`` within this bound.
+    tracer, metrics:
+        Observability hooks (:mod:`repro.obs`): a span tracer recording
+        per-request / per-stage / per-worker timings and a metrics
+        registry (plan-cache, arena, backend mix, latency percentiles,
+        live shm segments).  Engine-scoped by default; pass shared
+        instances to aggregate across engines.
+    fallback:
+        Enable the backend fallback chain (``process -> thread ->
+        blocked``): a request whose backend fails with a worker crash,
+        in-stage error or workspace corruption is rerouted down the
+        chain instead of failing, with the event recorded in metrics
+        and the trace.  The crashed process pool self-heals (respawns,
+        within ``respawn_budget``) for subsequent requests.
+    faults:
+        Armed :class:`~repro.obs.faults.FaultPlan` for fault-injection
+        testing; defaults to parsing the ``REPRO_FAULT`` environment
+        variable.
+    respawn_budget:
+        How many times a crashed process pool may be respawned per
+        cached executor before it is declared permanently broken.
     """
 
     def __init__(
@@ -665,6 +761,11 @@ class ConvolutionEngine:
         backend: str = "fused",
         n_workers: int | None = None,
         worker_timeout: float = 60.0,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
+        fallback: bool = True,
+        faults: FaultPlan | None = None,
+        respawn_budget: int = 2,
     ):
         if stage2_mode not in ("fast", "traced"):
             raise ValueError(f"stage2_mode must be 'fast' or 'traced', got {stage2_mode!r}")
@@ -678,8 +779,19 @@ class ConvolutionEngine:
         self.n_workers = n_workers if n_workers is not None else (os.cpu_count() or 1)
         self.worker_timeout = worker_timeout
         self.machine = machine
-        self.plans = PlanCache(max_plans=max_plans, max_bytes=max_cache_bytes)
-        self.arena = WorkspaceArena()
+        # Observability: tracer + metrics are engine-scoped (pass shared
+        # instances to aggregate across engines); the fault plan arms
+        # the injection seam -- by default it is read from REPRO_FAULT.
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.metrics.gauge("shm.live_segments", live_segment_count)
+        self.fallback = fallback
+        self.faults = faults if faults is not None else FaultPlan.from_env()
+        self.respawn_budget = respawn_budget
+        self.plans = PlanCache(
+            max_plans=max_plans, max_bytes=max_cache_bytes, metrics=self.metrics
+        )
+        self.arena = WorkspaceArena(metrics=self.metrics)
         self.stage2_mode = stage2_mode
         self.tile_policy = tile_policy
         self.wisdom_path = Path(wisdom_path) if wisdom_path is not None else None
@@ -734,6 +846,47 @@ class ConvolutionEngine:
             raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
         spec = self._resolve_spec(fmr, images.shape, kernels.shape, padding)
         dtype = np.dtype(dtype)
+        if backend not in ("blocked", "thread", "process") and blocking is not None:
+            raise ValueError("blocking is only meaningful with blocked=True")
+
+        self.metrics.counter(f"engine.requests.{backend}").inc()
+        t0 = time.perf_counter()
+        with self.tracer.span("request", backend=backend) as req:
+            try:
+                current = backend
+                while True:
+                    try:
+                        return self._dispatch(
+                            current, spec, images, kernels, padding, dtype,
+                            blocking, out,
+                        )
+                    except FALLBACK_ERRORS as exc:
+                        nxt = FALLBACK_NEXT.get(current)
+                        if nxt is None or not self.fallback:
+                            raise
+                        # Reroute this request down the chain; the
+                        # process pool self-heals for the next one.
+                        self.metrics.counter("engine.fallbacks").inc()
+                        self.metrics.counter(
+                            f"engine.fallbacks.{current}_to_{nxt}"
+                        ).inc()
+                        self.tracer.event(
+                            "fallback", source=current, target=nxt,
+                            error=type(exc).__name__,
+                        )
+                        req.attrs["fallback"] = f"{current}->{nxt}"
+                        current = nxt
+                        blocking = None  # re-resolve for the new backend
+            finally:
+                self.metrics.histogram("engine.request_seconds").observe(
+                    time.perf_counter() - t0
+                )
+
+    # ------------------------------------------------------------------
+    def _dispatch(
+        self, backend, spec, images, kernels, padding, dtype, blocking, out
+    ) -> np.ndarray:
+        """Resolve the plan for ``backend`` and execute one attempt."""
         if backend == "blocked":
             blocking = blocking if blocking is not None else self._resolve_blocking(
                 spec, images.shape, kernels.shape[1], padding
@@ -742,8 +895,6 @@ class ConvolutionEngine:
             blocking = blocking if blocking is not None else self._parallel_blocking(
                 spec, images.shape, kernels.shape[1], padding
             )
-        elif blocking is not None:
-            raise ValueError("blocking is only meaningful with blocked=True")
         key = PlanKey(
             spec=spec,
             input_shape=tuple(images.shape),
@@ -757,26 +908,42 @@ class ConvolutionEngine:
         if backend == "blocked":
             return self._run_blocked(entry, images, kernels)
         if backend in ("thread", "process"):
-            execu = entry.parallel_executor(self.n_workers, timeout=self.worker_timeout)
-            return execu.execute(images, kernels)
-        w = self.plans.kernel_transform(entry, kernels)
-        with self.arena.lease(entry.fast.lease_bytes) as lease:
-            return entry.fast.run(images.astype(dtype, copy=False), w, lease, out=out)
+            execu = entry.parallel_executor(
+                self.n_workers,
+                timeout=self.worker_timeout,
+                tracer=self.tracer,
+                metrics=self.metrics,
+                faults=self.faults,
+                respawn_budget=self.respawn_budget,
+            )
+            with self.tracer.span(f"execute.{backend}"):
+                return execu.execute(images, kernels)
+        with self.tracer.span("execute.fused"):
+            w = self.plans.kernel_transform(entry, kernels)
+            with self.arena.lease(entry.fast.lease_bytes) as lease:
+                return entry.fast.run(
+                    images.astype(dtype, copy=False), w, lease, out=out,
+                    tracer=self.tracer,
+                )
 
     # ------------------------------------------------------------------
     def _run_blocked(self, entry: PlanEntry, images, kernels) -> np.ndarray:
-        execu = entry.executor
-        v = self.plans.packed_kernel_transform(entry, kernels)
-        packed = execu.image_layout.pack(
-            np.asarray(images, dtype=entry.plan.dtype)
-        )
-        u = execu.transform_input_packed(packed)
-        x_bytes = prod(execu.x_layout.stored_shape) * entry.plan.dtype.itemsize
-        with self.arena.lease(x_bytes) as lease:
-            x = lease.take(execu.x_layout.stored_shape, entry.plan.dtype)
-            execu.multiply_packed(u, v, mode=self.stage2_mode, out=x)
-            packed_out = execu.inverse_transform_packed(x)
-        return execu.output_layout.unpack(packed_out)
+        with self.tracer.span("execute.blocked"):
+            execu = entry.executor
+            with self.tracer.span("blocked.stage1"):
+                v = self.plans.packed_kernel_transform(entry, kernels)
+                packed = execu.image_layout.pack(
+                    np.asarray(images, dtype=entry.plan.dtype)
+                )
+                u = execu.transform_input_packed(packed)
+            x_bytes = prod(execu.x_layout.stored_shape) * entry.plan.dtype.itemsize
+            with self.arena.lease(x_bytes) as lease:
+                x = lease.take(execu.x_layout.stored_shape, entry.plan.dtype)
+                with self.tracer.span("blocked.stage2"):
+                    execu.multiply_packed(u, v, mode=self.stage2_mode, out=x)
+                with self.tracer.span("blocked.stage3"):
+                    packed_out = execu.inverse_transform_packed(x)
+            return execu.output_layout.unpack(packed_out)
 
     # ------------------------------------------------------------------
     def _resolve_spec(self, fmr, input_shape, kernel_shape, padding) -> FmrSpec:
@@ -937,11 +1104,16 @@ class ConvolutionEngine:
 
     def stats(self) -> dict[str, object]:
         """Cache + arena counters for reporting/monitoring."""
+        from repro.core.shm import shm_stats
+
         return {
             "plans": self.plans.stats.as_dict(),
             "cached_plans": len(self.plans),
             "arena": self.arena.as_dict(),
             "wisdom_entries": len(self.wisdom),
+            "shm": shm_stats(),
+            "metrics": self.metrics.snapshot(),
+            "fallbacks": self.metrics.counter_value("engine.fallbacks"),
         }
 
 

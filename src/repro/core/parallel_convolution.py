@@ -24,6 +24,7 @@ to the sequential plan up to float summation order.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from math import prod
 
@@ -32,6 +33,8 @@ import numpy as np
 from repro.core.blocking import BlockingConfig
 from repro.core.convolution import WinogradPlan
 from repro.core.parallel import ForkJoinPool
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.core.scheduling import (
     GridSlice,
     stage1_grid,
@@ -52,6 +55,9 @@ class ParallelWinogradExecutor:
     blocking: BlockingConfig
     n_threads: int = 4
     simd_width: int = 16
+    #: Observability hooks (see repro.obs); optional and no-op-safe.
+    tracer: Tracer | None = None
+    metrics: MetricsRegistry | None = None
 
     pool: ForkJoinPool = field(init=False)
 
@@ -88,6 +94,27 @@ class ParallelWinogradExecutor:
         )
 
     # ------------------------------------------------------------------
+    def _run_stage(self, name: str, fn, schedule) -> None:
+        """One traced fork-join: stage span + per-thread wall seconds."""
+        tracer = self.tracer if self.tracer is not None else NULL_TRACER
+        durations = [0.0] * self.n_threads
+
+        def timed(tid, sl):
+            t0 = time.perf_counter()
+            try:
+                fn(tid, sl)
+            finally:
+                durations[tid] = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        with tracer.span(f"thread.{name}") as sp:
+            self.pool.run(timed, schedule)
+            sp.attrs["worker_seconds"] = list(durations)
+        if self.metrics is not None:
+            self.metrics.histogram(f"thread.{name}.seconds").observe(
+                time.perf_counter() - t0
+            )
+
     def execute(self, images: np.ndarray, kernels: np.ndarray) -> np.ndarray:
         plan = self.plan
         s = self.simd_width
@@ -122,7 +149,7 @@ class ParallelWinogradExecutor:
                 row = b_idx * n + flat_tile
                 u[:, row, cb * s : (cb + 1) * s] = transformed.reshape(s, t).T
 
-        self.pool.run(stage1, self._sched1)
+        self._run_stage("stage1", stage1, self._sched1)
 
         # ---- stage 1b: kernel transform --------------------------------
         def stage1b(tid: int, sl: GridSlice) -> None:
@@ -131,7 +158,7 @@ class ParallelWinogradExecutor:
                 transformed = transform_tensor(group, g_mats)  # (S, *T)
                 v[:, c_idx, cpb * s : (cpb + 1) * s] = transformed.reshape(s, t).T
 
-        self.pool.run(stage1b, self._sched1b)
+        self._run_stage("stage1b", stage1b, self._sched1b)
 
         # ---- stage 2: blocked batched GEMM -----------------------------
         blk = self.blocking
@@ -147,7 +174,7 @@ class ParallelWinogradExecutor:
                     acc = block if acc is None else acc + block
                 x[ti, rows, cols] = acc
 
-        self.pool.run(stage2, self._sched2)
+        self._run_stage("stage2", stage2, self._sched2)
 
         # ---- stage 3: inverse transform --------------------------------
         cp_blocks = plan.c_out // s
@@ -163,7 +190,7 @@ class ParallelWinogradExecutor:
                 inv = transform_tensor(tiles, a_mats)  # (S, *m)
                 out_tiles[(b_idx, slice(cpb * s, (cpb + 1) * s)) + tuple(tile_idx)] = inv
 
-        self.pool.run(stage3, self._sched3)
+        self._run_stage("stage3", stage3, self._sched3)
 
         from repro.core.tiling import assemble_output
 

@@ -42,7 +42,9 @@ import multiprocessing as mp
 import os
 import pickle
 import threading
+import time
 import traceback
+import zlib
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
@@ -61,16 +63,22 @@ from repro.core.scheduling import (
 from repro.core.shm import SegmentSpec, SharedTensorArena, attach_segments
 from repro.core.tiling import assemble_output
 from repro.core.transforms import transform_tensor
+from repro.obs.faults import FaultPlan
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NULL_TRACER, Tracer
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.fmr import FmrSpec
 
 #: Stage commands published through the shared control word.
 STAGE1, STAGE1B, STAGE2, STAGE3 = 1, 2, 3, 4
+#: Human-readable stage names, used for spans and metrics.
+STAGE_NAMES = {STAGE1: "stage1", STAGE1B: "stage1b", STAGE2: "stage2", STAGE3: "stage3"}
 _CMD_IDLE = 0
 _CMD_SHUTDOWN = -1
 _CMD_RAISE = -2  # fault-injection hook: raise inside the stage body
 _CMD_EXIT = -3  # fault-injection hook: die without reaching the barrier
+_CMD_SLEEP = -4  # fault-injection hook: stall inside the round (param secs)
 
 
 class WorkerError(RuntimeError):
@@ -86,6 +94,23 @@ class WorkerCrashError(RuntimeError):
 
     The pool has been terminated and is permanently broken.
     """
+
+
+class WorkspaceCorruptionError(RuntimeError):
+    """The shared input workspace changed under the pipeline's feet.
+
+    Raised by the executor's post-run integrity check: the CRC of the
+    padded-input and kernel segments no longer matches the value
+    captured before the stages ran.  Stages only read those segments,
+    so a mismatch means an external writer (a buggy co-tenant of the
+    arena, a scribbling worker, or the ``corrupt-workspace`` fault)
+    poisoned the request; the caller must not trust the output.
+    """
+
+
+def _buffer_crc(arr: np.ndarray) -> int:
+    """CRC32 of a C-contiguous ndarray's bytes (no copy)."""
+    return zlib.crc32(memoryview(arr).cast("B"))
 
 
 # ----------------------------------------------------------------------
@@ -138,6 +163,10 @@ class _WorkerState:
         self.cp_blocks = plan.c_out // self.s
         self.slices = {stage: sched[rank] for stage, sched in cfg.schedules.items()}
         self.attached = attach_segments(cfg.segments)
+        # Per-stage/per-worker wall-clock telemetry, written by workers
+        # and read by the main process after each join (optional so old
+        # pickled configs without the segment still load).
+        self.obs = self.attached.arrays.get("obs")
         self.padded = self.attached["padded"]
         self.kernels = self.attached["kernels"]
         self.u = self.attached["u"]
@@ -263,7 +292,7 @@ _STAGE_FNS = {STAGE1: _stage1, STAGE1B: _stage1b, STAGE2: _stage2, STAGE3: _stag
 # ----------------------------------------------------------------------
 # Worker main loop
 # ----------------------------------------------------------------------
-def _worker_main(rank, cfg_blob, start_barrier, done_barrier, command, errors):
+def _worker_main(rank, cfg_blob, start_barrier, done_barrier, command, param, errors):
     """Double-barrier slave loop: park on *start*, run the published
     stage against shared memory, park on *done*; repeat until shutdown."""
     state = None
@@ -286,10 +315,17 @@ def _worker_main(rank, cfg_blob, start_barrier, done_barrier, command, errors):
                     os._exit(3)
                 if cmd == _CMD_RAISE:
                     raise RuntimeError(f"injected failure in worker {rank}")
-                if state is None:
-                    raise RuntimeError(init_error or f"worker {rank} has no state")
-                if cmd != _CMD_IDLE:
+                if cmd == _CMD_SLEEP:
+                    time.sleep(param.value)
+                elif cmd != _CMD_IDLE:
+                    if state is None:
+                        raise RuntimeError(
+                            init_error or f"worker {rank} has no state"
+                        )
+                    t0 = time.perf_counter()
                     _STAGE_FNS[cmd](state)
+                    if state.obs is not None:
+                        state.obs[cmd - 1, rank] = time.perf_counter() - t0
             except BaseException as exc:  # noqa: BLE001 - propagated to main
                 errors.put(
                     (rank, f"{type(exc).__name__}: {exc}", traceback.format_exc())
@@ -329,6 +365,7 @@ class ProcessForkJoinPool:
         self._start = ctx.Barrier(cfg.n_workers + 1)
         self._done = ctx.Barrier(cfg.n_workers + 1)
         self._command = ctx.Value("i", _CMD_IDLE, lock=False)
+        self._param = ctx.Value("d", 0.0, lock=False)
         self._errors = ctx.SimpleQueue()
         self._broken = False
         self._shutdown = False
@@ -338,7 +375,8 @@ class ProcessForkJoinPool:
         self._workers = [
             ctx.Process(
                 target=_worker_main,
-                args=(r, blob, self._start, self._done, self._command, self._errors),
+                args=(r, blob, self._start, self._done, self._command,
+                      self._param, self._errors),
                 daemon=True,
                 name=f"repro-winograd-{r}",
             )
@@ -370,11 +408,8 @@ class ProcessForkJoinPool:
                 + ", ".join(f"{w.name} exit={w.exitcode}" for w in dead)
             )
         self._command.value = command
-        try:
-            self._start.wait(self.timeout)  # fork
-            self._done.wait(self.timeout)  # join
-        except threading.BrokenBarrierError:
-            self._fail(f"worker crashed or stalled during command {command}")
+        self._cross(self._start, command, "fork")
+        self._cross(self._done, command, "join")
         self.joins += 1
         errs = self._drain_errors()
         if errs:
@@ -383,9 +418,56 @@ class ProcessForkJoinPool:
                 f"{len(errs)} worker(s) failed; first (rank {rank}): {msg}\n{tb}"
             )
 
-    def inject(self, kind: str) -> None:
-        """Fault-injection hook for tests: ``'raise'`` or ``'exit'``."""
-        self.run({"raise": _CMD_RAISE, "exit": _CMD_EXIT}[kind])
+    def inject(self, kind: str, param: float | None = None) -> None:
+        """Fault-injection hook: ``'raise'``, ``'exit'`` or ``'delay'``.
+
+        ``'delay'`` makes every worker sleep ``param`` seconds inside
+        the round; a delay beyond the pool timeout reproduces a wedged
+        worker (the watchdog fires and the pool is torn down), a small
+        one is a benign straggler round.
+        """
+        if kind == "delay":
+            self._param.value = 0.05 if param is None else float(param)
+            self.run(_CMD_SLEEP)
+        else:
+            self.run({"raise": _CMD_RAISE, "exit": _CMD_EXIT}[kind])
+
+    def _cross(self, barrier, command: int, phase: str) -> None:
+        """Cross one barrier with a liveness-aware watchdog.
+
+        A timed-out ``multiprocessing.Barrier.wait`` aborts the barrier,
+        so the wait cannot be polled directly; instead it runs in a
+        helper thread while this thread monitors worker liveness.  A
+        dead worker therefore fails the round within ~20 ms rather than
+        stalling for the full ``timeout`` (which remains the watchdog
+        for workers that are alive but wedged).
+        """
+        failure: list[BaseException] = []
+
+        def waiter() -> None:
+            try:
+                barrier.wait(self.timeout)
+            except BaseException as exc:  # noqa: BLE001 - reported below
+                failure.append(exc)
+
+        th = threading.Thread(target=waiter, daemon=True)
+        th.start()
+        while True:
+            th.join(0.02)
+            if not th.is_alive():
+                break
+            dead = [w for w in self._workers if not w.is_alive()]
+            if dead:
+                barrier.abort()  # unblock the waiter thread
+                th.join(1.0)
+                self._fail(
+                    f"worker died during command {command} ({phase}): "
+                    + ", ".join(f"{w.name} exit={w.exitcode}" for w in dead)
+                )
+        if failure:
+            self._fail(
+                f"worker crashed or stalled during command {command} ({phase})"
+            )
 
     @property
     def broken(self) -> bool:
@@ -460,6 +542,18 @@ class ProcessWinogradExecutor:
     simd_width: int = 16
     timeout: float = 60.0
     start_method: str | None = None
+    #: Observability hooks (see repro.obs): span tracer, metrics sink,
+    #: armed fault plan.  All optional; defaults are no-op/local.
+    tracer: Tracer | None = None
+    metrics: MetricsRegistry | None = None
+    faults: FaultPlan | None = None
+    #: Self-healing: how many times a crashed pool may be respawned over
+    #: the executor's lifetime before it is declared permanently broken.
+    respawn_budget: int = 2
+    #: Verify the input workspace CRC after every run (fault tolerance
+    #: against external writers; required for the corrupt-workspace
+    #: fault to be detectable).
+    verify_workspace: bool = True
 
     def __post_init__(self) -> None:
         plan = self.plan
@@ -518,6 +612,11 @@ class ProcessWinogradExecutor:
             self._out_tiles = self.arena.allocate(
                 "out_tiles", (b, cp) + plan.grid.counts + plan.spec.m, dtype
             )
+            # Per-stage x per-worker wall-clock seconds, written by the
+            # workers, read by the main process after each join.
+            self._obs = self.arena.allocate(
+                "obs", (len(STAGE_NAMES), self.n_workers), np.float64
+            )
             cfg = WorkerConfig(
                 spec=plan.spec,
                 input_shape=plan.input_shape,
@@ -530,6 +629,7 @@ class ProcessWinogradExecutor:
                 schedules=schedules,
                 segments=self.arena.spec(),
             )
+            self._cfg = cfg  # kept for pool respawns (self-healing)
             self.pool = ProcessForkJoinPool(
                 cfg, timeout=self.timeout, start_method=self.start_method
             )
@@ -542,13 +642,80 @@ class ProcessWinogradExecutor:
             slice(p, p + sz) for p, sz in zip(plan.padding, plan.input_shape[2:])
         )
         self._exec_lock = threading.Lock()
+        self._tracer = self.tracer if self.tracer is not None else NULL_TRACER
+        if self.metrics is None:
+            self.metrics = MetricsRegistry()
+        #: Lifetime crash/respawn accounting (also mirrored to metrics).
+        self.crashes = 0
+        self.respawns = 0
+        self._needs_respawn = False
 
     # ------------------------------------------------------------------
+    @property
+    def healthy(self) -> bool:
+        """True when the next :meth:`execute` can run without a respawn."""
+        return (
+            self.pool is not None
+            and not self._needs_respawn
+            and not self.pool.broken
+        )
+
+    def _ensure_pool(self) -> None:
+        """Self-healing seam: respawn a crashed pool within the budget.
+
+        The shared-memory arena outlives the pool -- only the worker
+        processes and barriers are rebuilt; fresh workers re-attach to
+        the same segments.  Past the budget, every call surfaces one
+        clean :class:`WorkerCrashError` instead of thrashing respawns.
+        """
+        if self.healthy:
+            return
+        if self.respawns >= self.respawn_budget:
+            raise WorkerCrashError(
+                f"process pool permanently broken: respawn budget "
+                f"({self.respawn_budget}) exhausted after {self.crashes} "
+                f"crash(es); use another backend or rebuild the executor"
+            )
+        old, self.pool = self.pool, None  # type: ignore[assignment]
+        if old is not None:
+            old.shutdown()
+        self.pool = ProcessForkJoinPool(
+            self._cfg, timeout=self.timeout, start_method=self.start_method
+        )
+        self.respawns += 1
+        self._needs_respawn = False
+        self.metrics.counter("process.respawns").inc()
+        self._tracer.event("process.respawn", respawns=self.respawns)
+
+    def _inject_faults(self) -> None:
+        """Consume armed fault tokens at the pre-stage injection site."""
+        faults = self.faults
+        if not faults:
+            return
+        if faults.should_fire("kill-worker"):
+            self.pool.inject("exit")  # raises WorkerCrashError
+        if faults.should_fire("raise-worker"):
+            self.pool.inject("raise")  # raises WorkerError
+        spec = faults.should_fire("delay-barrier")
+        if spec is not None:
+            self.pool.inject("delay", spec.param)
+        if faults.should_fire("corrupt-workspace"):
+            # Scribble *after* the CRC capture in execute(): the
+            # integrity check must catch it.
+            self._padded.flat[0] += 1.0
+
     def execute(self, images: np.ndarray, kernels: np.ndarray) -> np.ndarray:
         """Run all four stages across the worker processes.
 
         Serialized internally: the executor owns ONE shared workspace,
         so concurrent callers take turns (the engine leans on this).
+
+        Failure semantics: a dead/wedged worker raises
+        :class:`WorkerCrashError` and schedules a pool respawn (within
+        :attr:`respawn_budget`) so the *next* call finds a healthy pool;
+        an in-stage exception raises :class:`WorkerError`; a poisoned
+        input workspace raises :class:`WorkspaceCorruptionError`.  The
+        engine's fallback chain reroutes the failed request either way.
         """
         plan = self.plan
         images = np.asarray(images, dtype=plan.dtype)
@@ -561,11 +728,44 @@ class ProcessWinogradExecutor:
         with self._exec_lock:
             if self.arena.released:
                 raise RuntimeError("executor is shut down")
+            self._ensure_pool()
             self._padded[...] = 0
             self._padded[self._interior] = images
             self._kernels[...] = kernels
-            for cmd in (STAGE1, STAGE1B, STAGE2, STAGE3):
-                self.pool.run(cmd)
+            crc_before = None
+            if self.verify_workspace:
+                crc_before = (_buffer_crc(self._padded), _buffer_crc(self._kernels))
+            try:
+                self._inject_faults()
+                self._obs[...] = 0.0
+                for cmd in (STAGE1, STAGE1B, STAGE2, STAGE3):
+                    name = STAGE_NAMES[cmd]
+                    t0 = time.perf_counter()
+                    with self._tracer.span(f"process.{name}") as sp:
+                        self.pool.run(cmd)
+                        sp.attrs["worker_seconds"] = self._obs[cmd - 1].tolist()
+                    self.metrics.histogram(f"process.{name}.seconds").observe(
+                        time.perf_counter() - t0
+                    )
+                if crc_before is not None:
+                    crc_after = (
+                        _buffer_crc(self._padded), _buffer_crc(self._kernels),
+                    )
+                    if crc_after != crc_before:
+                        self.metrics.counter("process.corruptions").inc()
+                        raise WorkspaceCorruptionError(
+                            "input workspace checksum changed during the run "
+                            f"(padded/kernels CRC {crc_before} -> {crc_after}); "
+                            "output is untrusted"
+                        )
+            except WorkerCrashError:
+                self.crashes += 1
+                self._needs_respawn = True
+                self.metrics.counter("process.crashes").inc()
+                raise
+            except WorkerError:
+                self.metrics.counter("process.worker_errors").inc()
+                raise
             out = assemble_output(self._out_tiles, plan.grid)
             if np.shares_memory(out, self._out_tiles):  # pragma: no cover
                 out = out.copy()
@@ -575,7 +775,8 @@ class ProcessWinogradExecutor:
     def shutdown(self) -> None:
         """Stop the workers and unlink every shared segment (idempotent)."""
         try:
-            self.pool.shutdown()
+            if self.pool is not None:
+                self.pool.shutdown()
         finally:
             self.arena.release()
 

@@ -44,7 +44,9 @@ __all__ = [
     "SharedTensorArena",
     "attach_segments",
     "active_segment_names",
+    "live_segment_count",
     "segment_exists",
+    "shm_stats",
 ]
 
 #: Creator-PID prefix: keeps names unique across concurrent sessions and
@@ -53,6 +55,12 @@ _PREFIX = f"repro-{os.getpid():x}"
 _COUNTER = itertools.count()
 _REGISTRY_LOCK = threading.Lock()
 _ARENAS: "weakref.WeakSet[SharedTensorArena]" = weakref.WeakSet()
+
+#: Process-lifetime segment accounting (monotonic; observability gauges
+#: derive the live count as created - unlinked).
+_SEGMENTS_CREATED = 0
+_SEGMENTS_UNLINKED = 0
+_SEGMENT_BYTES_CREATED = 0
 
 
 @dataclass(frozen=True)
@@ -102,6 +110,10 @@ class SharedTensorArena:
             seg_name = f"{_PREFIX}-{next(_COUNTER):x}-{self.tag}-{name}"[:200]
             nbytes = max(prod(shape) * dtype.itemsize, 1)
             shm = shared_memory.SharedMemory(name=seg_name, create=True, size=nbytes)
+            global _SEGMENTS_CREATED, _SEGMENT_BYTES_CREATED
+            with _REGISTRY_LOCK:
+                _SEGMENTS_CREATED += 1
+                _SEGMENT_BYTES_CREATED += nbytes
             arr = np.ndarray(shape, dtype=dtype, buffer=shm.buf)
             arr[...] = 0
             self._segments[name] = shm
@@ -146,6 +158,7 @@ class SharedTensorArena:
             # Drop the numpy views first so BufferError cannot arise
             # from exported memoryviews at close time.
             self._arrays.clear()
+            global _SEGMENTS_UNLINKED
             for shm in self._segments.values():
                 try:
                     shm.close()
@@ -154,6 +167,8 @@ class SharedTensorArena:
                         shm.unlink()
                     except FileNotFoundError:  # already gone (e.g. tmpfs purge)
                         pass
+                    with _REGISTRY_LOCK:
+                        _SEGMENTS_UNLINKED += 1
             self._segments.clear()
 
     def __enter__(self) -> "SharedTensorArena":
@@ -228,6 +243,27 @@ def active_segment_names() -> list[str]:
         if not arena.released:
             names.extend(s.segment for s in arena.spec().values())
     return sorted(names)
+
+
+def live_segment_count() -> int:
+    """Segments currently created-but-not-unlinked by this process.
+
+    The reading the engine exposes as the ``shm.live_segments`` gauge:
+    it tracks actual OS-namespace occupancy, not arena object counts.
+    """
+    with _REGISTRY_LOCK:
+        return _SEGMENTS_CREATED - _SEGMENTS_UNLINKED
+
+
+def shm_stats() -> dict[str, int]:
+    """Process-lifetime shared-memory accounting for reporting."""
+    with _REGISTRY_LOCK:
+        return {
+            "segments_created": _SEGMENTS_CREATED,
+            "segments_unlinked": _SEGMENTS_UNLINKED,
+            "segments_live": _SEGMENTS_CREATED - _SEGMENTS_UNLINKED,
+            "bytes_created": _SEGMENT_BYTES_CREATED,
+        }
 
 
 def segment_exists(segment_name: str) -> bool:

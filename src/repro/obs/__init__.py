@@ -1,0 +1,26 @@
+"""Observability for the serving stack: tracing, metrics, fault injection.
+
+Extension beyond the paper (see DESIGN.md E23): the paper's per-stage
+analysis is reproduced *as telemetry* -- a span tracer with per-stage /
+per-worker timings, a metrics registry (plan-cache, arena, backend mix,
+latency percentiles, shm lifetime), and a budgeted fault-injection seam
+that makes the engine's fallback chain and worker self-healing testable.
+"""
+
+from repro.obs.faults import FAULT_ENV, FAULT_KINDS, FaultPlan, FaultSpec
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.tracer import NULL_TRACER, Span, Tracer
+
+__all__ = [
+    "FAULT_ENV",
+    "FAULT_KINDS",
+    "FaultPlan",
+    "FaultSpec",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "Span",
+    "Tracer",
+]

@@ -1,0 +1,141 @@
+"""Fault-injection seam for the serving stack.
+
+The ROADMAP's north star ("serve heavy traffic") means a crashed worker
+or a poisoned workspace must degrade a request gracefully, and the only
+way to *prove* that is to make the failures reproducible on demand.  A
+:class:`FaultPlan` is a budgeted list of fault specs, armed either
+programmatically (``ConvolutionEngine(faults=...)``) or via the
+``REPRO_FAULT`` environment variable, and consumed at well-defined
+*sites* inside the process backend:
+
+``kill-worker``
+    A worker process calls ``os._exit`` mid fork-join round, breaking
+    the barrier -- the realistic segfault/OOM-kill stand-in.  Surfaces
+    as :class:`~repro.core.parallel_process.WorkerCrashError`.
+``raise-worker``
+    A worker raises a Python exception inside the stage body; the round
+    completes and the pool survives.  Surfaces as ``WorkerError``.
+``delay-barrier``
+    Workers sleep ``param`` seconds (default 0.05) inside a fork-join
+    round.  With ``param`` beyond the pool's watchdog timeout this
+    reproduces a *wedged* worker (crash-equivalent); below it, a benign
+    straggler.
+``corrupt-workspace``
+    Scribbles on the shared input workspace after its checksum is
+    captured, so the post-run integrity check fails.  Surfaces as
+    ``WorkspaceCorruptionError``.
+
+Syntax (comma-separated specs)::
+
+    REPRO_FAULT="kill-worker:1"
+    REPRO_FAULT="delay-barrier:2:0.25,raise-worker:1"
+
+Each spec is ``kind:count[:param]``: the fault fires on the next
+``count`` matching sites, then disarms.  Budget accounting is
+thread-safe and lives in the *main* process only -- the injection sites
+translate a firing into a worker-side command, so workers never need
+the plan shipped to them.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from dataclasses import dataclass, field
+
+#: Recognized fault kinds and their default parameter.
+FAULT_KINDS = {
+    "kill-worker": None,
+    "raise-worker": None,
+    "delay-barrier": 0.05,
+    "corrupt-workspace": None,
+}
+
+#: Environment variable consulted by :meth:`FaultPlan.from_env`.
+FAULT_ENV = "REPRO_FAULT"
+
+
+@dataclass
+class FaultSpec:
+    """One armed fault: fires ``count`` times, then stays quiet."""
+
+    kind: str
+    count: int = 1
+    param: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; expected one of "
+                f"{sorted(FAULT_KINDS)}"
+            )
+        if self.count < 1:
+            raise ValueError(f"fault {self.kind!r}: count must be >= 1")
+        if self.param is None:
+            self.param = FAULT_KINDS[self.kind]
+
+
+@dataclass
+class FaultPlan:
+    """Budgeted fault schedule consumed at injection sites."""
+
+    specs: list[FaultSpec] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._lock = threading.Lock()
+        self._remaining = {id(s): s.count for s in self.specs}
+        self._fired: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def parse(cls, text: str) -> "FaultPlan":
+        """Parse ``kind:count[:param][,kind:count[:param]...]``."""
+        specs = []
+        for chunk in text.split(","):
+            chunk = chunk.strip()
+            if not chunk:
+                continue
+            parts = chunk.split(":")
+            if len(parts) > 3:
+                raise ValueError(f"malformed fault spec {chunk!r}")
+            kind = parts[0].strip()
+            count = int(parts[1]) if len(parts) > 1 and parts[1] else 1
+            param = float(parts[2]) if len(parts) > 2 else None
+            specs.append(FaultSpec(kind=kind, count=count, param=param))
+        return cls(specs=specs)
+
+    @classmethod
+    def from_env(cls, environ=None) -> "FaultPlan | None":
+        """Build a plan from ``REPRO_FAULT`` (``None`` when unset/empty)."""
+        text = (environ if environ is not None else os.environ).get(FAULT_ENV, "")
+        if not text.strip():
+            return None
+        return cls.parse(text)
+
+    # ------------------------------------------------------------------
+    def should_fire(self, kind: str) -> FaultSpec | None:
+        """Consume one budget token for ``kind`` at an injection site.
+
+        Returns the matching spec (its ``param`` configures the fault)
+        when the fault fires, ``None`` otherwise.
+        """
+        with self._lock:
+            for spec in self.specs:
+                if spec.kind == kind and self._remaining[id(spec)] > 0:
+                    self._remaining[id(spec)] -= 1
+                    self._fired[kind] = self._fired.get(kind, 0) + 1
+                    return spec
+        return None
+
+    def fired(self) -> dict[str, int]:
+        """How many times each kind has actually fired."""
+        with self._lock:
+            return dict(self._fired)
+
+    @property
+    def exhausted(self) -> bool:
+        with self._lock:
+            return all(v == 0 for v in self._remaining.values())
+
+    def __bool__(self) -> bool:
+        return bool(self.specs)

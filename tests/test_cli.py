@@ -102,6 +102,47 @@ class TestCliServe:
         assert main(self.SERVE_ARGS + ["--backend", "process", "--workers", "2"]) == 0
         assert set(active_segment_names()) == before
 
+    def test_serve_stats_lines_and_snapshot(self, capsys):
+        import json
+        import re
+
+        assert main(self.SERVE_ARGS + ["--stats"]) == 0
+        out = capsys.readouterr().out
+        # One periodic line per request (requests=3 -> every request).
+        lines = [l for l in out.splitlines() if l.startswith("[stats]")]
+        assert len(lines) == 3
+        pat = re.compile(
+            r"\[stats\] req=(\d+) p50_ms=[\d.]+ p95_ms=[\d.]+ "
+            r"cache_hit_rate=[\d.]+ fallbacks=(\d+) shm_live=(\d+)"
+        )
+        for i, line in enumerate(lines):
+            m = pat.fullmatch(line)
+            assert m, line
+            assert int(m.group(1)) == i + 1
+            assert m.group(2) == "0"
+        assert "fallbacks         : 0" in out
+        # The final snapshot is a JSON metrics dump.
+        snap = json.loads(out.split("--- metrics ---", 1)[1].split("---", 1)[0])
+        assert snap["counters"]["engine.requests.fused"] == 3
+        assert snap["histograms"]["engine.request_seconds"]["count"] == 3
+
+    def test_serve_trace_json(self, capsys, tmp_path):
+        import json
+
+        trace = tmp_path / "trace.json"
+        assert main(self.SERVE_ARGS + ["--trace-json", str(trace)]) == 0
+        doc = json.loads(trace.read_text())
+        assert doc["version"] == 1
+        assert isinstance(doc["dropped"], int)
+        names = [s["name"] for s in doc["spans"]]
+        assert names.count("request") == 3
+        assert "fused.stage2" in names
+        for span in doc["spans"]:
+            assert set(span) == {
+                "name", "id", "parent", "start", "end", "duration", "attrs"
+            }
+            assert span["end"] >= span["start"]
+
 
 class TestCliRun:
     RUN_ARGS = [
@@ -122,6 +163,44 @@ class TestCliRun:
     def test_run_rejects_unknown_backend(self):
         with pytest.raises(SystemExit):
             main(self.RUN_ARGS + ["--backend", "nope"])
+
+    def test_run_always_emits_stats_block(self, capsys):
+        assert main(self.RUN_ARGS + ["--backend", "fused"]) == 0
+        out = capsys.readouterr().out
+        assert "--- stats ---" in out
+        assert "fallbacks: 0" in out
+        for stage in ("fused.stage1", "fused.stage2", "fused.stage3"):
+            assert stage in out
+
+    def test_run_under_fault_reports_one_fallback(self, capsys, monkeypatch):
+        """The issue's acceptance scenario, via the env-var seam."""
+        monkeypatch.setenv("REPRO_FAULT", "kill-worker:1")
+        assert main(self.RUN_ARGS + [
+            "--backend", "process", "--workers", "2", "--check",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "max |err| vs direct reference" in out  # oracle still passes
+        assert "fallbacks: 1 (process->thread on WorkerCrashError)" in out
+        # Per-stage timings for every stage that actually executed.
+        for stage in ("thread.stage1", "thread.stage1b",
+                      "thread.stage2", "thread.stage3"):
+            assert stage in out
+
+    def test_run_trace_json_and_metrics_snapshot(self, capsys, tmp_path):
+        import json
+
+        trace = tmp_path / "trace.json"
+        assert main(self.RUN_ARGS + [
+            "--backend", "thread", "--workers", "2",
+            "--stats", "--trace-json", str(trace),
+        ]) == 0
+        out = capsys.readouterr().out
+        snap = json.loads(out.split("--- metrics ---", 1)[1])
+        assert snap["counters"]["engine.requests.thread"] == 1
+        doc = json.loads(trace.read_text())
+        assert doc["version"] == 1
+        by_name = {s["name"]: s for s in doc["spans"]}
+        assert len(by_name["thread.stage2"]["attrs"]["worker_seconds"]) == 2
 
     def test_run_unknown_layer(self, capsys):
         assert main(["run", "--network", "VGG", "--layer", "9.9"]) == 2

@@ -228,7 +228,7 @@ class TestEngineConcurrency:
 class TestProcessBackendStress:
     """Fault injection and concurrency on the process-parallel backend."""
 
-    def _executor(self, timeout=60.0):
+    def _executor(self, timeout=60.0, **kwargs):
         from repro.core.blocking import BlockingConfig
         from repro.core.convolution import WinogradPlan
         from repro.core.fmr import FmrSpec
@@ -244,7 +244,7 @@ class TestProcessBackendStress:
         blocking = BlockingConfig(n_blk=6, c_blk=8, cprime_blk=8, simd_width=4)
         return ProcessWinogradExecutor(
             plan=plan, blocking=blocking, n_workers=2, simd_width=4,
-            timeout=timeout,
+            timeout=timeout, **kwargs,
         )
 
     def _data(self):
@@ -269,18 +269,20 @@ class TestProcessBackendStress:
 
     def test_worker_death_is_detected_and_pool_breaks(self):
         """A worker dying mid-stage (simulated via os._exit) must surface
-        as WorkerCrashError within the timeout, and the broken pool must
-        refuse further work instead of hanging."""
+        as WorkerCrashError within the timeout, and -- with self-healing
+        disabled via a zero respawn budget -- the broken pool must refuse
+        further work instead of hanging.  (The respawn path itself is
+        covered by tests/test_fault_injection.py.)"""
         from repro.core.parallel_process import WorkerCrashError
 
         img, ker = self._data()
-        execu = self._executor(timeout=5.0)
+        execu = self._executor(timeout=5.0, respawn_budget=0)
         try:
             execu.execute(img, ker)
             with pytest.raises(WorkerCrashError):
                 execu.pool.inject("exit")
             assert execu.pool.broken
-            with pytest.raises(WorkerCrashError):
+            with pytest.raises(WorkerCrashError, match="respawn budget"):
                 execu.execute(img, ker)
         finally:
             execu.shutdown()
