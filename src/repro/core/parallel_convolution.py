@@ -58,6 +58,12 @@ class ParallelWinogradExecutor:
     #: Observability hooks (see repro.obs); optional and no-op-safe.
     tracer: Tracer | None = None
     metrics: MetricsRegistry | None = None
+    #: Run stage bodies through the compiled C codelets instead of
+    #: numpy.  cffi ABI calls release the GIL, so this is where the
+    #: thread pool stops being merely behavioural and actually scales.
+    #: Requires a working toolchain (raises CompilerUnavailableError
+    #: at construction otherwise -- the engine probes first).
+    use_compiled: bool = False
 
     pool: ForkJoinPool = field(init=False)
 
@@ -75,6 +81,13 @@ class ParallelWinogradExecutor:
         if plan.c_in % self.blocking.c_blk:
             raise ValueError(
                 f"C={plan.c_in} not divisible by C_blk={self.blocking.c_blk}"
+            )
+        self._compiled = None
+        if self.use_compiled:
+            from repro.core.compiled_backend import get_compiled_stages
+
+            self._compiled = get_compiled_stages(
+                plan, self.blocking, s, tracer=self.tracer, metrics=self.metrics
             )
         self.pool = ForkJoinPool(self.n_threads)
         # Static schedules are computed once per executor (compile time).
@@ -123,40 +136,72 @@ class ParallelWinogradExecutor:
         if tuple(images.shape) != plan.input_shape:
             raise ValueError(f"images shape {images.shape} != {plan.input_shape}")
 
-        padded = pad_images(images, plan.padding)
-        all_tiles = extract_tiles(padded, plan.grid)  # (B, C, *counts, *T)
-        b_mats = [t.as_arrays(plan.dtype)[1] for t in plan.transforms.dims]
-        g_mats = [t.as_arrays(plan.dtype)[2] for t in plan.transforms.dims]
-        a_mats = [t.as_arrays(plan.dtype)[0] for t in plan.transforms.dims]
+        compiled = self._compiled
+        if compiled is not None:
+            # The C stages index the grid-padded image directly (they do
+            # their own tile addressing), so the numpy tile extraction
+            # is skipped entirely.
+            padded = np.zeros(
+                (plan.batch, plan.c_in) + plan.grid.padded_input_shape,
+                dtype=plan.dtype,
+            )
+            interior = (slice(None), slice(None)) + tuple(
+                slice(p, p + sz)
+                for p, sz in zip(plan.padding, plan.input_shape[2:])
+            )
+            padded[interior] = images
+            kernels = np.ascontiguousarray(kernels)
+        else:
+            padded = pad_images(images, plan.padding)
+            all_tiles = extract_tiles(padded, plan.grid)  # (B, C, *counts, *T)
+            b_mats = [t.as_arrays(plan.dtype)[1] for t in plan.transforms.dims]
+            g_mats = [t.as_arrays(plan.dtype)[2] for t in plan.transforms.dims]
+            a_mats = [t.as_arrays(plan.dtype)[0] for t in plan.transforms.dims]
 
         n, t = plan.tiles_per_image, plan.t_matrices
         counts = plan.grid.counts
         u = np.zeros((t, plan.gemm_rows, plan.c_in), dtype=plan.dtype)
         v = np.zeros((t, plan.c_in, plan.c_out), dtype=plan.dtype)
         x = np.zeros((t, plan.gemm_rows, plan.c_out), dtype=plan.dtype)
-        out_tiles = np.zeros(
-            (plan.batch, plan.c_out) + counts + plan.spec.m, dtype=plan.dtype
-        )
+        if compiled is not None:
+            # stage3_direct writes the final cropped tensor; every
+            # element is covered by exactly one task, so empty is safe.
+            out = np.empty(
+                (plan.batch, plan.c_out) + plan.grid.output_shape,
+                dtype=plan.dtype,
+            )
+        else:
+            out_tiles = np.zeros(
+                (plan.batch, plan.c_out) + counts + plan.spec.m, dtype=plan.dtype
+            )
 
         # ---- stage 1: input transform ---------------------------------
-        def stage1(tid: int, sl: GridSlice) -> None:
-            for task in sl.tasks():
-                b_idx, cb = task[0], task[1]
-                tile_idx = task[2:]
-                flat_tile = int(np.ravel_multi_index(tile_idx, counts))
-                group = all_tiles[(b_idx, slice(cb * s, (cb + 1) * s)) + tile_idx]
-                transformed = transform_tensor(group, b_mats)  # (S, *T)
-                row = b_idx * n + flat_tile
-                u[:, row, cb * s : (cb + 1) * s] = transformed.reshape(s, t).T
+        if compiled is not None:
+            def stage1(tid: int, sl: GridSlice) -> None:
+                compiled.stage1(padded, u, sl.ranges)
+        else:
+            def stage1(tid: int, sl: GridSlice) -> None:
+                for task in sl.tasks():
+                    b_idx, cb = task[0], task[1]
+                    tile_idx = task[2:]
+                    flat_tile = int(np.ravel_multi_index(tile_idx, counts))
+                    group = all_tiles[(b_idx, slice(cb * s, (cb + 1) * s)) + tile_idx]
+                    transformed = transform_tensor(group, b_mats)  # (S, *T)
+                    row = b_idx * n + flat_tile
+                    u[:, row, cb * s : (cb + 1) * s] = transformed.reshape(s, t).T
 
         self._run_stage("stage1", stage1, self._sched1)
 
         # ---- stage 1b: kernel transform --------------------------------
-        def stage1b(tid: int, sl: GridSlice) -> None:
-            for c_idx, cpb in sl.tasks():
-                group = kernels[c_idx, cpb * s : (cpb + 1) * s]  # (S, *r)
-                transformed = transform_tensor(group, g_mats)  # (S, *T)
-                v[:, c_idx, cpb * s : (cpb + 1) * s] = transformed.reshape(s, t).T
+        if compiled is not None:
+            def stage1b(tid: int, sl: GridSlice) -> None:
+                compiled.stage1b(kernels, v, sl.ranges)
+        else:
+            def stage1b(tid: int, sl: GridSlice) -> None:
+                for c_idx, cpb in sl.tasks():
+                    group = kernels[c_idx, cpb * s : (cpb + 1) * s]  # (S, *r)
+                    transformed = transform_tensor(group, g_mats)  # (S, *T)
+                    v[:, c_idx, cpb * s : (cpb + 1) * s] = transformed.reshape(s, t).T
 
         self._run_stage("stage1b", stage1b, self._sched1b)
 
@@ -164,33 +209,44 @@ class ParallelWinogradExecutor:
         blk = self.blocking
         nb_rows = plan.gemm_rows
 
-        def stage2(tid: int, sl: GridSlice) -> None:
-            for ti, j, i in sl.tasks():
-                rows = slice(i * blk.n_blk, min((i + 1) * blk.n_blk, nb_rows))
-                cols = slice(j * blk.cprime_blk, (j + 1) * blk.cprime_blk)
-                acc = None
-                for k in range(0, plan.c_in, blk.c_blk):
-                    block = u[ti, rows, k : k + blk.c_blk] @ v[ti, k : k + blk.c_blk, cols]
-                    acc = block if acc is None else acc + block
-                x[ti, rows, cols] = acc
+        if compiled is not None:
+            def stage2(tid: int, sl: GridSlice) -> None:
+                compiled.stage2(u, v, x, sl.ranges)
+        else:
+            def stage2(tid: int, sl: GridSlice) -> None:
+                for ti, j, i in sl.tasks():
+                    rows = slice(i * blk.n_blk, min((i + 1) * blk.n_blk, nb_rows))
+                    cols = slice(j * blk.cprime_blk, (j + 1) * blk.cprime_blk)
+                    acc = None
+                    for k in range(0, plan.c_in, blk.c_blk):
+                        block = u[ti, rows, k : k + blk.c_blk] @ v[ti, k : k + blk.c_blk, cols]
+                        acc = block if acc is None else acc + block
+                    x[ti, rows, cols] = acc
 
         self._run_stage("stage2", stage2, self._sched2)
 
         # ---- stage 3: inverse transform --------------------------------
         cp_blocks = plan.c_out // s
 
-        def stage3(tid: int, sl: GridSlice) -> None:
-            for (flat,) in sl.tasks():
-                b_idx, rem = divmod(flat, n * cp_blocks)
-                tile_flat, cpb = divmod(rem, cp_blocks)
-                tile_idx = np.unravel_index(tile_flat, counts)
-                row = b_idx * n + tile_flat
-                group = x[:, row, cpb * s : (cpb + 1) * s]  # (T, S)
-                tiles = group.T.reshape((s,) + plan.spec.tile_shape)
-                inv = transform_tensor(tiles, a_mats)  # (S, *m)
-                out_tiles[(b_idx, slice(cpb * s, (cpb + 1) * s)) + tuple(tile_idx)] = inv
+        if compiled is not None:
+            def stage3(tid: int, sl: GridSlice) -> None:
+                compiled.stage3_direct(x, out, sl.ranges)
+        else:
+            def stage3(tid: int, sl: GridSlice) -> None:
+                for (flat,) in sl.tasks():
+                    b_idx, rem = divmod(flat, n * cp_blocks)
+                    tile_flat, cpb = divmod(rem, cp_blocks)
+                    tile_idx = np.unravel_index(tile_flat, counts)
+                    row = b_idx * n + tile_flat
+                    group = x[:, row, cpb * s : (cpb + 1) * s]  # (T, S)
+                    tiles = group.T.reshape((s,) + plan.spec.tile_shape)
+                    inv = transform_tensor(tiles, a_mats)  # (S, *m)
+                    out_tiles[(b_idx, slice(cpb * s, (cpb + 1) * s)) + tuple(tile_idx)] = inv
 
         self._run_stage("stage3", stage3, self._sched3)
+
+        if compiled is not None:
+            return out
 
         from repro.core.tiling import assemble_output
 

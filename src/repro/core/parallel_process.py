@@ -130,6 +130,11 @@ class WorkerConfig:
     n_workers: int
     schedules: dict[int, tuple[GridSlice, ...]]
     segments: dict[str, SegmentSpec]
+    #: Run stage bodies through the compiled C codelets (workers rebuild
+    #: the stage library from the content-addressed disk cache, so the
+    #: compile cost is paid once machine-wide).  Appended with a default
+    #: so configs pickled before this field still unpickle.
+    use_compiled: bool = False
 
 
 class _WorkerState:
@@ -161,6 +166,11 @@ class _WorkerState:
         self.t = plan.t_matrices
         self.nb = plan.gemm_rows
         self.cp_blocks = plan.c_out // self.s
+        self.compiled = None
+        if cfg.use_compiled:
+            from repro.core.compiled_backend import get_compiled_stages
+
+            self.compiled = get_compiled_stages(plan, cfg.blocking, self.s)
         self.slices = {stage: sched[rank] for stage, sched in cfg.schedules.items()}
         self.attached = attach_segments(cfg.segments)
         # Per-stage/per-worker wall-clock telemetry, written by workers
@@ -197,6 +207,9 @@ class _WorkerState:
 def _stage1(st: _WorkerState) -> None:
     """Input transform: grid ``B x (C/S) x N_1 x ... x N_n``."""
     sl = st.slices[STAGE1]
+    if st.compiled is not None:
+        st.compiled.stage1(st.padded, st.u, sl.ranges)
+        return
     if sl.task_count == 0:
         return
     spec = st.plan.spec
@@ -225,6 +238,9 @@ def _stage1(st: _WorkerState) -> None:
 def _stage1b(st: _WorkerState) -> None:
     """Kernel transform: grid ``C x (C'/S)``."""
     sl = st.slices[STAGE1B]
+    if st.compiled is not None:
+        st.compiled.stage1b(st.kernels, st.v, sl.ranges)
+        return
     if sl.task_count == 0:
         return
     (c0, c1), (p0, p1) = sl.ranges
@@ -244,6 +260,9 @@ def _stage2(st: _WorkerState) -> None:
     executor's so both backends are bit-for-bit comparable.
     """
     sl = st.slices[STAGE2]
+    if st.compiled is not None:
+        st.compiled.stage2(st.u, st.v, st.x, sl.ranges)
+        return
     blk = st.cfg.blocking
     c_in = st.plan.c_in
     u, v, x = st.u, st.v, st.x
@@ -261,6 +280,9 @@ def _stage3(st: _WorkerState) -> None:
     """Inverse transform: 1-D grid ``B*N*C'/S``, vectorized per
     ``(batch, channel-block)`` run."""
     sl = st.slices[STAGE3]
+    if st.compiled is not None:
+        st.compiled.stage3(st.x, st.out_tiles, sl.ranges)
+        return
     (a, b) = sl.ranges[0]
     if b <= a:
         return
@@ -554,6 +576,10 @@ class ProcessWinogradExecutor:
     #: against external writers; required for the corrupt-workspace
     #: fault to be detectable).
     verify_workspace: bool = True
+    #: Run worker stage bodies through the compiled C codelets.  The
+    #: main process builds (or disk-cache-hits) the library up front so
+    #: a missing toolchain fails fast here, not inside the workers.
+    use_compiled: bool = False
 
     def __post_init__(self) -> None:
         plan = self.plan
@@ -595,6 +621,15 @@ class ProcessWinogradExecutor:
                 )
             ),
         }
+        if self.use_compiled:
+            # Build (or disk-cache-hit) the stage library before any
+            # worker spawns: toolchain problems surface here as a
+            # regular exception instead of as N worker init failures.
+            from repro.core.compiled_backend import get_compiled_stages
+
+            get_compiled_stages(
+                plan, self.blocking, s, tracer=self.tracer, metrics=self.metrics
+            )
         b, c, cp = plan.batch, plan.c_in, plan.c_out
         t, nb = plan.t_matrices, plan.gemm_rows
         dtype = plan.dtype
@@ -628,6 +663,7 @@ class ProcessWinogradExecutor:
                 n_workers=self.n_workers,
                 schedules=schedules,
                 segments=self.arena.spec(),
+                use_compiled=self.use_compiled,
             )
             self._cfg = cfg  # kept for pool respawns (self-healing)
             self.pool = ProcessForkJoinPool(

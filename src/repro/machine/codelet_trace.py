@@ -61,14 +61,23 @@ def schedule_ops(ops):
 def codelet_to_trace(codelet: Codelet, *, streaming_stores: bool = True) -> list[Instr]:
     """Lower a codelet's op list to scheduled pipeline instructions."""
     trace: list[Instr] = []
+    rename: dict[str, str] = {}
+
+    def _resolve(names):
+        return tuple(rename.get(a, a) for a in names)
+
     for op in schedule_ops(codelet.ops):
-        if op.kind == "load":
+        if op.kind == "alias":
+            # Zero-cost register rename: no instruction, just redirect
+            # later readers to the original value.
+            rename[op.dst] = rename.get(op.args[0], op.args[0])
+        elif op.kind == "load":
             trace.append(Instr(InstrKind.LOAD, dst=op.dst, level=MemLevel.L1))
         elif op.kind == "store":
             kind = InstrKind.STREAM_STORE if streaming_stores else InstrKind.STORE
-            trace.append(Instr(kind, srcs=op.args))
+            trace.append(Instr(kind, srcs=_resolve(op.args)))
         elif op.kind in ("add", "sub", "mul", "fma", "neg"):
-            trace.append(Instr(InstrKind.FMA, dst=op.dst, srcs=op.args))
+            trace.append(Instr(InstrKind.FMA, dst=op.dst, srcs=_resolve(op.args)))
         else:  # pragma: no cover - codelet op kinds are closed
             raise ValueError(f"unknown codelet op kind {op.kind!r}")
     return trace

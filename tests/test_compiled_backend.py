@@ -1,0 +1,249 @@
+"""Unit tests for the compiled-C codelet backend.
+
+The differential harness (``test_differential.py``) pins the compiled
+executors' *outputs* to every other executor; this module tests the
+machinery itself: source generation determinism, the disk/in-process
+build caches, the FX (pre-transformed kernels) path, bitwise
+reproducibility across executors that share the translation unit,
+engine plan-cache eviction, and the no-toolchain error surface.
+
+Everything except the error-surface tests is skipped on hosts without
+a C compiler -- where the engine's fallback behavior is exercised
+instead (see ``test_differential.test_compiled_fallback_is_visible_and_correct``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.blocking import BlockingConfig
+from repro.core.codegen_c import render_plan_source
+from repro.core.compiled_backend import (
+    CompiledWinogradExecutor,
+    CompilerUnavailableError,
+    build_cache_dir,
+    clear_compiled_caches,
+    compiled_available,
+    get_compiled_stages,
+    probe_toolchain,
+    source_digest,
+)
+from repro.core.convolution import WinogradPlan
+from repro.core.engine import ConvolutionEngine
+from repro.core.fmr import FmrSpec
+from repro.core.parallel_convolution import ParallelWinogradExecutor
+from repro.core.parallel_process import ProcessWinogradExecutor
+from repro.obs.metrics import MetricsRegistry
+
+needs_cc = pytest.mark.skipif(
+    not compiled_available(), reason="no C toolchain/cffi on this host"
+)
+
+BLK = BlockingConfig(n_blk=6, c_blk=16, cprime_blk=16, simd_width=8)
+SPEC = FmrSpec(m=(4, 4), r=(3, 3))
+
+
+def _plan(dtype=np.float32, spatial=(10, 10), channels=16, c_out=16):
+    return WinogradPlan(
+        spec=SPEC,
+        input_shape=(2, channels) + spatial,
+        c_out=c_out,
+        padding=(1, 1),
+        dtype=np.dtype(dtype),
+    )
+
+
+def _data(plan, seed=0):
+    rng = np.random.default_rng(seed)
+    img = rng.standard_normal(plan.input_shape).astype(plan.dtype)
+    ker = (
+        rng.standard_normal((plan.c_in, plan.c_out) + plan.spec.r) * 0.2
+    ).astype(plan.dtype)
+    return img, ker
+
+
+# ----------------------------------------------------------------------
+# Code generation
+# ----------------------------------------------------------------------
+def test_codegen_is_deterministic():
+    """Same plan + blocking -> byte-identical C source and cdef (the
+    content-addressed build cache depends on this)."""
+    a = render_plan_source(_plan(), BLK, 8)
+    b = render_plan_source(_plan(), BLK, 8)
+    assert a.c_source == b.c_source
+    assert a.cdef == b.cdef
+    assert a.real_type == "float"
+    assert render_plan_source(_plan(np.float64), BLK, 8).real_type == "double"
+
+
+def test_codegen_distinguishes_geometry():
+    """Different geometry must produce different source (else the build
+    cache would alias two plans onto one library)."""
+    base = render_plan_source(_plan(), BLK, 8).c_source
+    assert render_plan_source(_plan(spatial=(12, 12)), BLK, 8).c_source != base
+    assert render_plan_source(_plan(np.float64), BLK, 8).c_source != base
+    other_blk = BlockingConfig(n_blk=8, c_blk=8, cprime_blk=8, simd_width=8)
+    assert render_plan_source(_plan(), other_blk, 8).c_source != base
+
+
+# ----------------------------------------------------------------------
+# Build cache
+# ----------------------------------------------------------------------
+@needs_cc
+def test_build_caches(tmp_path, monkeypatch):
+    """First build compiles, second load in-process memoizes, and a
+    fresh process (simulated by clearing the memo) hits the disk."""
+    monkeypatch.setenv("REPRO_CODELET_CACHE", str(tmp_path / "codelets"))
+    clear_compiled_caches()
+    try:
+        plan = _plan()
+        metrics = MetricsRegistry()
+        s1 = get_compiled_stages(plan, BLK, 8, metrics=metrics)
+        assert metrics.counter_value("codelet_compile.builds") == 1
+        assert build_cache_dir() == tmp_path / "codelets"
+        gen = render_plan_source(plan, BLK, 8)
+        digest = source_digest(gen.c_source, probe_toolchain())
+        assert (tmp_path / "codelets" / f"wino_{digest}.so").exists()
+        assert (tmp_path / "codelets" / f"wino_{digest}.c").exists()
+
+        s2 = get_compiled_stages(plan, BLK, 8, metrics=metrics)
+        assert s2 is s1
+        assert metrics.counter_value("codelet_compile.memo_hits") == 1
+
+        clear_compiled_caches()  # drop dlopen memo, keep the disk cache
+        s3 = get_compiled_stages(plan, BLK, 8, metrics=metrics)
+        assert s3 is not s1
+        assert metrics.counter_value("codelet_compile.disk_hits") == 1
+        assert metrics.counter_value("codelet_compile.builds") == 1
+    finally:
+        clear_compiled_caches()
+
+
+# ----------------------------------------------------------------------
+# Executor semantics
+# ----------------------------------------------------------------------
+@needs_cc
+def test_fx_path_matches_stage1b():
+    """Pre-transformed kernels (the engine's memoized FX path) must give
+    bitwise the same result as running compiled stage 1b on raw
+    kernels: stage 2 consumes the identical V layout either way."""
+    plan = _plan(np.float64)
+    img, ker = _data(plan)
+    with CompiledWinogradExecutor(plan=plan, blocking=BLK, simd_width=8) as ex:
+        y_raw = ex.execute(img, ker)
+        y_fx = ex.execute(img, plan.transform_kernels(ker))
+    # Not array_equal: stage 1b in C and the numpy kernel transform
+    # round differently; but both V tensors are the same math.
+    np.testing.assert_allclose(y_fx, y_raw, atol=1e-12, rtol=0)
+    assert y_fx.shape == (plan.batch, plan.c_out) + plan.grid.output_shape
+
+
+@needs_cc
+def test_repeat_and_cross_executor_bitwise():
+    """Same translation unit, fixed arithmetic order: repeated runs and
+    every executor that slices the compiled stages (sequential, thread
+    pool, worker processes) must agree to the bit."""
+    plan = _plan()
+    img, ker = _data(plan, seed=5)
+    with CompiledWinogradExecutor(plan=plan, blocking=BLK, simd_width=8) as ex:
+        y1 = ex.execute(img, ker)
+        y2 = ex.execute(img, ker)
+    np.testing.assert_array_equal(y1, y2)
+
+    thread = ParallelWinogradExecutor(
+        plan=plan, blocking=BLK, n_threads=2, simd_width=8, use_compiled=True
+    )
+    try:
+        yt = thread.execute(img, ker)
+    finally:
+        thread.shutdown()
+    np.testing.assert_array_equal(yt, y1)
+
+    with ProcessWinogradExecutor(
+        plan=plan, blocking=BLK, n_workers=2, simd_width=8, use_compiled=True
+    ) as proc:
+        yp = proc.execute(img, ker)
+    np.testing.assert_array_equal(yp, y1)
+
+
+@needs_cc
+def test_engine_backend_and_eviction():
+    """backend="compiled" flows through the engine's plan cache; evicting
+    the entry releases the executor workspace and a re-request rebuilds
+    it from the (memoized) library without recompiling."""
+    metrics = MetricsRegistry()
+    with ConvolutionEngine(metrics=metrics) as engine:
+        plan = _plan()
+        img, ker = _data(plan, seed=9)
+        y1 = engine.run(
+            img, ker, fmr=SPEC, padding=(1, 1), backend="compiled"
+        )
+        assert metrics.counter_value("engine.fallbacks") == 0
+        before = engine.plans.stats.bytes_cached
+        assert before > 0
+
+        engine.plans.clear()  # eviction path: entry.release()
+        assert engine.plans.stats.bytes_cached == 0
+
+        y2 = engine.run(
+            img, ker, fmr=SPEC, padding=(1, 1), backend="compiled"
+        )
+        np.testing.assert_array_equal(y1, y2)
+        # The rebuilt entry found the dlopen'd library in the memo (or
+        # at worst the disk cache) -- never a second compile.
+        assert metrics.counter_value("codelet_compile.builds") <= 1
+
+
+@needs_cc
+def test_executor_rejects_bad_shapes():
+    plan = _plan()
+    img, ker = _data(plan)
+    with CompiledWinogradExecutor(plan=plan, blocking=BLK, simd_width=8) as ex:
+        with pytest.raises(ValueError, match="images shape"):
+            ex.execute(img[:, :, :-1], ker)
+        with pytest.raises(ValueError, match="kernels shape"):
+            ex.execute(img, ker[:, :, :-1])
+
+
+# ----------------------------------------------------------------------
+# No-toolchain error surface
+# ----------------------------------------------------------------------
+def test_masked_toolchain_raises(monkeypatch):
+    """CC=/bin/false deterministically masks the toolchain: the probe
+    fails, direct construction raises, and availability is False --
+    without disturbing the real probe result afterwards."""
+    monkeypatch.setenv("CC", "/bin/false")
+    clear_compiled_caches()
+    try:
+        assert probe_toolchain() is None
+        assert not compiled_available()
+        plan = _plan()
+        with pytest.raises(CompilerUnavailableError):
+            get_compiled_stages(plan, BLK, 8)
+        with pytest.raises(CompilerUnavailableError):
+            CompiledWinogradExecutor(plan=plan, blocking=BLK, simd_width=8)
+        with pytest.raises(CompilerUnavailableError):
+            ParallelWinogradExecutor(
+                plan=plan, blocking=BLK, n_threads=2, simd_width=8,
+                use_compiled=True,
+            )
+    finally:
+        clear_compiled_caches()
+
+
+def test_probe_is_per_compiler(monkeypatch):
+    """The probe caches per $CC value, so flipping CC re-probes instead
+    of serving a stale capability verdict."""
+    clear_compiled_caches()
+    try:
+        # Baseline = whatever PATH offers, independent of an ambient $CC
+        # (the no-compiler CI lane exports CC=/bin/false globally).
+        monkeypatch.delenv("CC", raising=False)
+        real = probe_toolchain()
+        monkeypatch.setenv("CC", "/bin/false")
+        assert probe_toolchain() is None
+        monkeypatch.delenv("CC")
+        assert probe_toolchain() == real
+    finally:
+        clear_compiled_caches()

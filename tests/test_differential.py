@@ -1,6 +1,6 @@
 """Differential harness: every executor agrees with every other.
 
-The repo now has five ways to evaluate the same convolution:
+The repo now has seven ways to evaluate the same convolution:
 
 1. the sequential :class:`WinogradPlan` pipeline (the reference
    implementation of the paper's Table-1 algorithm),
@@ -9,22 +9,31 @@ The repo now has five ways to evaluate the same convolution:
 4. the thread-parallel executor (static GCD schedule on a fork-join
    thread pool),
 5. the process-parallel executor (same schedule, worker processes over
-   shared memory).
+   shared memory),
+6. the compiled-C sequential executor (generated codelets, cffi), and
+7. the thread-parallel executor with compiled stage bodies
+   (6 and 7 join the matrix only on hosts with a C toolchain).
 
 This matrix pins them to each other across dimensionality, odd edge
 tiles, anisotropic tiles and dtypes.  Two tolerance classes:
 
-* **bitwise** -- thread vs process: both run the identical stage bodies
-  (same block-K loop, same per-element summation order), so their
-  outputs must be ``array_equal``, not merely close;
+* **bitwise** -- thread vs process, and sequential-compiled vs
+  thread-compiled: each pair runs the identical stage bodies (same
+  block-K loop, same per-element summation order), so their outputs
+  must be ``array_equal``, not merely close;
 * **tight allclose** -- everything else: the executors associate the
   linear maps differently (Kronecker vs mode-n products, blocked vs
-  flat K summation), which is the same math in a different order, so
-  only floating-point associativity separates them.
+  flat K summation, FMA contraction in the generated C), which is the
+  same math in a different rounding order.
 
-The ``slow``-marked fuzz test drives the process backend against the
+The ``slow``-marked fuzz test drives the process backend -- and the
+compiled executor, when a toolchain exists -- against the
 direct-convolution oracle on randomized shapes (hypothesis when
 available, seeded stdlib ``random`` otherwise).
+
+``test_compiled_fallback_is_visible_and_correct`` masks the toolchain
+with ``CC=/bin/false`` and checks the engine degrades to the fused
+path correctly *and observably* (fallback counters tick).
 """
 
 from __future__ import annotations
@@ -35,12 +44,18 @@ import numpy as np
 import pytest
 
 from repro.core.blocking import BlockingConfig
+from repro.core.compiled_backend import (
+    CompiledWinogradExecutor,
+    clear_compiled_caches,
+    compiled_available,
+)
 from repro.core.convolution import WinogradPlan
 from repro.core.engine import ConvolutionEngine, parallel_simd_width
 from repro.core.fmr import FmrSpec
 from repro.core.parallel_convolution import ParallelWinogradExecutor
 from repro.core.parallel_process import ProcessWinogradExecutor
 from repro.nets.reference import direct_convolution
+from repro.obs.metrics import MetricsRegistry
 
 try:
     from hypothesis import given, settings
@@ -70,8 +85,12 @@ def _data(batch, channels, spatial, spec, dtype, seed=0):
     return img, ker
 
 
-def _all_five(spec, img, ker, padding, dtype):
-    """Run every executor, return {name: output} plus the plan."""
+def _all_executors(spec, img, ker, padding, dtype):
+    """Run every executor, return {name: output}.
+
+    The two compiled variants join only when the host can build
+    codelets; on toolchain-less hosts the matrix is the original five.
+    """
     plan = WinogradPlan(
         spec=spec, input_shape=img.shape, c_out=ker.shape[1],
         padding=padding, dtype=np.dtype(dtype),
@@ -94,6 +113,19 @@ def _all_five(spec, img, ker, padding, dtype):
         plan=plan, blocking=BLK, n_workers=2, simd_width=8
     ) as proc:
         outs["process"] = proc.execute(img, ker)
+    if compiled_available():
+        with CompiledWinogradExecutor(
+            plan=plan, blocking=BLK, simd_width=8
+        ) as comp:
+            outs["compiled"] = comp.execute(img, ker)
+        tc = ParallelWinogradExecutor(
+            plan=plan, blocking=BLK, n_threads=2, simd_width=8,
+            use_compiled=True,
+        )
+        try:
+            outs["thread-compiled"] = tc.execute(img, ker)
+        finally:
+            tc.shutdown()
     return outs
 
 
@@ -104,7 +136,7 @@ def _all_five(spec, img, ker, padding, dtype):
 )
 def test_executor_matrix(spec, batch, channels, spatial, padding, dtype):
     img, ker = _data(batch, channels, spatial, spec, dtype)
-    outs = _all_five(spec, img, ker, padding, dtype)
+    outs = _all_executors(spec, img, ker, padding, dtype)
 
     ref = direct_convolution(
         img.astype(np.float64), ker.astype(np.float64), padding
@@ -125,11 +157,20 @@ def test_executor_matrix(spec, batch, channels, spatial, padding, dtype):
         outs["process"], outs["thread"],
         err_msg="process and thread backends must agree bitwise",
     )
+    if "compiled" in outs:
+        # One translation unit, fixed per-output arithmetic order: the
+        # thread pool slicing the same C stages must not change a bit.
+        np.testing.assert_array_equal(
+            outs["thread-compiled"], outs["compiled"],
+            err_msg="thread-compiled and compiled executors must agree bitwise",
+        )
 
     # Tight class: same math, different association order.
     pair_atol = 1e-12 * scale if np.dtype(dtype) == np.float64 else 1e-5 * scale
     base = outs["sequential"].astype(np.float64)
-    for name in ("fused", "blocked", "thread"):
+    for name in ("fused", "blocked", "thread", "compiled"):
+        if name not in outs:
+            continue
         np.testing.assert_allclose(
             outs[name].astype(np.float64), base, atol=pair_atol, rtol=0,
             err_msg=f"{name} vs sequential plan",
@@ -141,12 +182,45 @@ def test_executor_matrix_repeatable():
     bleed through the pools, arenas or caches)."""
     spec, batch, channels, spatial, padding, dtype = CASES[1][1:]
     img, ker = _data(batch, channels, spatial, spec, dtype, seed=3)
-    first = _all_five(spec, img, ker, padding, dtype)
-    second = _all_five(spec, img, ker, padding, dtype)
+    first = _all_executors(spec, img, ker, padding, dtype)
+    second = _all_executors(spec, img, ker, padding, dtype)
     for name in first:
         np.testing.assert_array_equal(
             first[name], second[name], err_msg=f"{name} not deterministic"
         )
+
+
+def test_compiled_fallback_is_visible_and_correct(monkeypatch):
+    """With the toolchain masked (``CC=/bin/false``), a compiled-backend
+    request must still return the right convolution -- via the fused
+    path -- and the reroute must be observable in the metrics."""
+    spec, batch, channels, spatial, padding, dtype = CASES[0][1:]
+    img, ker = _data(batch, channels, spatial, spec, dtype, seed=7)
+
+    monkeypatch.setenv("CC", "/bin/false")
+    clear_compiled_caches()
+    try:
+        metrics = MetricsRegistry()
+        with ConvolutionEngine(metrics=metrics) as engine:
+            y = engine.run(
+                img, ker, fmr=spec, padding=padding, dtype=dtype,
+                backend="compiled",
+            )
+        assert metrics.counter_value("engine.fallbacks.compiled_to_fused") == 1
+        assert metrics.counter_value("engine.fallbacks") == 1
+    finally:
+        # Drop the poisoned probe result so later tests re-probe the
+        # real toolchain (monkeypatch restores $CC on exit).
+        clear_compiled_caches()
+
+    ref = direct_convolution(
+        img.astype(np.float64), ker.astype(np.float64), padding
+    )
+    scale = float(np.abs(ref).max())
+    np.testing.assert_allclose(
+        y.astype(np.float64), ref, atol=1e-10 * scale, rtol=0,
+        err_msg="fallback result vs direct oracle",
+    )
 
 
 # ----------------------------------------------------------------------
@@ -176,11 +250,24 @@ def _fuzz_one(ndim, m, channels, c_out, batch, size, pad):
         img.astype(np.float64), ker.astype(np.float64), padding
     )
     scale = float(np.abs(ref).max()) or 1.0
+    shape_msg = (f"ndim={ndim} m={m} C={channels} C'={c_out} B={batch} "
+                 f"I={spatial} P={padding}")
     np.testing.assert_allclose(
         y.astype(np.float64), ref, atol=5e-4 * scale, rtol=0,
-        err_msg=f"process backend vs oracle: ndim={ndim} m={m} C={channels} "
-                f"C'={c_out} B={batch} I={spatial} P={padding}",
+        err_msg=f"process backend vs oracle: {shape_msg}",
     )
+    if compiled_available():
+        # Same shapes through the generated C: the codegen has its own
+        # edge cases (cropped tails, non-power-of-two S fallback), so
+        # the fuzzer drives it against the oracle too.
+        with CompiledWinogradExecutor(
+            plan=plan, blocking=blocking, simd_width=simd
+        ) as comp:
+            yc = comp.execute(img, ker)
+        np.testing.assert_allclose(
+            yc.astype(np.float64), ref, atol=5e-4 * scale, rtol=0,
+            err_msg=f"compiled backend vs oracle: {shape_msg}",
+        )
 
 
 if HAVE_HYPOTHESIS:
