@@ -140,7 +140,7 @@ def _bench_layer(layer, repeats: int) -> dict:
     }
 
 
-def test_compiled_backend_speedup(benchmark, results_dir):
+def test_compiled_backend_speedup(benchmark, results_dir, bench_header):
     """[real] compiled C stages vs warm fused-numpy across Table-2."""
     if not compiled_available():
         pytest.skip("no C toolchain/cffi: compiled backend falls back to fused")
@@ -187,8 +187,8 @@ def test_compiled_backend_speedup(benchmark, results_dir):
     print(f"executor-level geomean speedup: {geomean:.2f}x")
 
     payload = {
+        **bench_header,
         "smoke": SMOKE,
-        "host_cores": os.cpu_count(),
         "scaling": scaling,
         "repeats": repeats,
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),

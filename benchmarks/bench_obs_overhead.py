@@ -50,7 +50,7 @@ def _warm_latency(engine, images, kernels, padding, iters):
     return samples[len(samples) // 2]
 
 
-def test_obs_overhead(results_dir):
+def test_obs_overhead(results_dir, bench_header):
     """[real] tracer+metrics cost on the warm fused path."""
     iters = 10 if SMOKE else 40
     repeats = 2 if SMOKE else 3
@@ -90,6 +90,7 @@ def test_obs_overhead(results_dir):
     print(format_table(["config", "warm_ms[real]", "vs_baseline"], rows))
 
     payload = {
+        **bench_header,
         "layer": layer.label,
         "iters": iters,
         "smoke": SMOKE,

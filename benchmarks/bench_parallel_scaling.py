@@ -68,7 +68,7 @@ def _worker_counts(cores: int) -> list[int]:
     return sorted(counts)
 
 
-def test_parallel_scaling(benchmark, results_dir):
+def test_parallel_scaling(benchmark, results_dir, bench_header):
     """[real] sequential vs thread vs process wall clock across workers."""
     cores = os.cpu_count() or 1
     repeats = 2 if SMOKE else 5
@@ -172,8 +172,8 @@ def test_parallel_scaling(benchmark, results_dir):
     ))
 
     payload = {
+        **bench_header,
         "smoke": SMOKE,
-        "host_cores": cores,
         "layer": layer.label,
         "scaled_shape": f"B{layer.batch} {layer.c_in}->{layer.c_out}"
                         f"@{'x'.join(map(str, layer.image))}",

@@ -64,7 +64,7 @@ def _mintime(fn, repeats, setup=None):
     return best
 
 
-def test_serving_throughput(benchmark, results_dir):
+def test_serving_throughput(benchmark, results_dir, bench_header):
     """[real] cold one-shot vs warm engine latency and sustained req/s."""
     scalings = _LAYER_SCALING[:1] if SMOKE else _LAYER_SCALING
     cold_repeats = 2 if SMOKE else 4
@@ -156,7 +156,7 @@ def test_serving_throughput(benchmark, results_dir):
     print("\nServing path [real] -- cold one-shot vs warm engine")
     print(format_table(headers, rows))
 
-    payload = {"smoke": SMOKE, "layers": records}
+    payload = {**bench_header, "smoke": SMOKE, "layers": records}
     out = results_dir / "BENCH_serving.json"
     out.write_text(json.dumps(payload, indent=2))
     print(f"wrote {out}")

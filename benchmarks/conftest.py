@@ -14,6 +14,10 @@ The two are never mixed in one table.
 from __future__ import annotations
 
 import atexit
+import os
+import subprocess
+import sys
+import time
 from pathlib import Path
 
 import pytest
@@ -22,6 +26,54 @@ from repro.util.wisdom import Wisdom
 
 RESULTS_DIR = Path(__file__).parent / "results"
 WISDOM_PATH = RESULTS_DIR / "wisdom.json"
+
+
+def make_bench_header() -> dict:
+    """Provenance header shared by every ``BENCH_*.json`` emitter.
+
+    Records what produced the numbers (git sha, host core count,
+    python/numpy versions, the C compiler if any) so result files from
+    different checkouts and hosts are comparable -- or visibly not.
+    """
+    import numpy
+
+    def _git_sha() -> str:
+        try:
+            return subprocess.run(
+                ["git", "rev-parse", "HEAD"],
+                cwd=Path(__file__).parent, capture_output=True, text=True,
+                timeout=10, check=True,
+            ).stdout.strip()
+        except (OSError, subprocess.SubprocessError):
+            return "unknown"
+
+    def _cc_version() -> str | None:
+        for cc in (os.environ.get("CC"), "cc", "gcc", "clang"):
+            if not cc:
+                continue
+            try:
+                out = subprocess.run(
+                    [cc, "--version"], capture_output=True, text=True,
+                    timeout=10, check=True,
+                ).stdout
+                return out.splitlines()[0] if out else cc
+            except (OSError, subprocess.SubprocessError):
+                continue
+        return None
+
+    return {
+        "git_sha": _git_sha(),
+        "host_cores": os.cpu_count(),
+        "python": sys.version.split()[0],
+        "numpy": numpy.__version__,
+        "cc": _cc_version(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+    }
+
+
+@pytest.fixture(scope="session")
+def bench_header() -> dict:
+    return make_bench_header()
 
 
 @pytest.fixture(scope="session")

@@ -49,14 +49,59 @@ class ConvImplementation(ABC):
         """Simulated runtime of one layer invocation."""
 
     def execute(
-        self, images: np.ndarray, kernels: np.ndarray, layer: ConvLayerSpec
+        self,
+        images: np.ndarray,
+        kernels: np.ndarray,
+        layer: ConvLayerSpec,
+        out: np.ndarray | None = None,
     ) -> np.ndarray:
         """Real numpy execution (semantics identical to the reference).
 
-        Model-only comparators (GPU rooflines) raise
-        ``NotImplementedError``.
+        ``out``, when given, receives the result in place (the engine's
+        arena/out= calling convention -- warm serving writes straight
+        into the caller's buffer instead of allocating).  Model-only
+        comparators (GPU rooflines) raise ``NotImplementedError``.
         """
         raise NotImplementedError(f"{self.name} is a performance model only")
+
+    # -- warm-serving hooks (the engine's FX analog) --------------------
+    def prepare_kernels(self, kernels: np.ndarray, layer: ConvLayerSpec) -> object:
+        """One-time kernel-side precomputation, memoizable per kernel tensor.
+
+        What the engine caches per kernel fingerprint so warm requests
+        skip it -- the counterpart of the Winograd path's memoized kernel
+        transform.  The default is the identity (direct convolution has
+        no kernel-side work); FFT returns the conjugate kernel spectrum,
+        im2col the reshaped GEMM operand.
+        """
+        return kernels
+
+    def execute_prepared(
+        self,
+        images: np.ndarray,
+        prepared: object,
+        layer: ConvLayerSpec,
+        out: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Execute against the product of :meth:`prepare_kernels`."""
+        return self.execute(images, prepared, layer, out=out)
+
+    @staticmethod
+    def finish(result: np.ndarray, out: np.ndarray | None) -> np.ndarray:
+        """Deliver ``result`` through the ``out=`` convention.
+
+        ``result`` may be any array expression (including a lazy view);
+        with ``out`` given the materializing copy lands directly in the
+        caller's buffer.
+        """
+        if out is None:
+            return np.ascontiguousarray(result)
+        if tuple(out.shape) != tuple(result.shape):
+            raise ValueError(
+                f"out buffer has shape {out.shape}, expected {result.shape}"
+            )
+        np.copyto(out, result, casting="same_kind")
+        return out
 
     def check_layer_arrays(
         self, images: np.ndarray, kernels: np.ndarray, layer: ConvLayerSpec

@@ -72,11 +72,12 @@ class DirectConvBaseline(ConvImplementation):
         )
         return max(compute_s, traffic.seconds(self.machine))
 
-    def execute(self, images, kernels, layer):
+    def execute(self, images, kernels, layer, out=None):
         self.check_layer_arrays(images, kernels, layer)
-        return direct_convolution(
+        result = direct_convolution(
             images, kernels, padding=layer.padding, dtype=np.float32
         )
+        return self.finish(result, out)
 
 
 def mkldnn_direct(machine: MachineSpec = KNL_7210) -> DirectConvBaseline:

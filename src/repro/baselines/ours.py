@@ -76,9 +76,10 @@ class OursWinograd(ConvImplementation):
             transform_kernels=not self.inference_only,
         ).seconds
 
-    def execute(self, images, kernels, layer):
+    def execute(self, images, kernels, layer, out=None):
         self.check_layer_arrays(images, kernels, layer)
-        return winograd_convolution(
+        result = winograd_convolution(
             images, kernels, self._fmr(layer), padding=layer.padding,
             dtype=np.float32,
         )
+        return self.finish(result, out)

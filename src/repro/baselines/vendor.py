@@ -90,13 +90,14 @@ class WinogradLibraryBaseline(ConvImplementation):
         )
         return model.layer_cost(layer, fmr, tune.blocking).seconds
 
-    def execute(self, images, kernels, layer):
+    def execute(self, images, kernels, layer, out=None):
         self.supports(layer)
         self.check_layer_arrays(images, kernels, layer)
-        return winograd_convolution(
+        result = winograd_convolution(
             images, kernels, self._fmr(layer), padding=layer.padding,
             dtype=np.float32,
         )
+        return self.finish(result, out)
 
 
 def falcon(machine: MachineSpec = KNL_7210) -> WinogradLibraryBaseline:

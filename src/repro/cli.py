@@ -41,6 +41,7 @@ from repro.baselines import (
 )
 from repro.core.autotune import DEFAULT_N_BLK_VALUES, autotune_layer
 from repro.core.engine import BACKENDS as ENGINE_BACKENDS
+from repro.core.portfolio import ALGORITHMS as ENGINE_ALGORITHMS
 from repro.core.fmr import FmrSpec
 from repro.machine.spec import KNL_7210
 from repro.nets.layers import TABLE2_LAYERS, get_layer
@@ -289,7 +290,8 @@ def cmd_serve(args) -> int:
         image_divisor=args.image_divisor,
     )
     engine = ConvolutionEngine(
-        wisdom_path=args.wisdom, backend=args.backend, n_workers=args.workers
+        wisdom_path=args.wisdom, backend=args.backend, n_workers=args.workers,
+        algorithm=args.algorithm,
     )
     rng = np.random.default_rng(0)
     images = rng.standard_normal(
@@ -330,6 +332,10 @@ def cmd_serve(args) -> int:
         print(f"backend           : {args.backend}"
               + (f" ({engine.n_workers} workers)"
                  if args.backend in ("thread", "process") else ""))
+        print(f"algorithm         : {args.algorithm}")
+        for d in engine.algorithm_decisions():
+            print(f"  decision        : {d['algorithm']} (source: {d['source']}, "
+                  f"kernel {'x'.join(map(str, d['kernel_shape'][2:]))})")
         print(f"requests          : {args.requests}")
         print(f"first-call latency: {latencies[0] * 1e3:.2f} ms")
         print(f"warm p50 / p95    : {pct(50):.2f} / {pct(95):.2f} ms")
@@ -390,7 +396,9 @@ def cmd_run(args) -> int:
         rng.standard_normal((layer.c_in, layer.c_out) + layer.kernel) * 0.05
     ).astype(np.float32)
 
-    with ConvolutionEngine(backend=args.backend, n_workers=args.workers) as engine:
+    with ConvolutionEngine(
+        backend=args.backend, n_workers=args.workers, algorithm=args.algorithm
+    ) as engine:
         t0 = time.perf_counter()
         out = engine.run(images, kernels, padding=layer.padding)
         elapsed = time.perf_counter() - t0
@@ -398,12 +406,15 @@ def cmd_run(args) -> int:
         # Snapshot while pools/segments are still alive so shm gauges
         # reflect the serving state, not the post-close teardown.
         stats = engine.stats()
+        decisions = engine.algorithm_decisions()
         tracer = engine.tracer
 
     print(f"layer    : {layer.label} (scaled: B={layer.batch} C={layer.c_in} "
           f"C'={layer.c_out} I={'x'.join(map(str, layer.image))})")
     print(f"backend  : {args.backend}"
           + (f" ({workers} workers)" if args.backend in ("thread", "process") else ""))
+    print(f"algorithm: {args.algorithm}"
+          + "".join(f" -> {d['algorithm']} ({d['source']})" for d in decisions))
     print(f"output   : shape {tuple(out.shape)}, checksum {float(out.sum()):+.6e}")
     print(f"wall time: {elapsed * 1e3:.2f} ms")
     _print_run_stats(stats, tracer)
@@ -494,6 +505,10 @@ def build_parser() -> argparse.ArgumentParser:
                     help="execution backend (process = true parallelism; "
                          "compiled = C codelets, falls back to fused "
                          "without a toolchain)")
+    sv.add_argument("--algorithm", choices=["auto"] + list(ENGINE_ALGORITHMS),
+                    default="winograd",
+                    help="convolution algorithm; 'auto' lets the portfolio "
+                         "planner pick per shape (predict -> probe -> wisdom)")
     sv.add_argument("--workers", type=int, default=None,
                     help="worker count for thread/process backends "
                          "(default: host core count)")
@@ -515,6 +530,10 @@ def build_parser() -> argparse.ArgumentParser:
     rn.add_argument("--backend", choices=list(ENGINE_BACKENDS), default="fused",
                     help="execution backend (compiled falls back to fused "
                          "without a C toolchain)")
+    rn.add_argument("--algorithm", choices=["auto"] + list(ENGINE_ALGORITHMS),
+                    default="winograd",
+                    help="convolution algorithm; 'auto' engages the portfolio "
+                         "planner")
     rn.add_argument("--workers", type=int, default=None)
     rn.add_argument("--seed", type=int, default=0)
     rn.add_argument("--check", action="store_true",

@@ -73,6 +73,12 @@ from repro.core.parallel_process import (
     WorkerError,
     WorkspaceCorruptionError,
 )
+from repro.core.portfolio import (
+    ALGORITHMS,
+    AlgorithmChoice,
+    PortfolioPlanner,
+    make_baseline,
+)
 from repro.core.shm import live_segment_count
 from repro.core.transforms import clear_transform_caches
 from repro.machine.spec import KNL_7210, MachineSpec
@@ -215,15 +221,23 @@ def default_parallel_blocking(c_in: int, c_out: int, simd: int) -> BlockingConfi
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class PlanKey:
-    """Full signature of a planned convolution (the LRU key)."""
+    """Full signature of a planned convolution (the LRU key).
 
-    spec: FmrSpec
+    Winograd plans carry their ``FmrSpec``; baseline-algorithm plans
+    (``algorithm != "winograd"``) have no tile spec, so ``spec`` is
+    ``None`` and the kernel's spatial extent -- which the spec would
+    otherwise encode -- is keyed explicitly via ``kernel``.
+    """
+
+    spec: FmrSpec | None
     input_shape: tuple[int, ...]
     c_out: int
     padding: tuple[int, ...]
     dtype: str
     blocking: BlockingConfig | None = None  # None: fused numpy fast path
-    backend: str = "fused"  # fused | blocked | thread | process
+    backend: str = "fused"  # fused | blocked | thread | process | compiled
+    algorithm: str = "winograd"  # winograd | fft | direct | im2col
+    kernel: tuple[int, ...] | None = None  # baseline plans only
 
 
 @dataclass
@@ -384,6 +398,30 @@ class PlanEntry:
         return n
 
 
+class BaselinePlanEntry:
+    """Cached state for a non-Winograd portfolio algorithm.
+
+    The analog of :class:`PlanEntry` for the FFT / direct / im2col
+    paths: holds the executable implementation, the layer signature, and
+    the memoized kernel-side precomputation (FFT spectra, im2col GEMM
+    operands) keyed by kernel fingerprint -- the same "FX" amortization
+    the Winograd path gets from its kernel transforms.
+    """
+
+    def __init__(self, key: PlanKey, impl, layer: ConvLayerSpec):
+        self.key = key
+        self.impl = impl
+        self.layer = layer
+        self.prepared: dict[str, object] = {}
+        self.lock = threading.Lock()
+
+    def release(self) -> None:
+        """Nothing pooled to tear down; kept for cache symmetry."""
+
+    def nbytes(self) -> int:
+        return sum(getattr(p, "nbytes", 0) for p in self.prepared.values())
+
+
 class PlanCache:
     """Thread-safe LRU over :class:`PlanEntry` with a byte budget.
 
@@ -427,8 +465,13 @@ class PlanCache:
         with self._lock:
             return list(self._entries)
 
-    def get_or_create(self, key: PlanKey) -> PlanEntry:
-        """Return the cached entry for ``key``, building it on a miss."""
+    def get_or_create(self, key: PlanKey, build=None) -> PlanEntry:
+        """Return the cached entry for ``key``, building it on a miss.
+
+        ``build`` overrides the default Winograd-plan construction --
+        baseline-algorithm dispatch passes a :class:`BaselinePlanEntry`
+        factory; the cache's LRU/byte accounting treats both uniformly.
+        """
         with self._lock:
             entry = self._entries.get(key)
             if entry is not None:
@@ -439,14 +482,17 @@ class PlanCache:
         # Build outside the lock: plan construction (transform
         # generation, tile planning) can be slow and must not serialize
         # concurrent hits on other keys.
-        plan = WinogradPlan(
-            spec=key.spec,
-            input_shape=key.input_shape,
-            c_out=key.c_out,
-            padding=key.padding,
-            dtype=np.dtype(key.dtype),
-        )
-        entry = PlanEntry(key, plan)
+        if build is not None:
+            entry = build()
+        else:
+            plan = WinogradPlan(
+                spec=key.spec,
+                input_shape=key.input_shape,
+                c_out=key.c_out,
+                padding=key.padding,
+                dtype=np.dtype(key.dtype),
+            )
+            entry = PlanEntry(key, plan)
         with self._lock:
             existing = self._entries.get(key)
             if existing is not None:  # lost a build race: reuse winner
@@ -497,6 +543,30 @@ class PlanCache:
             self._recount()
             self._evict()
         return v
+
+    def baseline_prepared(self, entry: BaselinePlanEntry, kernels: np.ndarray):
+        """Memoized kernel-side precomputation for a baseline plan.
+
+        FFT spectra and im2col GEMM operands are to their algorithms
+        what the transformed-kernel tensor is to Winograd; memoizing
+        them by fingerprint gives every portfolio member the same warm
+        serving path (and the same ``kernel_hits`` accounting).
+        """
+        fp = kernel_fingerprint(kernels)
+        with self._lock:
+            p = entry.prepared.get(fp)
+            if p is not None:
+                self.stats.kernel_hits += 1
+                self._bump("kernel_hits")
+                return p
+        p = entry.impl.prepare_kernels(kernels, entry.layer)
+        with self._lock:
+            p = entry.prepared.setdefault(fp, p)
+            self.stats.kernel_misses += 1
+            self._bump("kernel_misses")
+            self._recount()
+            self._evict()
+        return p
 
     def clear(self) -> None:
         with self._lock:
@@ -822,6 +892,19 @@ class ConvolutionEngine:
         shared memory -- true parallelism).  Engines using the
         parallel backends own pooled workers; call :meth:`close` (or
         use the engine as a context manager) to release them.
+    algorithm:
+        Default convolution *algorithm* for :meth:`run`:
+        ``"winograd"`` (every backend above), one of the portfolio
+        baselines (``"fft"``/``"direct"``/``"im2col"``), or ``"auto"``
+        -- the portfolio planner picks per layer shape (cost-model
+        ranking, optional measured probes, wisdom persistence; see
+        :mod:`repro.core.portfolio`).
+    portfolio_probe, probe_budget_seconds:
+        Whether ``"auto"`` decisions confirm the model ranking with
+        measured probes of the top candidates (plus Winograd), and the
+        soft wall-clock budget for one decision's probes.  Probes run
+        on the first request for a new shape -- an explicit, bounded
+        warm-up cost amortized over every later request.
     n_workers:
         Worker count for the thread/process backends (defaults to the
         host core count).
@@ -861,6 +944,9 @@ class ConvolutionEngine:
         stage2_mode: str = "fast",
         tile_policy: str = "fixed",
         backend: str = "fused",
+        algorithm: str = "winograd",
+        portfolio_probe: bool = True,
+        probe_budget_seconds: float = 0.5,
         n_workers: int | None = None,
         worker_timeout: float = 60.0,
         tracer: Tracer | None = None,
@@ -875,9 +961,14 @@ class ConvolutionEngine:
             raise ValueError(f"tile_policy must be 'fixed' or 'model', got {tile_policy!r}")
         if backend not in BACKENDS:
             raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
+        if algorithm not in ("auto",) + ALGORITHMS:
+            raise ValueError(
+                f"algorithm must be 'auto' or one of {ALGORITHMS}, got {algorithm!r}"
+            )
         if n_workers is not None and n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
         self.backend = backend
+        self.algorithm = algorithm
         self.n_workers = n_workers if n_workers is not None else (os.cpu_count() or 1)
         self.worker_timeout = worker_timeout
         self.machine = machine
@@ -903,8 +994,14 @@ class ConvolutionEngine:
             self.wisdom = Wisdom.load(self.wisdom_path)
         else:
             self.wisdom = Wisdom()
+        self.portfolio = PortfolioPlanner(
+            machine, self.wisdom,
+            tracer=self.tracer, metrics=self.metrics,
+            probe=portfolio_probe, probe_budget_seconds=probe_budget_seconds,
+        )
         self._spec_cache: dict[tuple, FmrSpec] = {}
         self._blocking_cache: dict[tuple, BlockingConfig] = {}
+        self._algo_cache: dict[tuple, AlgorithmChoice] = {}
         self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
@@ -919,6 +1016,7 @@ class ConvolutionEngine:
         blocked: bool = False,
         blocking: BlockingConfig | None = None,
         backend: str | None = None,
+        algorithm: str | None = None,
         out: np.ndarray | None = None,
     ) -> np.ndarray:
         """Convolve ``images`` with ``kernels`` through the cached plan.
@@ -929,7 +1027,9 @@ class ConvolutionEngine:
         repeated calls with the same kernel tensor skip the kernel
         transform entirely (the "FX" path).  ``backend`` overrides the
         engine default per call; ``blocked=True`` is the legacy spelling
-        of ``backend="blocked"``.
+        of ``backend="blocked"``.  ``algorithm`` overrides the engine's
+        algorithm default per call (``"auto"`` engages the portfolio
+        planner); the backend knobs apply to the Winograd family only.
         """
         images = np.asarray(images)
         kernels = np.asarray(kernels)
@@ -940,6 +1040,32 @@ class ConvolutionEngine:
         if padding is None:
             padding = (0,) * ndim
         padding = tuple(padding)
+        algo = algorithm if algorithm is not None else self.algorithm
+        if algo not in ("auto",) + ALGORITHMS:
+            raise ValueError(
+                f"algorithm must be 'auto' or one of {ALGORITHMS}, got {algo!r}"
+            )
+        if algo != "winograd":
+            # A backend knob pins the request to the Winograd family;
+            # "auto" then has nothing to decide, while an explicit
+            # baseline algorithm would contradict it.
+            wino_forced = blocked or blocking is not None or backend is not None
+            if algo == "auto":
+                if wino_forced:
+                    algo = "winograd"
+                else:
+                    algo = self._decide_algorithm(
+                        images, kernels, padding, np.dtype(dtype)
+                    ).algorithm
+            elif wino_forced:
+                raise ValueError(
+                    f"backend/blocked/blocking apply to the winograd path, "
+                    f"not algorithm={algo!r}"
+                )
+            if algo != "winograd":
+                return self._run_baseline(
+                    algo, images, kernels, padding, np.dtype(dtype), out
+                )
         if backend is None:
             backend = "blocked" if blocked else self.backend
         elif blocked and backend != "blocked":
@@ -1070,6 +1196,78 @@ class ConvolutionEngine:
                 with self.tracer.span("blocked.stage3"):
                     packed_out = execu.inverse_transform_packed(x)
             return execu.output_layout.unpack(packed_out)
+
+    # ------------------------------------------------------------------
+    def _layer_spec(self, input_shape, kernel_shape, padding) -> ConvLayerSpec:
+        return ConvLayerSpec(
+            network="engine", name="auto", batch=input_shape[0],
+            c_in=input_shape[1], c_out=kernel_shape[1],
+            image=tuple(input_shape[2:]), padding=tuple(padding),
+            kernel=tuple(kernel_shape[2:]),
+        )
+
+    def _decide_algorithm(self, images, kernels, padding, dtype) -> AlgorithmChoice:
+        """Portfolio decision for this request's shape (memoized).
+
+        The in-engine memo makes the warm ``"auto"`` path one dict
+        lookup; the planner underneath additionally consults/records the
+        persistent wisdom so decisions survive the process.
+        """
+        cache_key = (
+            tuple(images.shape), tuple(kernels.shape), tuple(padding), dtype.name
+        )
+        with self._lock:
+            cached = self._algo_cache.get(cache_key)
+        if cached is not None:
+            return cached
+        layer = self._layer_spec(images.shape, kernels.shape, padding)
+
+        def probe_once(algo: str) -> float:
+            # Re-enter run() with the algorithm forced: probes time the
+            # exact dispatch path serving will use (plan cache, arena,
+            # memoized kernel prep) rather than a synthetic harness.
+            t0 = time.perf_counter()
+            self.run(images, kernels, padding=padding, dtype=dtype, algorithm=algo)
+            return time.perf_counter() - t0
+
+        choice = self.portfolio.decide(layer, dtype.name, probe_once)
+        with self._lock:
+            self._algo_cache[cache_key] = choice
+        return choice
+
+    def _run_baseline(self, algo, images, kernels, padding, dtype, out) -> np.ndarray:
+        """One request through a non-Winograd portfolio algorithm."""
+        self.metrics.counter(f"engine.requests.{algo}").inc()
+        t0 = time.perf_counter()
+        with self.tracer.span("request", backend=algo):
+            try:
+                layer = self._layer_spec(images.shape, kernels.shape, padding)
+                key = PlanKey(
+                    spec=None,
+                    input_shape=tuple(images.shape),
+                    c_out=kernels.shape[1],
+                    padding=tuple(padding),
+                    dtype=dtype.name,
+                    blocking=None,
+                    backend=algo,
+                    algorithm=algo,
+                    kernel=tuple(kernels.shape[2:]),
+                )
+                entry = self.plans.get_or_create(
+                    key,
+                    build=lambda: BaselinePlanEntry(
+                        key, make_baseline(algo, self.machine), layer
+                    ),
+                )
+                prepared = self.plans.baseline_prepared(entry, kernels)
+                with self.tracer.span(f"execute.{algo}"):
+                    return entry.impl.execute_prepared(
+                        images.astype(dtype, copy=False), prepared, layer, out=out
+                    )
+            finally:
+                self.metrics.histogram("engine.request_seconds").observe(
+                    time.perf_counter() - t0
+                )
 
     # ------------------------------------------------------------------
     def _resolve_spec(self, fmr, input_shape, kernel_shape, padding) -> FmrSpec:
@@ -1228,6 +1426,21 @@ class ConvolutionEngine:
             raise ValueError("no wisdom path configured")
         self.wisdom.save(path)
 
+    def algorithm_decisions(self) -> list[dict[str, object]]:
+        """Portfolio decisions this engine has made, JSON-friendly."""
+        with self._lock:
+            snapshot = dict(self._algo_cache)
+        return [
+            {
+                "input_shape": list(k[0]),
+                "kernel_shape": list(k[1]),
+                "padding": list(k[2]),
+                "dtype": k[3],
+                **choice.as_dict(),
+            }
+            for k, choice in snapshot.items()
+        ]
+
     def stats(self) -> dict[str, object]:
         """Cache + arena counters for reporting/monitoring."""
         from repro.core.shm import shm_stats
@@ -1237,6 +1450,8 @@ class ConvolutionEngine:
             "cached_plans": len(self.plans),
             "arena": self.arena.as_dict(),
             "wisdom_entries": len(self.wisdom),
+            "algo_wisdom_entries": self.wisdom.algo_count,
+            "algorithm_decisions": self.algorithm_decisions(),
             "shm": shm_stats(),
             "metrics": self.metrics.snapshot(),
             "fallbacks": self.metrics.counter_value("engine.fallbacks"),

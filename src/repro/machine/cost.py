@@ -481,3 +481,132 @@ class WinogradCostModel:
             threads_per_core=self.threads_per_core,
             features=replace(self.features, **changes),
         )
+
+
+# ----------------------------------------------------------------------
+# Algorithm-portfolio cost entries
+# ----------------------------------------------------------------------
+#: Algorithms the portfolio planner can rank.  Every entry returns
+#: *model seconds on the given machine* for one warm (serving-path)
+#: layer invocation, so cross-algorithm comparisons are like-with-like:
+#: Winograd and FFT are charged without their memoized kernel-side work
+#: (transform / spectrum), matching what a warm engine request executes.
+PORTFOLIO_ALGORITHMS = ("winograd", "fft", "direct", "im2col")
+
+
+def _portfolio_fmr(layer: ConvLayerSpec) -> FmrSpec:
+    """The engine's fixed-policy F(m, r) for an unpinned layer: m = 4
+    per dimension when the fp32 accuracy budget allows (alpha <= 8) and
+    the output amortizes the tile; m = 2 otherwise."""
+    out = tuple(
+        i + 2 * p - r + 1
+        for i, p, r in zip(layer.image, layer.padding, layer.kernel)
+    )
+    m = tuple(
+        4 if (rd + 3 <= 8 and od >= 4) else 2
+        for rd, od in zip(layer.kernel, out)
+    )
+    return FmrSpec(m=m, r=layer.kernel)
+
+
+def _portfolio_blocking(layer: ConvLayerSpec, machine: MachineSpec) -> BlockingConfig | None:
+    """A legal default stage-2 blocking, or None when the layer's
+    channels defeat the cost model's divisibility requirements."""
+    s = machine.vector_width
+    if layer.c_in % s or layer.c_out % s:
+        return None
+
+    def _blk(c: int) -> int:
+        cap = min(c, 128)
+        for d in range(cap // s * s, 0, -s):
+            if c % d == 0:
+                return d
+        return s
+
+    return BlockingConfig(
+        n_blk=30, c_blk=_blk(layer.c_in), cprime_blk=_blk(layer.c_out),
+        simd_width=s,
+    )
+
+
+def _winograd_roofline_seconds(
+    layer: ConvLayerSpec, fmr: FmrSpec, machine: MachineSpec
+) -> float:
+    """Roofline fallback for shapes outside :class:`WinogradCostModel`'s
+    envelope (channels not divisible by S).
+
+    Counts the three stages' FLOPs explicitly -- separable transforms at
+    ``sum(alpha)`` multiplies per tile element and the batched stage-2
+    GEMM -- against a conservative efficiency, plus the U/V/X
+    intermediate traffic, in the same units as the baseline rooflines.
+    """
+    memory = MemoryModel(machine)
+    padded = tuple(i + 2 * p for i, p in zip(layer.image, layer.padding))
+    out_shape = tuple(i - r + 1 for i, r in zip(padded, fmr.r))
+    n_tiles = prod(fmr.tile_counts(out_shape))
+    nb = n_tiles * layer.batch
+    t = fmr.tile_elements
+    alpha_sum = sum(fmr.tile_shape)
+    gemm_flops = 2.0 * t * nb * layer.c_in * layer.c_out
+    transform_flops = 2.0 * t * alpha_sum * nb * (layer.c_in + layer.c_out)
+    # Transforms vectorize worse than the GEMM; blend the efficiencies.
+    compute_s = (
+        gemm_flops / (machine.peak_flops * 0.60)
+        + transform_flops / (machine.peak_flops * 0.30)
+    )
+    intermediate = t * nb * (layer.c_in + 2 * layer.c_out) * FLOAT_BYTES
+    in_bytes = layer.batch * layer.c_in * prod(layer.image) * FLOAT_BYTES
+    traffic = memory.combine(
+        memory.read_traffic(in_bytes + intermediate),
+        memory.store_traffic(
+            intermediate + layer.output_voxels * FLOAT_BYTES, streaming=False
+        ),
+    )
+    return max(compute_s, traffic.seconds(machine))
+
+
+def predict_algorithm_seconds(
+    algorithm: str,
+    layer: ConvLayerSpec,
+    machine: MachineSpec,
+    *,
+    fmr: FmrSpec | None = None,
+    threads_per_core: int = 1,
+) -> float:
+    """Warm-path model seconds for one layer under ``algorithm``.
+
+    The single entry point the portfolio planner ranks with: every
+    algorithm's prediction comes from the same machine description
+    (:class:`MachineSpec` + :class:`MemoryModel`), in seconds, for the
+    *warm* serving path (kernel-side precomputation memoized).  Raises
+    ``ValueError`` for unknown algorithm names; shapes an algorithm
+    cannot run should be filtered with ``supports()`` by the caller.
+    """
+    # Deferred imports: repro.baselines.ours imports this module.
+    if algorithm == "winograd":
+        spec = fmr if fmr is not None else _portfolio_fmr(layer)
+        blocking = _portfolio_blocking(layer, machine)
+        if blocking is not None:
+            model = WinogradCostModel(machine, threads_per_core=threads_per_core)
+            try:
+                return model.layer_cost(
+                    layer, spec, blocking, transform_kernels=False
+                ).seconds
+            except ValueError:
+                pass
+        return _winograd_roofline_seconds(layer, spec, machine)
+    if algorithm == "fft":
+        from repro.baselines.fft import FftConvBaseline
+
+        return FftConvBaseline(machine).predicted_seconds(layer, warm=True)
+    if algorithm == "direct":
+        from repro.baselines.direct import DirectConvBaseline
+
+        return DirectConvBaseline(machine=machine).predicted_seconds(layer)
+    if algorithm == "im2col":
+        from repro.baselines.im2col import Im2colBaseline
+
+        return Im2colBaseline(machine).predicted_seconds(layer)
+    raise ValueError(
+        f"unknown algorithm {algorithm!r}; expected one of {PORTFOLIO_ALGORITHMS}"
+    )

@@ -86,6 +86,24 @@ class MachineSpec:
         return replace(self, name=f"{self.name}@{cores}c", cores=cores,
                        peak_flops=self.peak_flops * scale)
 
+    def fingerprint(self) -> str:
+        """Stable short digest of every architectural field.
+
+        Namespaces per-machine state (wisdom algorithm choices,
+        calibration scales): two specs that differ in *any* parameter --
+        not just the display name -- get distinct fingerprints, so tuning
+        results recorded on one machine model are never replayed on
+        another.
+        """
+        import hashlib
+        from dataclasses import fields
+
+        h = hashlib.blake2b(digest_size=8)
+        for f in fields(self):
+            h.update(f.name.encode())
+            h.update(repr(getattr(self, f.name)).encode())
+        return h.hexdigest()
+
 
 #: Intel Xeon Phi 7210 (Knights Landing), the paper's evaluation CPU.
 #: 64 cores; the 1.1 GHz figure is the all-core AVX-512 frequency that

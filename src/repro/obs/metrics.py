@@ -128,6 +128,20 @@ class Gauge:
         return float(fn())
 
 
+def labeled(name: str, **labels: str) -> str:
+    """Canonical name for a labeled instrument.
+
+    The registry is flat, so labels are folded into the name with a
+    stable (sorted-key) rendering: ``labeled("algo_selected_total",
+    algo="fft")`` -> ``'algo_selected_total{algo="fft"}'``.  Tests and
+    dashboards reconstruct the same string to read the instrument back.
+    """
+    if not labels:
+        return name
+    inner = ",".join(f'{k}="{labels[k]}"' for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
 class MetricsRegistry:
     """Named metric instruments, get-or-create, shared across subsystems."""
 

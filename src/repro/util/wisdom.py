@@ -9,14 +9,33 @@ saving the optimal parameters in a wisdom file."*
 A wisdom file is a JSON mapping from a canonical layer-shape key to the
 chosen :class:`WisdomEntry`.  Corrupt or partially-written files are
 rejected loudly rather than silently ignored.
+
+Format version 2 adds two per-machine sections on top of the version-1
+blocking entries (which load unchanged):
+
+* **algorithm choices** (:class:`AlgoWisdomEntry`) -- the winner of the
+  engine's algorithm-portfolio stage per layer shape, namespaced by
+  :meth:`~repro.machine.spec.MachineSpec.fingerprint` so a choice
+  measured on one machine is never replayed on another, and stamped with
+  :data:`ALGO_SCHEMA_VERSION` so entries written by an older scheme are
+  *dropped on load* (counted in :attr:`Wisdom.stale_dropped`) rather
+  than crashing or silently winning;
+* **calibration scales** -- the one-shot measured model-seconds ->
+  host-seconds factor per machine fingerprint (see
+  :func:`repro.core.portfolio.calibrate_scale`).
 """
 
 from __future__ import annotations
 
 import json
 import threading
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, field
 from pathlib import Path
+
+#: Schema of the per-machine algorithm-choice entries.  Bump when the
+#: decision semantics change (e.g. different probe protocol) so stale
+#: recorded winners are re-derived instead of trusted.
+ALGO_SCHEMA_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -51,6 +70,48 @@ class WisdomEntry:
             raise ValueError("block sizes must be positive")
 
 
+@dataclass(frozen=True)
+class AlgoWisdomEntry:
+    """The recorded winner of one algorithm-portfolio decision.
+
+    Attributes
+    ----------
+    algorithm:
+        Winning algorithm name (``winograd``/``fft``/``direct``/``im2col``).
+    source:
+        How the winner was chosen: ``"predicted"`` (cost-model ranking
+        only) or ``"probed"`` (measured confirmation of the top
+        candidates).
+    predicted:
+        Calibrated model predictions, seconds, per candidate considered.
+    measured:
+        Probe measurements, seconds, per candidate probed (empty when the
+        decision was prediction-only).
+    schema:
+        :data:`ALGO_SCHEMA_VERSION` at write time; mismatching entries
+        are dropped on load.
+    """
+
+    algorithm: str
+    source: str = "predicted"
+    predicted: dict[str, float] = field(default_factory=dict)
+    measured: dict[str, float] = field(default_factory=dict)
+    schema: int = ALGO_SCHEMA_VERSION
+
+    def __post_init__(self) -> None:
+        if not self.algorithm:
+            raise ValueError("algorithm must be a non-empty string")
+        if self.source not in ("predicted", "probed", "forced"):
+            raise ValueError(f"unknown decision source {self.source!r}")
+
+    @property
+    def winner_seconds(self) -> float:
+        """Best evidence for the winner's runtime (measured over predicted)."""
+        if self.algorithm in self.measured:
+            return self.measured[self.algorithm]
+        return self.predicted.get(self.algorithm, float("inf"))
+
+
 class Wisdom:
     """A persistent store of tuned parameters keyed by layer shape.
 
@@ -59,10 +120,20 @@ class Wisdom:
     another thread persists the store.
     """
 
-    FORMAT_VERSION = 1
+    FORMAT_VERSION = 2
+    #: Versions :meth:`load` accepts.  Version-1 files simply lack the
+    #: per-machine algorithm/calibration sections.
+    READABLE_VERSIONS = (1, 2)
 
     def __init__(self) -> None:
         self._entries: dict[str, WisdomEntry] = {}
+        #: machine fingerprint -> layer key -> algorithm choice.
+        self._algos: dict[str, dict[str, AlgoWisdomEntry]] = {}
+        #: machine fingerprint -> model-seconds -> host-seconds scale.
+        self._calibration: dict[str, float] = {}
+        #: Entries discarded on load because their schema version did not
+        #: match :data:`ALGO_SCHEMA_VERSION` (stale-wisdom hazard).
+        self.stale_dropped = 0
         self._lock = threading.Lock()
 
     def __len__(self) -> int:
@@ -89,6 +160,45 @@ class Wisdom:
         with self._lock:
             return sorted(self._entries)
 
+    # -- per-machine algorithm choices ---------------------------------
+    def algo_get(self, fingerprint: str, key: str) -> AlgoWisdomEntry | None:
+        """Recorded portfolio winner for ``key`` on machine ``fingerprint``.
+
+        Entries recorded under a *different* fingerprint are invisible by
+        construction (the namespace is part of the lookup), and entries
+        with a stale schema never survive :meth:`load`, so a hit is
+        always safe to trust.
+        """
+        with self._lock:
+            return self._algos.get(fingerprint, {}).get(key)
+
+    def algo_put(self, fingerprint: str, key: str, entry: AlgoWisdomEntry) -> None:
+        if not fingerprint or not key:
+            raise ValueError("fingerprint and key must be non-empty strings")
+        with self._lock:
+            self._algos.setdefault(fingerprint, {})[key] = entry
+
+    def algo_keys(self, fingerprint: str) -> list[str]:
+        with self._lock:
+            return sorted(self._algos.get(fingerprint, {}))
+
+    @property
+    def algo_count(self) -> int:
+        with self._lock:
+            return sum(len(d) for d in self._algos.values())
+
+    # -- per-machine calibration ---------------------------------------
+    def get_calibration(self, fingerprint: str) -> float | None:
+        with self._lock:
+            return self._calibration.get(fingerprint)
+
+    def set_calibration(self, fingerprint: str, scale: float) -> None:
+        scale = float(scale)
+        if not scale > 0:
+            raise ValueError(f"calibration scale must be > 0, got {scale}")
+        with self._lock:
+            self._calibration[fingerprint] = scale
+
     def merge(self, other: "Wisdom", prefer: str = "faster") -> int:
         """Fold ``other``'s entries into this store; returns entries taken.
 
@@ -101,6 +211,8 @@ class Wisdom:
             raise ValueError(f"prefer must be 'faster', 'theirs' or 'ours', got {prefer!r}")
         with other._lock:
             incoming = dict(other._entries)
+            incoming_algos = {fp: dict(d) for fp, d in other._algos.items()}
+            incoming_cal = dict(other._calibration)
         taken = 0
         with self._lock:
             for key, entry in incoming.items():
@@ -112,6 +224,23 @@ class Wisdom:
                 ):
                     self._entries[key] = entry
                     taken += 1
+            for fp, entries in incoming_algos.items():
+                bucket = self._algos.setdefault(fp, {})
+                for key, entry in entries.items():
+                    mine = bucket.get(key)
+                    if (
+                        mine is None
+                        or prefer == "theirs"
+                        or (
+                            prefer == "faster"
+                            and entry.winner_seconds < mine.winner_seconds
+                        )
+                    ):
+                        bucket[key] = entry
+                        taken += 1
+            for fp, scale in incoming_cal.items():
+                if fp not in self._calibration or prefer == "theirs":
+                    self._calibration[fp] = scale
         return taken
 
     def save(self, path: str | Path) -> None:
@@ -119,20 +248,45 @@ class Wisdom:
         path = Path(path)
         with self._lock:
             snapshot = {k: asdict(v) for k, v in self._entries.items()}
-        payload = {"version": self.FORMAT_VERSION, "entries": snapshot}
+            algos = {
+                fp: {k: asdict(v) for k, v in d.items()}
+                for fp, d in self._algos.items()
+                if d
+            }
+            calibration = dict(self._calibration)
+        payload: dict[str, object] = {
+            "version": self.FORMAT_VERSION,
+            "entries": snapshot,
+        }
+        if algos:
+            payload["algos"] = algos
+        if calibration:
+            payload["calibration"] = calibration
         tmp = path.with_suffix(path.suffix + ".tmp")
         tmp.write_text(json.dumps(payload, indent=2, sort_keys=True))
         tmp.replace(path)
 
     @classmethod
     def load(cls, path: str | Path) -> "Wisdom":
-        """Load wisdom from ``path``; raises ``ValueError`` on corruption."""
+        """Load wisdom from ``path``; raises ``ValueError`` on corruption.
+
+        Blocking entries are validated strictly (a corrupt entry fails
+        the whole load: those feed executors directly).  Per-machine
+        algorithm entries degrade instead: an entry whose ``schema`` does
+        not match :data:`ALGO_SCHEMA_VERSION` -- or that does not parse
+        at all -- is *dropped* and counted in :attr:`stale_dropped`,
+        because a stale recorded winner must neither crash the engine nor
+        silently beat a fresh decision.
+        """
         path = Path(path)
         try:
             payload = json.loads(path.read_text())
         except json.JSONDecodeError as exc:
             raise ValueError(f"corrupt wisdom file {path}: {exc}") from exc
-        if not isinstance(payload, dict) or payload.get("version") != cls.FORMAT_VERSION:
+        if (
+            not isinstance(payload, dict)
+            or payload.get("version") not in cls.READABLE_VERSIONS
+        ):
             raise ValueError(f"unsupported wisdom file format in {path}")
         wisdom = cls()
         entries = payload.get("entries", {})
@@ -143,4 +297,31 @@ class Wisdom:
                 wisdom.put(key, WisdomEntry(**raw))
             except TypeError as exc:
                 raise ValueError(f"corrupt wisdom entry {key!r} in {path}: {exc}") from exc
+        algos = payload.get("algos", {})
+        if not isinstance(algos, dict):
+            raise ValueError(f"corrupt wisdom file {path}: 'algos' is not a mapping")
+        for fp, bucket in algos.items():
+            if not isinstance(bucket, dict):
+                wisdom.stale_dropped += 1
+                continue
+            for key, raw in bucket.items():
+                try:
+                    entry = AlgoWisdomEntry(**raw)
+                except (TypeError, ValueError):
+                    wisdom.stale_dropped += 1
+                    continue
+                if entry.schema != ALGO_SCHEMA_VERSION:
+                    wisdom.stale_dropped += 1
+                    continue
+                wisdom.algo_put(fp, key, entry)
+        calibration = payload.get("calibration", {})
+        if not isinstance(calibration, dict):
+            raise ValueError(
+                f"corrupt wisdom file {path}: 'calibration' is not a mapping"
+            )
+        for fp, scale in calibration.items():
+            try:
+                wisdom.set_calibration(fp, scale)
+            except (TypeError, ValueError):
+                wisdom.stale_dropped += 1
         return wisdom

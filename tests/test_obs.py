@@ -327,3 +327,64 @@ class TestEngineObservability:
             e1.run(images, kernels)
             e2.run(images, kernels)
         assert reg.counter_value("engine.requests.fused") == 2
+
+
+# ----------------------------------------------------------------------
+# Portfolio decision observability
+# ----------------------------------------------------------------------
+class TestPortfolioObservability:
+    def test_labeled_metric_names_are_stable(self):
+        from repro.obs.metrics import labeled
+
+        assert labeled("algo_selected_total") == "algo_selected_total"
+        assert (
+            labeled("algo_selected_total", algo="fft")
+            == 'algo_selected_total{algo="fft"}'
+        )
+        # Labels render sorted by key, so the name is order-independent.
+        assert labeled("m", b="2", a="1") == labeled("m", a="1", b="2")
+
+    def test_auto_run_records_counter_and_probe_span(self):
+        rng = np.random.default_rng(3)
+        images = rng.standard_normal((1, 8, 16, 16)).astype(np.float32)
+        kernels = rng.standard_normal((8, 8, 1, 1)).astype(np.float32)
+        from repro.obs.metrics import labeled
+
+        with ConvolutionEngine(algorithm="auto") as eng:
+            eng.run(images, kernels)
+            snap = eng.metrics.snapshot()
+            selected = {
+                name: v for name, v in snap["counters"].items()
+                if name.startswith("algo_selected_total")
+            }
+            assert sum(selected.values()) == 1
+            (decision,) = eng.algorithm_decisions()
+            assert eng.metrics.counter_value(
+                labeled("algo_selected_total", algo=decision["algorithm"])
+            ) == 1
+            # The probe span covers the measured-confirmation stage and
+            # names its candidates; its wall time lands in the histogram.
+            (probe,) = eng.tracer.spans("portfolio.probe")
+            assert probe.attrs["probed"] >= 2
+            assert "winograd" in probe.attrs["candidates"]
+            assert snap["histograms"]["portfolio.probe_seconds"]["count"] == 1
+
+    def test_wisdom_hit_skips_probe_but_still_counts(self):
+        rng = np.random.default_rng(4)
+        images = rng.standard_normal((1, 8, 16, 16)).astype(np.float32)
+        kernels = rng.standard_normal((8, 8, 1, 1)).astype(np.float32)
+        with ConvolutionEngine(algorithm="auto") as e1:
+            e1.run(images, kernels)
+            wisdom = e1.wisdom
+        with ConvolutionEngine(algorithm="auto", wisdom=wisdom) as e2:
+            e2.run(images, kernels)
+            assert e2.tracer.spans("portfolio.probe") == []
+            snap = e2.metrics.snapshot()
+            selected = {
+                name: v for name, v in snap["counters"].items()
+                if name.startswith("algo_selected_total")
+            }
+            assert sum(selected.values()) == 1
+            assert (
+                snap["counters"]['algo_decision_total{source="wisdom"}'] == 1
+            )

@@ -1,0 +1,495 @@
+"""Tests for the algorithm-portfolio planner and its supporting layers.
+
+Covers the decision pipeline end to end:
+
+* unit-comparable cost entries (``predict_algorithm_seconds``);
+* the planner's predict -> probe -> remember flow, including the
+  always-probe-Winograd guarantee and the calibration side effect;
+* engine dispatch: forced algorithms, ``"auto"``, the baseline plan
+  cache (memoized FFT spectra / GEMM operands), and the ``out=``
+  calling convention;
+* wisdom v2 persistence: round-trip, merge, and the stale-wisdom
+  hazard -- entries under a different machine fingerprint or schema
+  version must be ignored (not crash, not silently win);
+* differential correctness of every portfolio member against the
+  direct-convolution oracle on fuzzed shapes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.direct import DirectConvBaseline
+from repro.baselines.fft import FftConvBaseline
+from repro.baselines.im2col import Im2colBaseline
+from repro.core.engine import ConvolutionEngine, PlanKey
+from repro.core.portfolio import (
+    ALGORITHMS,
+    PortfolioPlanner,
+    calibrate_scale,
+    make_baseline,
+    portfolio_key,
+)
+from repro.machine.cost import predict_algorithm_seconds
+from repro.machine.spec import GENERIC_AVX2, KNL_7210
+from repro.nets.layers import ConvLayerSpec
+from repro.nets.reference import direct_convolution
+from repro.util.wisdom import (
+    ALGO_SCHEMA_VERSION,
+    AlgoWisdomEntry,
+    Wisdom,
+    WisdomEntry,
+)
+
+
+def _layer(r=3, c_in=8, c_out=8, img=16, batch=1, ndim=2) -> ConvLayerSpec:
+    return ConvLayerSpec(
+        network="test", name=f"r{r}", batch=batch, c_in=c_in, c_out=c_out,
+        image=(img,) * ndim, padding=(r // 2,) * ndim, kernel=(r,) * ndim,
+    )
+
+
+def _arrays(layer, seed=0):
+    rng = np.random.default_rng(seed)
+    images = rng.standard_normal(
+        (layer.batch, layer.c_in) + layer.image
+    ).astype(np.float32)
+    kernels = (
+        rng.standard_normal((layer.c_in, layer.c_out) + layer.kernel) * 0.1
+    ).astype(np.float32)
+    return images, kernels
+
+
+# ----------------------------------------------------------------------
+# Cost entries
+# ----------------------------------------------------------------------
+class TestPredictAlgorithmSeconds:
+    @pytest.mark.parametrize("r", [1, 3, 5, 7])
+    @pytest.mark.parametrize("algo", ALGORITHMS)
+    def test_positive_finite_for_all_algorithms(self, algo, r):
+        layer = _layer(r=r, c_in=16, c_out=16, img=32)
+        s = predict_algorithm_seconds(algo, layer, KNL_7210)
+        assert np.isfinite(s) and s > 0
+
+    def test_winograd_handles_model_illegal_channels(self):
+        # C=3 defeats the cost model's divisible-by-S requirement; the
+        # roofline fallback must still produce a sane number.
+        layer = _layer(r=3, c_in=3, c_out=20, img=32)
+        s = predict_algorithm_seconds("winograd", layer, KNL_7210)
+        assert np.isfinite(s) and s > 0
+
+    def test_regime_rankings_match_the_theory(self):
+        # r=1: Winograd transforms are pure overhead over a channel GEMM.
+        one = _layer(r=1, c_in=32, c_out=32, img=64)
+        preds = {
+            a: predict_algorithm_seconds(a, one, KNL_7210) for a in ALGORITHMS
+        }
+        assert min(preds, key=preds.__getitem__) in ("direct", "im2col")
+        # Large r, small channels: FFT's O(n log n) wins.
+        seven = _layer(r=7, c_in=16, c_out=16, img=64)
+        preds = {
+            a: predict_algorithm_seconds(a, seven, KNL_7210) for a in ALGORITHMS
+        }
+        assert min(preds, key=preds.__getitem__) == "fft"
+
+    def test_unknown_algorithm_raises(self):
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            predict_algorithm_seconds("strassen", _layer(), KNL_7210)
+
+    def test_fft_warm_prediction_excludes_kernel_side_work(self):
+        layer = _layer(r=7, c_in=32, c_out=32, img=32)
+        fft = FftConvBaseline(KNL_7210)
+        assert fft.predicted_seconds(layer, warm=True) < fft.predicted_seconds(layer)
+
+
+class TestCalibration:
+    def test_scale_is_host_over_model(self):
+        assert calibrate_scale(2.0, 1.0) == pytest.approx(0.5)
+        assert calibrate_scale(0.5, 1.0) == pytest.approx(2.0)
+
+    def test_rejects_nonpositive_times(self):
+        with pytest.raises(ValueError):
+            calibrate_scale(0.0, 1.0)
+        with pytest.raises(ValueError):
+            calibrate_scale(1.0, -1.0)
+
+    def test_uniform_scale_preserves_ranking(self):
+        layer = _layer(r=7, c_in=16, c_out=16, img=64)
+        raw = {a: predict_algorithm_seconds(a, layer, KNL_7210) for a in ALGORITHMS}
+        wisdom = Wisdom()
+        planner = PortfolioPlanner(KNL_7210, wisdom, probe=False)
+        unscaled = planner.candidates(layer)
+        wisdom.set_calibration(planner.fingerprint, 123.0)
+        scaled = planner.candidates(layer)
+        assert sorted(unscaled, key=unscaled.__getitem__) == sorted(
+            scaled, key=scaled.__getitem__
+        )
+        for a in raw:
+            assert scaled[a] == pytest.approx(123.0 * raw[a], rel=1e-12)
+
+    def test_probe_records_one_shot_calibration(self):
+        wisdom = Wisdom()
+        planner = PortfolioPlanner(
+            KNL_7210, wisdom, probe=True, probe_repeats=1
+        )
+        layer = _layer(r=3, c_in=16, c_out=16, img=16)
+        planner.decide(layer, runner=lambda algo: 1e-3)
+        assert wisdom.get_calibration(planner.fingerprint) is not None
+        scale = wisdom.get_calibration(planner.fingerprint)
+        # A second decision must not overwrite the one-shot scale.
+        planner.decide(_layer(r=5, c_in=16, c_out=16, img=16),
+                       runner=lambda algo: 5e-3)
+        assert wisdom.get_calibration(planner.fingerprint) == scale
+
+
+# ----------------------------------------------------------------------
+# Planner
+# ----------------------------------------------------------------------
+class TestPortfolioPlanner:
+    def test_prediction_only_uses_model_ranking(self):
+        planner = PortfolioPlanner(KNL_7210, Wisdom(), probe=False)
+        choice = planner.decide(_layer(r=7, c_in=16, c_out=16, img=64))
+        assert choice.source == "predicted"
+        assert choice.algorithm == "fft"
+        assert not choice.measured
+
+    def test_probe_overrides_model_ranking(self):
+        # The fake host inverts the model: winograd measures fastest.
+        planner = PortfolioPlanner(
+            KNL_7210, Wisdom(), probe=True, probe_repeats=1
+        )
+        times = {"winograd": 1e-4}
+        choice = planner.decide(
+            _layer(r=1, c_in=16, c_out=16, img=32),
+            runner=lambda algo: times.get(algo, 1e-2),
+        )
+        assert choice.source == "probed"
+        assert choice.algorithm == "winograd"
+
+    def test_winograd_is_always_probed(self):
+        # Even when the model ranks winograd last, it must be in the
+        # probe shortlist -- the no-regression guarantee for "auto".
+        planner = PortfolioPlanner(
+            KNL_7210, Wisdom(), probe=True, probe_repeats=1
+        )
+        probed = []
+        planner.decide(
+            _layer(r=1, c_in=32, c_out=32, img=64),
+            runner=lambda algo: probed.append(algo) or 1e-3,
+        )
+        assert "winograd" in probed
+
+    def test_decision_recorded_and_replayed_from_wisdom(self):
+        wisdom = Wisdom()
+        planner = PortfolioPlanner(KNL_7210, wisdom, probe=False)
+        layer = _layer(r=7, c_in=16, c_out=16, img=64)
+        first = planner.decide(layer)
+        assert wisdom.algo_count == 1
+        replay = PortfolioPlanner(KNL_7210, wisdom, probe=True).decide(
+            layer, runner=lambda algo: pytest.fail("wisdom hit must not probe")
+        )
+        assert replay.source == "wisdom"
+        assert replay.algorithm == first.algorithm
+
+    def test_portfolio_key_encodes_kernel_extent(self):
+        a = portfolio_key(_layer(r=1))
+        b = portfolio_key(_layer(r=3))
+        assert a != b
+        assert portfolio_key(_layer(r=3)) == portfolio_key(_layer(r=3))
+
+    def test_make_baseline_rejects_winograd_and_unknown(self):
+        for algo in ("fft", "direct", "im2col"):
+            impl = make_baseline(algo, KNL_7210)
+            assert hasattr(impl, "execute_prepared")
+        with pytest.raises(ValueError):
+            make_baseline("winograd", KNL_7210)
+        with pytest.raises(ValueError):
+            make_baseline("strassen", KNL_7210)
+
+
+# ----------------------------------------------------------------------
+# Engine dispatch
+# ----------------------------------------------------------------------
+class TestEngineAlgorithmDispatch:
+    @pytest.mark.parametrize("algo", ["fft", "direct", "im2col"])
+    def test_forced_algorithm_matches_oracle(self, algo):
+        layer = _layer(r=3, c_in=8, c_out=8, img=12)
+        images, kernels = _arrays(layer)
+        ref = direct_convolution(images, kernels, padding=layer.padding,
+                                 dtype=np.float32)
+        with ConvolutionEngine() as eng:
+            out = eng.run(images, kernels, padding=layer.padding, algorithm=algo)
+        np.testing.assert_allclose(out, ref, atol=1e-4)
+
+    def test_engine_level_algorithm_default(self):
+        layer = _layer(r=3, c_in=8, c_out=8, img=12)
+        images, kernels = _arrays(layer)
+        with ConvolutionEngine(algorithm="im2col") as eng:
+            out = eng.run(images, kernels, padding=layer.padding)
+            assert eng.metrics.counter_value("engine.requests.im2col") == 1
+        ref = direct_convolution(images, kernels, padding=layer.padding,
+                                 dtype=np.float32)
+        np.testing.assert_allclose(out, ref, atol=1e-4)
+
+    def test_invalid_algorithm_rejected(self):
+        with pytest.raises(ValueError, match="algorithm"):
+            ConvolutionEngine(algorithm="strassen")
+        with ConvolutionEngine() as eng:
+            images, kernels = _arrays(_layer())
+            with pytest.raises(ValueError, match="algorithm"):
+                eng.run(images, kernels, algorithm="strassen")
+
+    def test_backend_knobs_conflict_with_baseline_algorithms(self):
+        images, kernels = _arrays(_layer(c_in=16, c_out=16))
+        with ConvolutionEngine() as eng:
+            with pytest.raises(ValueError, match="winograd path"):
+                eng.run(images, kernels, algorithm="fft", blocked=True)
+            with pytest.raises(ValueError, match="winograd path"):
+                eng.run(images, kernels, algorithm="fft", backend="thread")
+
+    def test_auto_with_backend_knob_stays_winograd(self):
+        layer = _layer(r=1, c_in=16, c_out=16, img=16)
+        images, kernels = _arrays(layer)
+        with ConvolutionEngine(algorithm="auto") as eng:
+            eng.run(images, kernels, padding=layer.padding, backend="blocked")
+            # No decision was made: the backend knob pinned winograd.
+            assert eng.algorithm_decisions() == []
+
+    def test_baseline_kernel_prep_is_memoized(self):
+        layer = _layer(r=3, c_in=8, c_out=8, img=12)
+        images, kernels = _arrays(layer)
+        with ConvolutionEngine() as eng:
+            eng.run(images, kernels, padding=layer.padding, algorithm="fft")
+            misses = eng.plans.stats.kernel_misses
+            eng.run(images, kernels, padding=layer.padding, algorithm="fft")
+            assert eng.plans.stats.kernel_misses == misses
+            assert eng.plans.stats.kernel_hits >= 1
+            # Distinct kernel content is a distinct prep entry.
+            eng.run(images, kernels + 1.0, padding=layer.padding, algorithm="fft")
+            assert eng.plans.stats.kernel_misses == misses + 1
+
+    def test_baseline_plan_keys_encode_algorithm_and_kernel(self):
+        layer = _layer(r=3, c_in=8, c_out=8, img=12)
+        images, kernels = _arrays(layer)
+        with ConvolutionEngine() as eng:
+            eng.run(images, kernels, padding=layer.padding, algorithm="fft")
+            eng.run(images, kernels, padding=layer.padding, algorithm="im2col")
+            baseline_keys = [
+                k for k in eng.plans.keys() if k.algorithm != "winograd"
+            ]
+            assert {k.algorithm for k in baseline_keys} == {"fft", "im2col"}
+            assert all(k.spec is None for k in baseline_keys)
+            assert all(k.kernel == layer.kernel for k in baseline_keys)
+
+    def test_out_buffer_roundtrip_through_engine(self):
+        layer = _layer(r=3, c_in=8, c_out=8, img=12)
+        images, kernels = _arrays(layer)
+        ref = direct_convolution(images, kernels, padding=layer.padding,
+                                 dtype=np.float32)
+        with ConvolutionEngine() as eng:
+            for algo in ("fft", "direct", "im2col"):
+                out = np.empty_like(ref)
+                got = eng.run(images, kernels, padding=layer.padding,
+                              algorithm=algo, out=out)
+                assert got is out
+                np.testing.assert_allclose(out, ref, atol=1e-4)
+
+    def test_auto_memoizes_decision_per_shape(self):
+        layer = _layer(r=1, c_in=8, c_out=8, img=16)
+        images, kernels = _arrays(layer)
+        with ConvolutionEngine(algorithm="auto") as eng:
+            for _ in range(4):
+                eng.run(images, kernels, padding=layer.padding)
+            assert len(eng.algorithm_decisions()) == 1
+            assert eng.wisdom.algo_count == 1
+            stats = eng.stats()
+            assert stats["algo_wisdom_entries"] == 1
+            assert len(stats["algorithm_decisions"]) == 1
+
+    def test_auto_decision_output_matches_oracle(self):
+        for r in (1, 3, 7):
+            layer = _layer(r=r, c_in=8, c_out=8, img=20)
+            images, kernels = _arrays(layer, seed=r)
+            ref = direct_convolution(images, kernels, padding=layer.padding,
+                                     dtype=np.float32)
+            with ConvolutionEngine(algorithm="auto") as eng:
+                out = eng.run(images, kernels, padding=layer.padding)
+            scale = max(np.abs(ref).max(), 1.0)
+            assert np.abs(out - ref).max() / scale < 1e-4
+
+
+# ----------------------------------------------------------------------
+# Baseline calling convention
+# ----------------------------------------------------------------------
+class TestBaselineConventions:
+    @pytest.mark.parametrize("cls", [FftConvBaseline, Im2colBaseline])
+    def test_prepare_then_execute_matches_direct_execute(self, cls):
+        layer = _layer(r=3, c_in=4, c_out=4, img=10)
+        images, kernels = _arrays(layer)
+        impl = cls(KNL_7210) if cls is not DirectConvBaseline else cls()
+        prepared = impl.prepare_kernels(kernels, layer)
+        a = impl.execute_prepared(images, prepared, layer)
+        b = impl.execute(images, kernels, layer)
+        np.testing.assert_allclose(a, b, atol=1e-5)
+
+    def test_out_parameter_fills_caller_buffer(self):
+        layer = _layer(r=3, c_in=4, c_out=4, img=10)
+        images, kernels = _arrays(layer)
+        for algo in ("fft", "direct", "im2col"):
+            impl = make_baseline(algo, KNL_7210)
+            ref = impl.execute(images, kernels, layer)
+            out = np.zeros_like(ref)
+            got = impl.execute(images, kernels, layer, out=out)
+            assert got is out
+            np.testing.assert_allclose(out, ref, atol=1e-6)
+
+    def test_out_shape_mismatch_raises(self):
+        layer = _layer(r=3, c_in=4, c_out=4, img=10)
+        images, kernels = _arrays(layer)
+        impl = make_baseline("direct", KNL_7210)
+        bad = np.empty((1, 4, 3, 3), dtype=np.float32)
+        with pytest.raises(ValueError):
+            impl.execute(images, kernels, layer, out=bad)
+
+
+# ----------------------------------------------------------------------
+# Wisdom v2 persistence
+# ----------------------------------------------------------------------
+class TestAlgoWisdom:
+    FP = KNL_7210.fingerprint()
+
+    def _entry(self, algo="fft", **kw):
+        return AlgoWisdomEntry(
+            algorithm=algo, source="probed",
+            predicted={"fft": 1.0, "winograd": 2.0},
+            measured={"fft": 0.5, "winograd": 0.9}, **kw,
+        )
+
+    def test_roundtrip_preserves_winners_and_calibration(self, tmp_path):
+        w = Wisdom()
+        w.put("blk", WisdomEntry(30, 8, 8, 2, 1e-3))
+        w.algo_put(self.FP, "algo|k", self._entry())
+        w.set_calibration(self.FP, 42.0)
+        path = tmp_path / "wisdom.json"
+        w.save(path)
+        loaded = Wisdom.load(path)
+        assert loaded.stale_dropped == 0
+        entry = loaded.algo_get(self.FP, "algo|k")
+        assert entry == self._entry()
+        assert loaded.get_calibration(self.FP) == 42.0
+        assert loaded.get("blk") == w.get("blk")
+
+    def test_merge_prefers_faster_winner(self):
+        a, b = Wisdom(), Wisdom()
+        a.algo_put(self.FP, "k", AlgoWisdomEntry("fft", measured={"fft": 1.0}))
+        b.algo_put(self.FP, "k", AlgoWisdomEntry("im2col",
+                                                 measured={"im2col": 0.1}))
+        a.merge(b, prefer="faster")
+        assert a.algo_get(self.FP, "k").algorithm == "im2col"
+        # "ours" keeps the existing entry.
+        c = Wisdom()
+        c.algo_put(self.FP, "k", AlgoWisdomEntry("fft", measured={"fft": 1.0}))
+        c.merge(b, prefer="ours")
+        assert c.algo_get(self.FP, "k").algorithm == "fft"
+
+    def test_stale_schema_entries_dropped_not_crashing(self, tmp_path):
+        w = Wisdom()
+        w.algo_put(self.FP, "k", self._entry(schema=ALGO_SCHEMA_VERSION))
+        path = tmp_path / "wisdom.json"
+        w.save(path)
+        import json
+
+        payload = json.loads(path.read_text())
+        payload["algos"][self.FP]["k"]["schema"] = ALGO_SCHEMA_VERSION + 1
+        payload["algos"][self.FP]["stale2"] = {"not": "an entry"}
+        path.write_text(json.dumps(payload))
+        loaded = Wisdom.load(path)
+        # Neither crash nor silent win: both bad entries are gone and
+        # the drop is visible in the counter.
+        assert loaded.algo_get(self.FP, "k") is None
+        assert loaded.algo_get(self.FP, "stale2") is None
+        assert loaded.stale_dropped == 2
+
+    def test_wrong_machine_fingerprint_is_invisible(self):
+        w = Wisdom()
+        w.algo_put(
+            GENERIC_AVX2.fingerprint(), portfolio_key(_layer()), self._entry()
+        )
+        planner = PortfolioPlanner(KNL_7210, w, probe=False)
+        choice = planner.decide(_layer())
+        # The other machine's recorded winner must not leak in: this
+        # decision is fresh (model-ranked), not a wisdom replay.
+        assert choice.source == "predicted"
+        assert w.algo_get(KNL_7210.fingerprint(), portfolio_key(_layer())) is not None
+
+    def test_fingerprint_is_stable_and_spec_sensitive(self):
+        assert KNL_7210.fingerprint() == KNL_7210.fingerprint()
+        assert GENERIC_AVX2.fingerprint() != KNL_7210.fingerprint()
+        # Any field change -- not just the name -- moves the fingerprint.
+        from dataclasses import replace
+
+        bumped = replace(KNL_7210, mem_bandwidth=KNL_7210.mem_bandwidth * 2)
+        assert bumped.fingerprint() != KNL_7210.fingerprint()
+
+    def test_bad_calibration_dropped_on_load(self, tmp_path):
+        w = Wisdom()
+        w.set_calibration(self.FP, 1.5)
+        path = tmp_path / "wisdom.json"
+        w.save(path)
+        import json
+
+        payload = json.loads(path.read_text())
+        payload["calibration"][self.FP] = -3.0
+        path.write_text(json.dumps(payload))
+        loaded = Wisdom.load(path)
+        assert loaded.get_calibration(self.FP) is None
+        assert loaded.stale_dropped == 1
+
+    def test_version1_files_still_load(self, tmp_path):
+        import json
+
+        path = tmp_path / "wisdom.json"
+        path.write_text(json.dumps({
+            "version": 1,
+            "entries": {
+                "k": {"n_blk": 30, "c_blk": 8, "cprime_blk": 8,
+                      "threads_per_core": 2, "predicted_time": 1e-3},
+            },
+        }))
+        loaded = Wisdom.load(path)
+        assert loaded.get("k").n_blk == 30
+        assert loaded.algo_count == 0
+
+
+# ----------------------------------------------------------------------
+# Differential fuzz: every portfolio member vs the oracle
+# ----------------------------------------------------------------------
+class TestDifferentialFuzz:
+    def test_fuzzed_shapes_match_oracle_under_all_algorithms(self):
+        rng = np.random.default_rng(42)
+        for trial in range(6):
+            r = int(rng.choice([1, 2, 3, 5, 7]))
+            c_in = int(rng.choice([1, 3, 4, 8]))
+            c_out = int(rng.choice([1, 2, 4, 8]))
+            img = int(rng.integers(r + 1, 20))
+            batch = int(rng.choice([1, 2]))
+            pad = int(rng.integers(0, r // 2 + 1))
+            layer = ConvLayerSpec(
+                network="fuzz", name=f"t{trial}", batch=batch, c_in=c_in,
+                c_out=c_out, image=(img, img), padding=(pad, pad),
+                kernel=(r, r),
+            )
+            images, kernels = _arrays(layer, seed=trial)
+            ref = direct_convolution(
+                images, kernels, padding=layer.padding, dtype=np.float32
+            )
+            scale = max(np.abs(ref).max(), 1.0)
+            with ConvolutionEngine(algorithm="auto") as eng:
+                for algo in ("auto",) + tuple(a for a in ALGORITHMS):
+                    kw = {} if algo == "auto" else {"algorithm": algo}
+                    out = eng.run(images, kernels, padding=layer.padding, **kw)
+                    err = np.abs(out - ref).max() / scale
+                    assert err < 1e-3, (
+                        f"trial {trial} ({layer.label}, {algo}): relerr {err:.2e}"
+                    )
