@@ -28,6 +28,13 @@ the JSON still records the honest numbers).
 
 Set ``REPRO_BENCH_SMOKE=1`` for a quick CI smoke run (smaller layer,
 fewer repeats, correctness checks only).
+
+Setting ``REPRO_REQUIRE_PARALLEL_GATE`` makes the gate *mandatory*:
+the 1-core and smoke-mode skips become failures, and the speedup floor
+rises to ``REPRO_PARALLEL_GATE_MIN`` (default 2.0 when required).  The
+CI ``differential`` job sets both on its multi-core runner, so "the
+process backend actually scales" is an asserted invariant there, not a
+skipped one.
 """
 
 from __future__ import annotations
@@ -50,6 +57,10 @@ from repro.nets.layers import TABLE2_LAYERS
 from repro.nets.reference import direct_convolution
 
 SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+REQUIRE_GATE = os.environ.get("REPRO_REQUIRE_PARALLEL_GATE", "") not in ("", "0")
+GATE_MIN = float(
+    os.environ.get("REPRO_PARALLEL_GATE_MIN", "2.0" if REQUIRE_GATE else "1.0")
+)
 
 
 def _mintime(fn, repeats):
@@ -191,18 +202,26 @@ def test_parallel_scaling(benchmark, results_dir, bench_header):
     # both cases -- after the JSON is written -- so a gate that did not
     # run shows up as a skip in the report, never as a silent pass.
     if SMOKE:
-        pytest.skip("smoke mode: JSON written, scaling gate needs the full layer")
+        msg = "smoke mode: JSON written, scaling gate needs the full layer"
+        if REQUIRE_GATE:
+            pytest.fail(f"REPRO_REQUIRE_PARALLEL_GATE set but {msg}")
+        pytest.skip(msg)
     if cores < 2:
-        pytest.skip(
+        msg = (
             f"host has {cores} core(s): JSON written with honest numbers, "
             "but the parallel-speedup gate requires >= 2 real cores"
         )
+        if REQUIRE_GATE:
+            pytest.fail(
+                f"REPRO_REQUIRE_PARALLEL_GATE set on an unfit host -- {msg}"
+            )
+        pytest.skip(msg)
     best = max(
         r["speedup_vs_sequential"]
         for r in records
         if r["backend"] == "process" and r["workers"] >= 2
     )
-    assert best > 1.0, (
-        f"process backend never beat the sequential plan "
-        f"(best {best:.2f}x on {cores} cores)"
+    assert best >= GATE_MIN, (
+        f"process backend did not clear the {GATE_MIN}x scaling gate "
+        f"(best {best:.2f}x vs sequential on {cores} cores)"
     )

@@ -1,0 +1,225 @@
+"""E26 (extension) -- serve-path load benchmark [real]: open-loop
+traffic against the TCP front-end, batched vs per-request dispatch.
+
+Every number the serving stack promises hinges on one claim: coalescing
+same-shape requests into a single batched fork-join amortizes the
+per-dispatch overhead (batcher wakeups, plan-cache lookups, stage
+launch, barrier rounds) that per-request dispatch pays N times.  This
+bench measures that claim end to end -- real TCP connections, the real
+JSON-lines protocol, the real :class:`~repro.serve.DynamicBatcher` --
+under open-loop traffic: every client submits its full request series
+without waiting for replies, so the offered load does not slow down
+when the server does (the closed-loop trap).
+
+Two configurations, identical traffic (8 pipelined clients, one shared
+model/shape so every request is coalescible):
+
+* ``per_request`` -- ``max_batch=1``: the batcher degenerates to a
+  FIFO; every request is its own engine dispatch.
+* ``batched``     -- ``max_batch=8``: same queue, same window, but up
+  to 8 requests share one dispatch.
+
+Every response's digest is checked against a lone-engine oracle before
+anything is timed into the record, so the throughput curve is a curve
+of *correct* runs.  Results land in ``results/BENCH_serve_load.json``
+(schema documented in DESIGN.md's E26 note) with p50/p95/p99 request
+latency, completion throughput, and the observed batch-size
+distribution for both configurations.
+
+Acceptance gate: batched throughput >= 1.5x per-request throughput at
+concurrency 8.  The gate needs real parallel slack to be meaningful on
+every host class, so it follows the E22 convention: skipped (after the
+JSON is written, so a non-run gate is a visible skip, never a silent
+pass) in smoke mode and on single-core hosts, and made *mandatory* --
+skips become failures -- when ``REPRO_REQUIRE_SERVE_GATE`` is set, as
+the CI serve lane does on its multi-core runner.
+
+Set ``REPRO_BENCH_SMOKE=1`` for a quick CI smoke run (fewer requests,
+correctness + JSON emission only).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import time
+
+import numpy as np
+import pytest
+
+from conftest import format_table
+from repro.core.engine import ConvolutionEngine
+from repro.serve import ConvServer, ServeClient, TenantQuota, tensor_digest
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+REQUIRE_GATE = os.environ.get("REPRO_REQUIRE_SERVE_GATE", "") not in ("", "0")
+GATE_MIN = float(os.environ.get("REPRO_SERVE_GATE_MIN", "1.5"))
+
+N_CLIENTS = 8
+N_PER_CLIENT = 4 if SMOKE else 25
+PADDING = (1, 1)
+
+
+def _workload(seed=26):
+    """One model, one shape: every request is coalescible with every
+    other, so ``max_batch`` alone decides the dispatch granularity."""
+    rng = np.random.default_rng(seed)
+    ker = (rng.standard_normal((8, 8, 3, 3)) * 0.2).astype(np.float32)
+    imgs = [
+        rng.standard_normal((1, 8, 12, 12)).astype(np.float32)
+        for _ in range(N_CLIENTS)
+    ]
+    return ker, imgs
+
+
+def _oracle(ker, imgs):
+    with ConvolutionEngine() as eng:
+        return [
+            tensor_digest(eng.run(img, ker, padding=PADDING)) for img in imgs
+        ]
+
+
+async def _open_loop_client(port, ker, img, expect, n_requests, first):
+    """Submit the full series without awaiting (open loop), then gather;
+    returns per-request latencies in seconds."""
+    latencies = []
+    async with ServeClient("127.0.0.1", port, tenant="load") as cli:
+        if first:
+            await cli.register("m", ker, list(PADDING))
+
+        async def timed(fut, t0):
+            rep = await fut
+            latencies.append(time.perf_counter() - t0)
+            assert rep["digest"] == expect, "corrupted response under load"
+            return rep["batched"]
+
+        tasks = []
+        for _ in range(n_requests):
+            t0 = time.perf_counter()
+            fut = await cli.submit("m", img, respond="checksum")
+            tasks.append(asyncio.create_task(timed(fut, t0)))
+        batched = await asyncio.gather(*tasks)
+    return latencies, batched
+
+
+def _drive(max_batch, window_ms, ker, imgs, digests):
+    """One configuration: boot a fresh server, blast the open-loop
+    burst, return throughput + latency percentiles + batch stats."""
+
+    async def main():
+        async with ConvServer(
+            host="127.0.0.1", max_batch=max_batch, window_ms=window_ms,
+            max_pending=4096,
+            # The burst is the point here: admit the whole open-loop
+            # series so the two configs drain identical queues.
+            default_quota=TenantQuota(max_pending=4096),
+        ) as server:
+            # Register once before the timed window.
+            l0, _ = await _open_loop_client(
+                server.port, ker, imgs[0], digests[0], 1, first=True
+            )
+            t0 = time.perf_counter()
+            results = await asyncio.gather(*[
+                _open_loop_client(server.port, ker, imgs[c], digests[c],
+                                  N_PER_CLIENT, first=False)
+                for c in range(N_CLIENTS)
+            ])
+            wall = time.perf_counter() - t0
+            return wall, results
+
+    wall, results = asyncio.run(main())
+    latencies = np.array([s for lats, _ in results for s in lats])
+    batch_sizes = np.array([b for _, bs in results for b in bs])
+    n = latencies.size
+    assert n == N_CLIENTS * N_PER_CLIENT  # zero dropped
+    return {
+        "max_batch": max_batch,
+        "window_ms": window_ms,
+        "requests": int(n),
+        "wall_s": wall,
+        "throughput_rps": n / wall,
+        "latency_ms": {
+            "p50": float(np.percentile(latencies, 50) * 1e3),
+            "p95": float(np.percentile(latencies, 95) * 1e3),
+            "p99": float(np.percentile(latencies, 99) * 1e3),
+            "mean": float(latencies.mean() * 1e3),
+            "max": float(latencies.max() * 1e3),
+        },
+        "batch_size": {
+            "mean": float(batch_sizes.mean()),
+            "max": int(batch_sizes.max()),
+        },
+    }
+
+
+def test_serve_load(benchmark, results_dir, bench_header):
+    """[real] open-loop TCP traffic: batched vs per-request dispatch."""
+    cores = os.cpu_count() or 1
+    ker, imgs = _workload()
+    digests = _oracle(ker, imgs)
+
+    def run():
+        return {
+            "per_request": _drive(1, 5.0, ker, imgs, digests),
+            "batched": _drive(8, 5.0, ker, imgs, digests),
+        }
+
+    configs = benchmark.pedantic(run, rounds=1, iterations=1)
+    speedup = (
+        configs["batched"]["throughput_rps"]
+        / configs["per_request"]["throughput_rps"]
+    )
+
+    rows = [
+        [name, c["max_batch"], c["requests"], f"{c['throughput_rps']:.0f}",
+         f"{c['latency_ms']['p50']:.1f}", f"{c['latency_ms']['p99']:.1f}",
+         f"{c['batch_size']['mean']:.1f}", c["batch_size"]["max"]]
+        for name, c in configs.items()
+    ]
+    print(f"\nServe load [real] -- {N_CLIENTS} open-loop clients x "
+          f"{N_PER_CLIENT} requests, host cores: {cores}")
+    print(format_table(
+        ["config", "max_batch", "reqs", "req/s", "p50_ms", "p99_ms",
+         "batch_mean", "batch_max"], rows,
+    ))
+    print(f"batched vs per-request throughput: {speedup:.2f}x")
+
+    payload = {
+        **bench_header,
+        "smoke": SMOKE,
+        "concurrency": N_CLIENTS,
+        "requests_per_client": N_PER_CLIENT,
+        "model": "C8->8 k3x3 pad1, images 1x8x12x12 float32",
+        "configs": configs,
+        "batched_speedup": speedup,
+        "digest_checked": True,
+    }
+    out = results_dir / "BENCH_serve_load.json"
+    out.write_text(json.dumps(payload, indent=2))
+    print(f"wrote {out}")
+
+    # The batcher must actually have coalesced, in every mode -- a
+    # batched run whose batches are all singletons measured nothing.
+    assert configs["per_request"]["batch_size"]["max"] == 1
+    assert configs["batched"]["batch_size"]["max"] > 1, (
+        "batched configuration never coalesced a batch"
+    )
+
+    # Throughput gate (E22 convention: JSON first, then gate; skips are
+    # visible, and REPRO_REQUIRE_SERVE_GATE turns them into failures).
+    if SMOKE:
+        msg = "smoke mode: JSON written, throughput gate needs the full run"
+        if REQUIRE_GATE:
+            pytest.fail(f"REPRO_REQUIRE_SERVE_GATE set but {msg}")
+        pytest.skip(msg)
+    if cores < 2 and not REQUIRE_GATE:
+        pytest.skip(
+            f"host has {cores} core(s): JSON written with honest numbers; "
+            "the batched-speedup gate is asserted on multi-core hosts "
+            "(set REPRO_REQUIRE_SERVE_GATE to force it)"
+        )
+    assert speedup >= GATE_MIN, (
+        f"batched dispatch only {speedup:.2f}x per-request throughput "
+        f"at concurrency {N_CLIENTS} (gate: {GATE_MIN}x)"
+    )

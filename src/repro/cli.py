@@ -266,10 +266,69 @@ def cmd_analyze(args) -> int:
     return 0
 
 
+def _cmd_serve_listen(args) -> int:
+    """``serve --listen``: the multi-tenant TCP front-end [real].
+
+    Binds :class:`repro.serve.ConvServer` on ``HOST:PORT`` and serves
+    the JSON-lines protocol (hello/register/infer/stats) until
+    interrupted.  Same-shape requests from concurrent clients coalesce
+    into batched engine dispatches; ``repro.serve.ServeClient`` is the
+    matching client.
+    """
+    import asyncio
+
+    from repro.core.engine import ConvolutionEngine
+    from repro.serve import ConvServer, TenantQuota
+
+    host, _, port_s = args.listen.rpartition(":")
+    host = host or "127.0.0.1"
+    try:
+        port = int(port_s)
+    except ValueError:
+        print(f"error: --listen expects HOST:PORT, got {args.listen!r}",
+              file=sys.stderr)
+        return 2
+    quota = TenantQuota(
+        max_pending=args.tenant_max_pending,
+        max_plan_bytes=args.tenant_plan_mb << 20 if args.tenant_plan_mb else None,
+    )
+    engine = ConvolutionEngine(
+        wisdom_path=args.wisdom, backend=args.backend, n_workers=args.workers,
+        algorithm=args.algorithm,
+    )
+
+    async def _run() -> None:
+        server = ConvServer(
+            engine, host=host, port=port, max_batch=args.max_batch,
+            window_ms=args.window_ms, max_pending=args.max_pending,
+            default_quota=quota,
+        )
+        await server.start()
+        print(f"serving on {server.host}:{server.port} "
+              f"(backend={args.backend}, max_batch={args.max_batch}, "
+              f"window={args.window_ms}ms); Ctrl-C to stop", flush=True)
+        try:
+            await server.serve_forever()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        if args.stats:
+            _print_metrics_snapshot(engine.stats())
+        engine.close()
+    return 0
+
+
 def cmd_serve(args) -> int:
     """Serve repeated inference requests through the execution engine [real].
 
-    Runs a scaled-down Table-2 layer for ``--requests`` iterations through
+    With ``--listen HOST:PORT`` this becomes the real network server
+    (see :func:`_cmd_serve_listen`).  Otherwise it runs a scaled-down
+    Table-2 layer for ``--requests`` iterations through
     :class:`repro.core.engine.ConvolutionEngine` and reports first-call
     latency, warm latency percentiles, sustained request rate, and the
     plan-cache/arena statistics.  Unlike ``bench`` these are real wall
@@ -278,6 +337,9 @@ def cmd_serve(args) -> int:
     import numpy as np
 
     from repro.core.engine import ConvolutionEngine
+
+    if args.listen:
+        return _cmd_serve_listen(args)
 
     try:
         layer = get_layer(args.network, args.layer)
@@ -517,6 +579,22 @@ def build_parser() -> argparse.ArgumentParser:
                     help="periodic [stats] lines plus a final metrics snapshot")
     sv.add_argument("--trace-json", metavar="PATH",
                     help="write the span trace as JSON to PATH")
+    sv.add_argument("--listen", metavar="HOST:PORT",
+                    help="run the TCP serving front-end instead of the "
+                         "synthetic loop (JSON-lines protocol; port 0 = "
+                         "ephemeral)")
+    sv.add_argument("--max-batch", type=int, default=8,
+                    help="dynamic-batching cap per dispatch (listen mode)")
+    sv.add_argument("--window-ms", type=float, default=2.0,
+                    help="batching window in milliseconds (listen mode)")
+    sv.add_argument("--max-pending", type=int, default=1024,
+                    help="global pending-request cap before over_capacity "
+                         "rejects (listen mode)")
+    sv.add_argument("--tenant-max-pending", type=int, default=128,
+                    help="per-tenant pending-request quota (listen mode)")
+    sv.add_argument("--tenant-plan-mb", type=int, default=128,
+                    help="per-tenant plan-cache quota in MB; 0 disables "
+                         "(listen mode)")
     sv.set_defaults(fn=cmd_serve)
 
     rn = sub.add_parser(

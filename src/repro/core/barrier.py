@@ -64,11 +64,27 @@ class SpinBarrier:
             self._broken = True
             self._generation += 1  # release spinners into the broken check
 
-    def wait(self) -> int:
+    #: Seconds a parked waiter keeps busy-spinning before degrading to a
+    #: sleeping wait (see ``wait(park=True)``).  Long enough that a pool
+    #: under steady load never leaves the low-latency spin path.
+    PARK_SPIN_SECONDS = 0.01
+
+    def wait(self, park: bool = False) -> int:
         """Arrive and spin until all parties have arrived.
 
         Returns the generation index that completed.  The last arriver
         flips the generation; everyone else spins on it.
+
+        ``park=True`` marks an *idle* wait -- a worker parked at the fork
+        barrier with no round in flight.  There is no deadlock to guard
+        against in that state (the main thread simply has not forked
+        yet), so instead of raising :class:`BarrierTimeout` the waiter
+        degrades from the busy spin to a sleeping wait after
+        :data:`PARK_SPIN_SECONDS`.  A serving process keeps executor
+        pools alive across arbitrary idle gaps between requests; without
+        parking, 30 idle seconds would abort the barrier and permanently
+        break the pool.  In-round waits (``park=False``) keep the
+        timeout as the wedged-worker deadlock guard.
         """
         if self._broken:
             raise BarrierBroken("barrier was aborted")
@@ -83,12 +99,24 @@ class SpinBarrier:
                 self._generation += 1
                 return generation
         # Busy-wait on the generation word (lock-free reads).
-        deadline = time.monotonic() + self.timeout
+        deadline = time.monotonic() + (
+            self.PARK_SPIN_SECONDS if park else self.timeout
+        )
         spins = 0
         while self._generation == generation:
             spins += 1
             if spins % self.spin_yield == 0:
                 if time.monotonic() > deadline:
+                    if park:
+                        # Idle parking: stop burning the core, poll at
+                        # millisecond granularity until work (or
+                        # shutdown, or abort) flips the generation.
+                        while (
+                            self._generation == generation
+                            and not self._broken
+                        ):
+                            time.sleep(0.001)
+                        break
                     self.abort()
                     raise BarrierTimeout(
                         f"barrier wait exceeded {self.timeout}s "

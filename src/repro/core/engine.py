@@ -446,6 +446,12 @@ class PlanCache:
         self.stats = CacheStats()
         self.metrics = metrics
         self._entries: OrderedDict[PlanKey, PlanEntry] = OrderedDict()
+        # Multi-tenant attribution: which tenant's request built each
+        # entry.  Drives the per-tenant byte accounting and fair-share
+        # eviction the serving front-end's quotas rely on; entries built
+        # by anonymous (in-process) callers carry no owner and are only
+        # subject to the global LRU/byte budget.
+        self._owners: dict[PlanKey, str] = {}
         self._lock = threading.RLock()
 
     def _bump(self, name: str) -> None:
@@ -465,12 +471,15 @@ class PlanCache:
         with self._lock:
             return list(self._entries)
 
-    def get_or_create(self, key: PlanKey, build=None) -> PlanEntry:
+    def get_or_create(self, key: PlanKey, build=None, tenant: str | None = None) -> PlanEntry:
         """Return the cached entry for ``key``, building it on a miss.
 
         ``build`` overrides the default Winograd-plan construction --
         baseline-algorithm dispatch passes a :class:`BaselinePlanEntry`
         factory; the cache's LRU/byte accounting treats both uniformly.
+        ``tenant`` attributes a newly built entry to a serving tenant
+        for quota accounting (a cache hit never re-attributes: the
+        first builder pays, which is what fair-share eviction wants).
         """
         with self._lock:
             entry = self._entries.get(key)
@@ -503,6 +512,8 @@ class PlanCache:
             self.stats.misses += 1
             self._bump("misses")
             self._entries[key] = entry
+            if tenant is not None:
+                self._owners[key] = tenant
             self._recount()
             self._evict()
             return entry
@@ -572,9 +583,54 @@ class PlanCache:
         with self._lock:
             dropped = list(self._entries.values())
             self._entries.clear()
+            self._owners.clear()
             self.stats.bytes_cached = 0
         for entry in dropped:
             entry.release()
+
+    # -- multi-tenant accounting ---------------------------------------
+    def tenant_of(self, key: PlanKey) -> str | None:
+        with self._lock:
+            return self._owners.get(key)
+
+    def tenant_bytes(self, tenant: str) -> int:
+        """Bytes currently cached on behalf of ``tenant``."""
+        with self._lock:
+            return sum(
+                e.nbytes()
+                for k, e in self._entries.items()
+                if self._owners.get(k) == tenant
+            )
+
+    def evict_tenant(self, tenant: str, max_bytes: int) -> int:
+        """Fair-share eviction: drop ``tenant``'s LRU plans until its
+        cached bytes fit ``max_bytes``.
+
+        Only plans attributed to ``tenant`` are touched -- one tenant
+        blowing its quota can never push another tenant's warm plans
+        out (that remains the job of the global LRU budget).  Returns
+        the number of entries evicted.
+        """
+        victims: list[PlanEntry] = []
+        with self._lock:
+            owned = [k for k in self._entries if self._owners.get(k) == tenant]
+            used = sum(self._entries[k].nbytes() for k in owned)
+            for key in owned:  # OrderedDict order == LRU-first
+                if used <= max_bytes:
+                    break
+                entry = self._entries.pop(key)
+                self._owners.pop(key, None)
+                used -= entry.nbytes()
+                victims.append(entry)
+                self.stats.evictions += 1
+                self._bump("evictions")
+                if self.metrics is not None:
+                    self.metrics.counter("plan_cache.tenant_evictions").inc()
+            if victims:
+                self._recount()
+        for entry in victims:
+            entry.release()
+        return len(victims)
 
     # -- internal (callers hold the lock) ------------------------------
     def _recount(self) -> None:
@@ -589,7 +645,8 @@ class PlanCache:
         ):
             if len(self._entries) == 1 and len(self._entries) <= self.max_plans:
                 break  # never evict the sole (and only legal) resident
-            _, entry = self._entries.popitem(last=False)
+            key, entry = self._entries.popitem(last=False)
+            self._owners.pop(key, None)
             entry.release()  # tear down worker pools / shared memory
             self.stats.evictions += 1
             self._bump("evictions")
@@ -668,8 +725,15 @@ class WorkspaceArena:
             self.high_water_bytes = max(self.high_water_bytes, nbytes)
             buf: np.ndarray | None = None
             if self._free:
-                buf = max(self._free, key=lambda b: b.nbytes)
-                self._free.remove(buf)
+                # Pop by index, never list.remove(): removal by value
+                # would compare ndarrays elementwise, which raises as
+                # soon as the pool holds buffers of different sizes
+                # (e.g. a stale pre-growth buffer behind a grown one).
+                idx = max(
+                    range(len(self._free)),
+                    key=lambda i: self._free[i].nbytes,
+                )
+                buf = self._free.pop(idx)
             if buf is None or buf.nbytes < need:
                 buf = np.empty(max(need, self.capacity_bytes), dtype=np.uint8)
                 self.grows += 1
@@ -804,11 +868,24 @@ class _FusedPlan:
             )
             np.copyto(buf_tiles.reshape(view[step].shape), view[step])
 
-            # Stage 1b: U = B_kron @ tiles^T as a single GEMM.  The
+            # Stage 1b: U = B_kron @ tiles^T, one GEMM per sample.  The
             # transposed operand is BLAS-native (no materialized copy),
             # and the (T, B, C, N) result makes every stage-2 sub-matrix
-            # an F-contiguous (N, C) view -- also BLAS-native.
-            np.matmul(self.bk, buf_tiles.reshape(-1, t).T, out=buf_u.reshape(t, -1))
+            # an F-contiguous (N, C) view -- also BLAS-native.  The
+            # per-sample loop (rather than one (T, K) @ (K, B*C*N) GEMM)
+            # keeps every GEMM's shape independent of the batch size:
+            # BLAS kernel selection varies with matrix dimensions, so a
+            # batch-folded GEMM can round differently than the same
+            # sample computed alone.  Per-sample GEMMs make batched
+            # results bitwise identical to per-request runs -- the
+            # invariant the serving batcher and the differential suite's
+            # batch axis rely on.
+            for i in range(b):
+                np.matmul(
+                    self.bk,
+                    buf_tiles[i].reshape(-1, t).T,
+                    out=buf_u[:, i].reshape(t, -1),
+                )
 
         with tracer.span("fused.stage2"):
             # Stage 2: T x B batched GEMMs (N, C) @ (C, C').
@@ -1003,6 +1080,37 @@ class ConvolutionEngine:
         self._blocking_cache: dict[tuple, BlockingConfig] = {}
         self._algo_cache: dict[tuple, AlgorithmChoice] = {}
         self._lock = threading.Lock()
+        # close()-vs-in-flight-request accounting (see _request_guard).
+        self._inflight = 0
+        self._sweep_pending = False
+
+    # ------------------------------------------------------------------
+    @contextmanager
+    def _request_guard(self):
+        """Track in-flight requests so :meth:`close` cannot leak plans.
+
+        A request that is mid-fallback when ``close()`` clears the plan
+        cache will happily repopulate it (``process -> thread`` builds a
+        fresh entry -- potentially with pooled workers and shared-memory
+        segments).  ``close()`` flags that situation instead of racing
+        it: the *last* in-flight request to drain performs a second,
+        idempotent cache clear, so nothing the closed-over requests
+        rebuilt survives them.  Regression-tested by
+        ``tests/test_fault_injection.py``.
+        """
+        with self._lock:
+            self._inflight += 1
+        try:
+            yield
+        finally:
+            sweep = False
+            with self._lock:
+                self._inflight -= 1
+                if self._inflight == 0 and self._sweep_pending:
+                    self._sweep_pending = False
+                    sweep = True
+            if sweep:
+                self.plans.clear()
 
     # ------------------------------------------------------------------
     def run(
@@ -1017,6 +1125,7 @@ class ConvolutionEngine:
         blocking: BlockingConfig | None = None,
         backend: str | None = None,
         algorithm: str | None = None,
+        tenant: str | None = None,
         out: np.ndarray | None = None,
     ) -> np.ndarray:
         """Convolve ``images`` with ``kernels`` through the cached plan.
@@ -1030,7 +1139,31 @@ class ConvolutionEngine:
         of ``backend="blocked"``.  ``algorithm`` overrides the engine's
         algorithm default per call (``"auto"`` engages the portfolio
         planner); the backend knobs apply to the Winograd family only.
+        ``tenant`` attributes plans built for this request to a serving
+        tenant for quota accounting (see :meth:`PlanCache.evict_tenant`).
         """
+        with self._request_guard():
+            return self._run(
+                images, kernels, fmr=fmr, padding=padding, dtype=dtype,
+                blocked=blocked, blocking=blocking, backend=backend,
+                algorithm=algorithm, tenant=tenant, out=out,
+            )
+
+    def _run(
+        self,
+        images: np.ndarray,
+        kernels: np.ndarray,
+        *,
+        fmr: FmrSpec | str | None = None,
+        padding: tuple[int, ...] | None = None,
+        dtype=np.float32,
+        blocked: bool = False,
+        blocking: BlockingConfig | None = None,
+        backend: str | None = None,
+        algorithm: str | None = None,
+        tenant: str | None = None,
+        out: np.ndarray | None = None,
+    ) -> np.ndarray:
         images = np.asarray(images)
         kernels = np.asarray(kernels)
         if images.ndim < 3:
@@ -1064,7 +1197,8 @@ class ConvolutionEngine:
                 )
             if algo != "winograd":
                 return self._run_baseline(
-                    algo, images, kernels, padding, np.dtype(dtype), out
+                    algo, images, kernels, padding, np.dtype(dtype), out,
+                    tenant=tenant,
                 )
         if backend is None:
             backend = "blocked" if blocked else self.backend
@@ -1098,7 +1232,7 @@ class ConvolutionEngine:
                     try:
                         return self._dispatch(
                             current, spec, images, kernels, padding, dtype,
-                            blocking, out,
+                            blocking, out, tenant=tenant,
                         )
                     except FALLBACK_ERRORS as exc:
                         nxt = FALLBACK_NEXT.get(current)
@@ -1123,8 +1257,132 @@ class ConvolutionEngine:
                 )
 
     # ------------------------------------------------------------------
+    def run_many(
+        self,
+        images_list,
+        kernels: np.ndarray,
+        *,
+        fmr: FmrSpec | str | None = None,
+        padding: tuple[int, ...] | None = None,
+        dtype=np.float32,
+        blocked: bool = False,
+        blocking: BlockingConfig | None = None,
+        backend: str | None = None,
+        algorithm: str | None = None,
+        tenant: str | None = None,
+        pad_to: int | None = None,
+    ) -> list[np.ndarray]:
+        """Run a batch of same-shape requests as ONE dispatch round.
+
+        The serving front-end's coalescing entry point: ``images_list``
+        holds per-request image tensors sharing ``(C, *spatial)`` (their
+        leading batch dimensions may differ); they are stacked along the
+        batch axis and executed through a single :meth:`run` call -- one
+        plan-cache lookup, one kernel fingerprint, one arena lease, and
+        for the parallel backends one fork-join barrier round for the
+        whole batch instead of one per request.  The returned list holds
+        one output view per request, in order.
+
+        ``pad_to`` zero-pads the stacked batch up to a fixed size before
+        execution (the padded samples' outputs are discarded).  The
+        batcher uses power-of-two buckets so a queue draining at
+        arbitrary depths touches a bounded set of plan keys instead of
+        one per observed batch size.
+
+        Numerics: every executor computes output samples independently
+        (batched GEMMs iterate per-sample sub-matrices, schedules slice
+        rows, never reductions), so batched results are **bitwise
+        identical** to per-request :meth:`run` results -- asserted
+        across all backends by ``tests/test_differential.py``.
+        """
+        reqs = [np.asarray(im) for im in images_list]
+        if not reqs:
+            raise ValueError("run_many needs at least one request")
+        head = reqs[0]
+        if head.ndim < 3:
+            raise ValueError(
+                f"images must be (B, C, *spatial), got shape {head.shape}"
+            )
+        for im in reqs[1:]:
+            if im.shape[1:] != head.shape[1:]:
+                raise ValueError(
+                    f"run_many requests must share (C, *spatial): "
+                    f"{im.shape[1:]} != {head.shape[1:]}"
+                )
+        counts = [im.shape[0] for im in reqs]
+        total = sum(counts)
+        if pad_to is not None and pad_to < total:
+            raise ValueError(f"pad_to={pad_to} < batch total {total}")
+        stacked_b = pad_to if pad_to is not None else total
+        dtype = np.dtype(dtype)
+        stacked = np.zeros((stacked_b,) + head.shape[1:], dtype=dtype)
+        off = 0
+        for im in reqs:
+            stacked[off : off + im.shape[0]] = im
+            off += im.shape[0]
+        self.metrics.counter("engine.batch.requests").inc(len(reqs))
+        self.metrics.histogram("engine.batch.size").observe(len(reqs))
+        if stacked_b > total:
+            self.metrics.counter("engine.batch.padded_samples").inc(
+                stacked_b - total
+            )
+        out = self.run(
+            stacked, kernels, fmr=fmr, padding=padding, dtype=dtype,
+            blocked=blocked, blocking=blocking, backend=backend,
+            algorithm=algorithm, tenant=tenant,
+        )
+        results: list[np.ndarray] = []
+        off = 0
+        for b in counts:
+            results.append(out[off : off + b])
+            off += b
+        return results
+
+    # ------------------------------------------------------------------
+    def workspace_bytes(
+        self,
+        input_shape: tuple[int, ...],
+        c_out: int,
+        *,
+        fmr: FmrSpec | str | None = None,
+        padding: tuple[int, ...] | None = None,
+        dtype=np.float32,
+    ) -> int:
+        """Transient workspace demand of one execution at this signature.
+
+        The fused path's exact arena lease size, used by the serving
+        front-end's per-tenant arena quotas as the admission estimate
+        for every backend (the parallel backends' shared-memory
+        footprint is the same pipeline tensors).  Resolving the plan
+        warms the same cache entry execution will use, so admission
+        control does not duplicate planning work.
+        """
+        input_shape = tuple(input_shape)
+        ndim = len(input_shape) - 2
+        if padding is None:
+            padding = (0,) * ndim
+        padding = tuple(padding)
+        kernel_shape = (input_shape[1], c_out)
+        spec = self._resolve_spec(
+            fmr, input_shape,
+            kernel_shape + (FmrSpec.parse(fmr).r if isinstance(fmr, str)
+                            else fmr.r if fmr is not None else (3,) * ndim),
+            padding,
+        )
+        key = PlanKey(
+            spec=spec,
+            input_shape=input_shape,
+            c_out=c_out,
+            padding=padding,
+            dtype=np.dtype(dtype).name,
+        )
+        entry = self.plans.get_or_create(key)
+        return entry.fast.lease_bytes
+
+    # ------------------------------------------------------------------
     def _dispatch(
-        self, backend, spec, images, kernels, padding, dtype, blocking, out
+        self, backend, spec, images, kernels, padding, dtype, blocking, out,
+        tenant: str | None = None,
     ) -> np.ndarray:
         """Resolve the plan for ``backend`` and execute one attempt."""
         if backend == "blocked":
@@ -1144,7 +1402,7 @@ class ConvolutionEngine:
             blocking=blocking,
             backend=backend,
         )
-        entry = self.plans.get_or_create(key)
+        entry = self.plans.get_or_create(key, tenant=tenant)
         if backend == "blocked":
             return self._run_blocked(entry, images, kernels)
         if backend in ("thread", "process"):
@@ -1157,6 +1415,14 @@ class ConvolutionEngine:
                 respawn_budget=self.respawn_budget,
             )
             with self.tracer.span(f"execute.{backend}"):
+                if backend == "process":
+                    # Batched serving hits the same kernel tensor every
+                    # round; shipping its fingerprint lets the executor
+                    # skip the shared-memory kernel upload on a match.
+                    return execu.execute(
+                        images, kernels,
+                        kernels_fingerprint=kernel_fingerprint(kernels),
+                    )
                 return execu.execute(images, kernels)
         if backend == "compiled":
             execu = entry.compiled_executor(tracer=self.tracer, metrics=self.metrics)
@@ -1235,7 +1501,10 @@ class ConvolutionEngine:
             self._algo_cache[cache_key] = choice
         return choice
 
-    def _run_baseline(self, algo, images, kernels, padding, dtype, out) -> np.ndarray:
+    def _run_baseline(
+        self, algo, images, kernels, padding, dtype, out,
+        tenant: str | None = None,
+    ) -> np.ndarray:
         """One request through a non-Winograd portfolio algorithm."""
         self.metrics.counter(f"engine.requests.{algo}").inc()
         t0 = time.perf_counter()
@@ -1258,6 +1527,7 @@ class ConvolutionEngine:
                     build=lambda: BaselinePlanEntry(
                         key, make_baseline(algo, self.machine), layer
                     ),
+                    tenant=tenant,
                 )
                 prepared = self.plans.baseline_prepared(entry, kernels)
                 with self.tracer.span(f"execute.{algo}"):
@@ -1409,7 +1679,15 @@ class ConvolutionEngine:
         shared-memory segments; dropping the plan cache shuts them all
         down.  The engine stays usable afterwards -- plans simply
         rebuild on the next call.
+
+        Safe to call with requests in flight: a request mid-fallback
+        repopulates the cache it was using, so the last such request to
+        drain re-clears it (see :meth:`_request_guard`), guaranteeing no
+        worker pool or shared-memory segment outlives both the close and
+        the requests it raced.
         """
+        with self._lock:
+            self._sweep_pending = self._inflight > 0
         self.plans.clear()
 
     def __enter__(self) -> "ConvolutionEngine":

@@ -58,7 +58,10 @@ class ForkJoinPool:
     # ------------------------------------------------------------------
     def _worker_loop(self, thread_id: int) -> None:
         while True:
-            self._barrier.wait()  # fork: wait for an assignment
+            # Fork: wait for an assignment.  Parked (no deadlock guard,
+            # spin degrades to sleep): between requests a serving-stack
+            # pool is legitimately idle for arbitrary stretches.
+            self._barrier.wait(park=True)
             if self._shutdown:
                 return
             assignment = self._assignment

@@ -678,6 +678,10 @@ class ProcessWinogradExecutor:
             slice(p, p + sz) for p, sz in zip(plan.padding, plan.input_shape[2:])
         )
         self._exec_lock = threading.Lock()
+        #: Fingerprint of the kernel tensor currently uploaded to the
+        #: shared segment (batch serving re-sends the same kernels every
+        #: round; see :meth:`execute`).
+        self._kernels_fp: str | None = None
         self._tracer = self.tracer if self.tracer is not None else NULL_TRACER
         if self.metrics is None:
             self.metrics = MetricsRegistry()
@@ -740,11 +744,27 @@ class ProcessWinogradExecutor:
             # integrity check must catch it.
             self._padded.flat[0] += 1.0
 
-    def execute(self, images: np.ndarray, kernels: np.ndarray) -> np.ndarray:
+    def execute(
+        self,
+        images: np.ndarray,
+        kernels: np.ndarray,
+        *,
+        kernels_fingerprint: str | None = None,
+    ) -> np.ndarray:
         """Run all four stages across the worker processes.
 
         Serialized internally: the executor owns ONE shared workspace,
         so concurrent callers take turns (the engine leans on this).
+
+        ``kernels_fingerprint`` is the batch-dispatch fast path: when
+        the caller already knows a content fingerprint for ``kernels``
+        (the engine's plan cache computes one anyway for the FX
+        memoization) and it matches the tensor uploaded by the previous
+        call, the kernel copy into shared memory is skipped -- under
+        batched serving the kernels are identical every round, so only
+        the per-batch image bytes cross the process boundary.  The
+        post-run CRC check still covers the kernel segment, so a stale
+        or corrupted upload can never silently poison a batch.
 
         Failure semantics: a dead/wedged worker raises
         :class:`WorkerCrashError` and schedules a pool respawn (within
@@ -767,7 +787,15 @@ class ProcessWinogradExecutor:
             self._ensure_pool()
             self._padded[...] = 0
             self._padded[self._interior] = images
-            self._kernels[...] = kernels
+            if (
+                kernels_fingerprint is None
+                or kernels_fingerprint != self._kernels_fp
+            ):
+                self._kernels[...] = kernels
+                self.metrics.counter("process.kernel_uploads").inc()
+            else:
+                self.metrics.counter("process.kernel_upload_skips").inc()
+            self._kernels_fp = kernels_fingerprint
             crc_before = None
             if self.verify_workspace:
                 crc_before = (_buffer_crc(self._padded), _buffer_crc(self._kernels))
@@ -789,6 +817,9 @@ class ProcessWinogradExecutor:
                     )
                     if crc_after != crc_before:
                         self.metrics.counter("process.corruptions").inc()
+                        # The kernel segment can no longer be trusted:
+                        # force a fresh upload on the next round.
+                        self._kernels_fp = None
                         raise WorkspaceCorruptionError(
                             "input workspace checksum changed during the run "
                             f"(padded/kernels CRC {crc_before} -> {crc_after}); "
@@ -809,12 +840,20 @@ class ProcessWinogradExecutor:
 
     # ------------------------------------------------------------------
     def shutdown(self) -> None:
-        """Stop the workers and unlink every shared segment (idempotent)."""
-        try:
-            if self.pool is not None:
-                self.pool.shutdown()
-        finally:
-            self.arena.release()
+        """Stop the workers and unlink every shared segment (idempotent).
+
+        Serializes with :meth:`execute` on the executor lock: a shutdown
+        racing an in-flight request (the engine's ``close()`` during a
+        backend fallback, a cache eviction under load) waits for the
+        current fork-join round to drain instead of unlinking the shared
+        segments underneath the workers.
+        """
+        with self._exec_lock:
+            try:
+                if self.pool is not None:
+                    self.pool.shutdown()
+            finally:
+                self.arena.release()
 
     def __enter__(self) -> "ProcessWinogradExecutor":
         return self

@@ -119,6 +119,20 @@ class Gauge:
             self._fn = None
             self._value = float(value)
 
+    def add(self, delta: float) -> None:
+        """Atomic relative update (queue depths, in-flight byte counts).
+
+        Level-tracking gauges are written from many tasks at once;
+        read-modify-write through :meth:`set` would race, so the delta
+        is applied under the gauge's own lock.  Detaches a callable
+        backing, like :meth:`set`.
+        """
+        with self._lock:
+            if self._fn is not None:
+                self._value = float(self._fn())
+                self._fn = None
+            self._value += float(delta)
+
     @property
     def value(self) -> float:
         with self._lock:

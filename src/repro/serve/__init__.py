@@ -1,0 +1,38 @@
+"""Multi-tenant serving front-end (asyncio TCP + dynamic batching)."""
+
+from repro.serve.batcher import BatchKey, BatchResult, DynamicBatcher, batch_bucket
+from repro.serve.client import ServeClient
+from repro.serve.protocol import (
+    ERROR_CODES,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode_message,
+    decode_tensor,
+    encode_message,
+    encode_tensor,
+    tensor_digest,
+)
+from repro.serve.server import ConvServer, Model, ModelRegistry
+from repro.serve.tenants import QuotaExceeded, TenantManager, TenantQuota
+
+__all__ = [
+    "BatchKey",
+    "BatchResult",
+    "ConvServer",
+    "DynamicBatcher",
+    "ERROR_CODES",
+    "Model",
+    "ModelRegistry",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "QuotaExceeded",
+    "ServeClient",
+    "TenantManager",
+    "TenantQuota",
+    "batch_bucket",
+    "decode_message",
+    "decode_tensor",
+    "encode_message",
+    "encode_tensor",
+    "tensor_digest",
+]

@@ -1,0 +1,187 @@
+"""Asyncio client for the serving protocol.
+
+A thin pipelined client: every request carries a fresh ``id``, a
+background reader task routes each reply line to the matching future, so
+a single connection can keep arbitrarily many requests in flight --
+which is exactly what the dynamic batcher needs to see to coalesce, and
+what the open-loop load generator in ``benchmarks/bench_serve_load.py``
+uses to apply offered load independent of service latency.
+
+Error replies surface as :class:`~repro.serve.protocol.ProtocolError`
+(code + message + optional ``retry_after_ms``) so callers can tell a
+backpressure reject (retryable) from a hard failure.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+
+import numpy as np
+
+from repro.serve.protocol import (
+    ProtocolError,
+    decode_message,
+    decode_tensor,
+    encode_message,
+    encode_tensor,
+)
+
+
+class ServeClient:
+    """One pipelined connection to a :class:`~repro.serve.server.ConvServer`."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        tenant: str = "default",
+        read_limit: int = 64 << 20,
+    ):
+        self.host = host
+        self.port = port
+        self.tenant = tenant
+        self.read_limit = read_limit
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+        self._reader_task: asyncio.Task | None = None
+        self._futures: dict[int, asyncio.Future] = {}
+        self._ids = itertools.count(1)
+        self._write_lock = asyncio.Lock()
+
+    async def connect(self) -> dict:
+        """Open the connection, start the reply router, bind the tenant."""
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port, limit=self.read_limit
+        )
+        self._reader_task = asyncio.create_task(self._route_replies())
+        return await self._request({"op": "hello", "tenant": self.tenant})
+
+    async def __aenter__(self) -> "ServeClient":
+        await self.connect()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    async def close(self) -> None:
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                pass
+            self._reader_task = None
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+            self._writer = None
+        self._fail_pending(ProtocolError("internal", "connection closed"))
+
+    # ------------------------------------------------------------------
+    async def register(
+        self, model: str, kernels: np.ndarray, padding: tuple[int, ...] | list[int]
+    ) -> dict:
+        return await self._request(
+            {
+                "op": "register",
+                "model": model,
+                "kernels": encode_tensor(np.asarray(kernels)),
+                "padding": [int(p) for p in padding],
+            }
+        )
+
+    async def stats(self) -> dict:
+        return await self._request({"op": "stats"})
+
+    async def infer(
+        self, model: str, images: np.ndarray, *, respond: str = "full"
+    ) -> dict:
+        """One inference round-trip; see :meth:`submit` for pipelining."""
+        return await (await self.submit(model, images, respond=respond))
+
+    async def submit(
+        self, model: str, images: np.ndarray, *, respond: str = "full"
+    ) -> asyncio.Future:
+        """Fire one infer and return its future without awaiting it.
+
+        The open-loop pattern: issue at the offered rate, collect
+        completions later.  The returned future resolves to the decoded
+        reply dict (with ``output`` as an ndarray when ``respond`` is
+        ``"full"``) or raises :class:`ProtocolError`.
+        """
+        request_id = next(self._ids)
+        fut = asyncio.get_running_loop().create_future()
+        self._futures[request_id] = fut
+        msg = {
+            "op": "infer",
+            "id": request_id,
+            "model": model,
+            "images": encode_tensor(np.asarray(images)),
+            "respond": respond,
+        }
+        try:
+            await self._write(msg)
+        except Exception:
+            self._futures.pop(request_id, None)
+            raise
+        return fut
+
+    # ------------------------------------------------------------------
+    async def _request(self, msg: dict) -> dict:
+        """Send one control op and await its id-matched reply."""
+        request_id = next(self._ids)
+        fut = asyncio.get_running_loop().create_future()
+        self._futures[request_id] = fut
+        await self._write({**msg, "id": request_id})
+        return await fut
+
+    async def _write(self, msg: dict) -> None:
+        if self._writer is None:
+            raise ProtocolError("internal", "client is not connected")
+        data = encode_message(msg)
+        async with self._write_lock:
+            self._writer.write(data)
+            await self._writer.drain()
+
+    async def _route_replies(self) -> None:
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    self._fail_pending(
+                        ProtocolError("internal", "server closed the connection")
+                    )
+                    return
+                reply = decode_message(line)
+                fut = self._futures.pop(reply.get("id"), None)
+                if fut is None or fut.done():
+                    continue
+                if reply.get("ok"):
+                    if "output" in reply:
+                        reply["output"] = decode_tensor(reply["output"])
+                    fut.set_result(reply)
+                else:
+                    fut.set_exception(
+                        ProtocolError(
+                            reply.get("error", "internal"),
+                            reply.get("message", "request failed"),
+                            retry_after_ms=reply.get("retry_after_ms"),
+                        )
+                    )
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # noqa: BLE001 - connection fault boundary
+            self._fail_pending(ProtocolError("internal", f"reader failed: {exc}"))
+
+    def _fail_pending(self, exc: ProtocolError) -> None:
+        for fut in self._futures.values():
+            if not fut.done():
+                fut.set_exception(
+                    ProtocolError(exc.code, str(exc), exc.retry_after_ms)
+                )
+        self._futures.clear()

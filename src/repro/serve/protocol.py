@@ -1,0 +1,156 @@
+"""Wire protocol for the serving front-end: JSON lines over TCP.
+
+One message per ``\\n``-terminated line, each a single JSON object.
+Tensors travel as base64-encoded little-endian bytes next to their
+shape/dtype (:func:`encode_tensor` / :func:`decode_tensor`), so the
+protocol stays debuggable with ``nc`` and needs nothing beyond the
+standard library.  Large-tensor framing is bounded by the server's
+configured read limit, not by the protocol itself.
+
+Request ops (client -> server):
+
+``hello``
+    ``{"op": "hello", "tenant": "team-a"}`` -- binds the connection to a
+    tenant for quota accounting and per-tenant metrics.  Optional; an
+    anonymous connection serves under the ``"default"`` tenant.
+``register``
+    ``{"op": "register", "model": "vgg3.2", "kernels": <tensor>,
+    "padding": [1, 1]}`` -- uploads a kernel tensor once; subsequent
+    ``infer`` calls reference it by name.  This is the paper's "FX"
+    amortization pushed to the protocol level: kernels cross the wire
+    (and the kernel-transform cache) once, not per request.
+``infer``
+    ``{"op": "infer", "id": 7, "model": "vgg3.2", "images": <tensor>,
+    "respond": "full" | "checksum"}`` -- one inference request.  The
+    reply echoes ``id`` (replies may be reordered by batching) and
+    carries either the full output tensor or just its digest
+    (``"checksum"`` keeps load generators off the serialization path).
+``stats``
+    ``{"op": "stats"}`` -- metrics snapshot (queue depth, batch-size
+    distribution, per-tenant latency percentiles, reject counters).
+
+Replies carry ``"ok": true`` plus op-specific fields, or ``"ok": false``
+with ``"error"`` set to a stable code from :data:`ERROR_CODES` --
+``over_capacity`` and ``quota_exceeded`` additionally carry
+``retry_after_ms``, the HTTP-503-style backpressure contract: the
+request was *not* executed and may be retried after the hint.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+
+import numpy as np
+
+#: Protocol version, echoed in the ``hello`` reply; bump on breaking
+#: wire changes so old clients fail loudly instead of misparsing.
+PROTOCOL_VERSION = 1
+
+#: Stable error codes (the protocol's status vocabulary).
+ERROR_CODES = (
+    "bad_request",      # malformed message / unknown op / shape errors
+    "unknown_model",    # infer against a model this tenant never registered
+    "over_capacity",    # admission control: queues full, retry later
+    "quota_exceeded",   # per-tenant quota (pending/plan-cache/arena) hit
+    "internal",         # unexpected server-side failure
+)
+
+#: Dtypes allowed on the wire (little-endian numpy names).
+WIRE_DTYPES = ("float32", "float64")
+
+
+class ProtocolError(Exception):
+    """A malformed or rejected message, carrying its wire error code."""
+
+    def __init__(self, code: str, message: str, retry_after_ms: float | None = None):
+        if code not in ERROR_CODES:
+            raise ValueError(f"unknown error code {code!r}")
+        super().__init__(message)
+        self.code = code
+        self.retry_after_ms = retry_after_ms
+
+    def as_reply(self, request_id=None) -> dict:
+        reply = {"ok": False, "error": self.code, "message": str(self)}
+        if request_id is not None:
+            reply["id"] = request_id
+        if self.retry_after_ms is not None:
+            reply["retry_after_ms"] = self.retry_after_ms
+        return reply
+
+
+# ----------------------------------------------------------------------
+# Tensor encoding
+# ----------------------------------------------------------------------
+def encode_tensor(arr: np.ndarray) -> dict:
+    """JSON-safe envelope for an ndarray (shape, dtype, base64 bytes)."""
+    arr = np.ascontiguousarray(arr)
+    if arr.dtype.name not in WIRE_DTYPES:
+        raise ProtocolError(
+            "bad_request", f"dtype {arr.dtype.name!r} not in {WIRE_DTYPES}"
+        )
+    data = arr.astype(arr.dtype.newbyteorder("<"), copy=False)
+    return {
+        "shape": list(arr.shape),
+        "dtype": arr.dtype.name,
+        "data_b64": base64.b64encode(data.tobytes()).decode("ascii"),
+    }
+
+
+def decode_tensor(obj) -> np.ndarray:
+    """Inverse of :func:`encode_tensor`, validating shape/dtype/length."""
+    if not isinstance(obj, dict):
+        raise ProtocolError("bad_request", "tensor field must be an object")
+    try:
+        shape = tuple(int(d) for d in obj["shape"])
+        dtype = str(obj["dtype"])
+        raw = base64.b64decode(obj["data_b64"], validate=True)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ProtocolError("bad_request", f"malformed tensor: {exc}") from None
+    if dtype not in WIRE_DTYPES:
+        raise ProtocolError("bad_request", f"dtype {dtype!r} not in {WIRE_DTYPES}")
+    if any(d < 0 for d in shape):
+        raise ProtocolError("bad_request", f"negative dimension in {shape}")
+    dt = np.dtype(dtype).newbyteorder("<")
+    expected = int(np.prod(shape, dtype=np.int64)) * dt.itemsize
+    if len(raw) != expected:
+        raise ProtocolError(
+            "bad_request",
+            f"tensor payload is {len(raw)} bytes, shape {shape} needs {expected}",
+        )
+    return np.frombuffer(raw, dtype=dt).astype(np.dtype(dtype)).reshape(shape)
+
+
+def tensor_digest(arr: np.ndarray) -> str:
+    """Content digest of a tensor (shape + dtype + exact bytes).
+
+    Bitwise-sensitive by construction: the soak tests compare each
+    response's digest against an oracle computed out-of-band, so any
+    corruption (dropped batch member, mis-split output, scribbled
+    buffer) flips the digest.
+    """
+    arr = np.ascontiguousarray(arr)
+    h = hashlib.blake2b(digest_size=16)
+    h.update(str(arr.shape).encode())
+    h.update(arr.dtype.name.encode())
+    h.update(arr.astype(arr.dtype.newbyteorder("<"), copy=False).tobytes())
+    return h.hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Message framing
+# ----------------------------------------------------------------------
+def encode_message(msg: dict) -> bytes:
+    """One JSON-lines frame (compact separators, trailing newline)."""
+    return json.dumps(msg, separators=(",", ":")).encode() + b"\n"
+
+
+def decode_message(line: bytes) -> dict:
+    try:
+        msg = json.loads(line)
+    except ValueError as exc:
+        raise ProtocolError("bad_request", f"invalid JSON: {exc}") from None
+    if not isinstance(msg, dict):
+        raise ProtocolError("bad_request", "message must be a JSON object")
+    return msg

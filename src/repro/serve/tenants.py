@@ -1,0 +1,159 @@
+"""Per-tenant quotas for the serving front-end.
+
+Three resources are metered per tenant, mapping onto the three things a
+misbehaving client could otherwise exhaust:
+
+* **pending requests** -- queued + in-flight request count; exceeding it
+  is the per-tenant flavor of backpressure (the global admission cap in
+  the batcher is the other).  Rejects carry ``retry_after_ms``.
+* **plan-cache bytes** -- plans built on a tenant's behalf are
+  attributed to it inside :class:`~repro.core.engine.PlanCache`; after
+  each batch the manager evicts that tenant's least-recently-used plans
+  back under quota (*fair-share*: one tenant's overflow never evicts
+  another tenant's warm plans).
+* **arena/workspace bytes** -- concurrent transient-workspace demand,
+  estimated by the engine's exact fused-path lease size for the batch
+  shape.  A batch whose lease would push the tenant past its cap is
+  rejected before execution rather than after the memory is committed.
+
+The manager is shared between the asyncio event loop (admission) and
+the dispatch threads (arena leases, plan-quota sweeps), so every state
+transition happens under one lock.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from repro.obs.metrics import MetricsRegistry, labeled
+from repro.serve.protocol import ProtocolError
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Resource caps for one tenant (``None`` disables a dimension)."""
+
+    max_pending: int = 128
+    max_plan_bytes: int | None = 128 << 20
+    max_arena_bytes: int | None = None
+
+    def __post_init__(self):
+        if self.max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {self.max_pending}")
+        for name in ("max_plan_bytes", "max_arena_bytes"):
+            v = getattr(self, name)
+            if v is not None and v < 1:
+                raise ValueError(f"{name} must be >= 1 or None, got {v}")
+
+
+class QuotaExceeded(ProtocolError):
+    """A tenant hit one of its quota dimensions; carries retry hint."""
+
+    def __init__(self, message: str, retry_after_ms: float = 50.0):
+        super().__init__("quota_exceeded", message, retry_after_ms=retry_after_ms)
+
+
+class TenantManager:
+    """Admission + accounting for all tenants a server knows about."""
+
+    def __init__(
+        self,
+        default_quota: TenantQuota | None = None,
+        metrics: MetricsRegistry | None = None,
+    ):
+        self.default_quota = default_quota if default_quota is not None else TenantQuota()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._quotas: dict[str, TenantQuota] = {}
+        self._pending: dict[str, int] = {}
+        self._arena: dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    def set_quota(self, tenant: str, quota: TenantQuota) -> None:
+        with self._lock:
+            self._quotas[tenant] = quota
+
+    def quota(self, tenant: str) -> TenantQuota:
+        with self._lock:
+            return self._quotas.get(tenant, self.default_quota)
+
+    # -- pending-request accounting ------------------------------------
+    def admit(self, tenant: str) -> None:
+        """Count one request in; raises :class:`QuotaExceeded` when the
+        tenant's pending cap is hit (the request must NOT be enqueued)."""
+        q = self.quota(tenant)
+        with self._lock:
+            pending = self._pending.get(tenant, 0)
+            if pending >= q.max_pending:
+                self.metrics.counter(
+                    labeled("serve.rejects", reason="quota_pending", tenant=tenant)
+                ).inc()
+                raise QuotaExceeded(
+                    f"tenant {tenant!r} has {pending} pending requests "
+                    f"(cap {q.max_pending})"
+                )
+            self._pending[tenant] = pending + 1
+        self.metrics.gauge(labeled("serve.tenant_pending", tenant=tenant)).add(1)
+
+    def release(self, tenant: str) -> None:
+        """Count one request out (response sent or request rejected later)."""
+        with self._lock:
+            self._pending[tenant] = max(0, self._pending.get(tenant, 0) - 1)
+        self.metrics.gauge(labeled("serve.tenant_pending", tenant=tenant)).add(-1)
+
+    def pending(self, tenant: str) -> int:
+        with self._lock:
+            return self._pending.get(tenant, 0)
+
+    # -- arena (workspace) accounting ----------------------------------
+    def lease_arena(self, tenant: str, nbytes: int) -> None:
+        """Reserve workspace bytes for a batch about to execute."""
+        q = self.quota(tenant)
+        with self._lock:
+            used = self._arena.get(tenant, 0)
+            if q.max_arena_bytes is not None and used + nbytes > q.max_arena_bytes:
+                self.metrics.counter(
+                    labeled("serve.rejects", reason="quota_arena", tenant=tenant)
+                ).inc()
+                raise QuotaExceeded(
+                    f"tenant {tenant!r} workspace demand {used + nbytes} B "
+                    f"exceeds arena quota {q.max_arena_bytes} B"
+                )
+            self._arena[tenant] = used + nbytes
+
+    def release_arena(self, tenant: str, nbytes: int) -> None:
+        with self._lock:
+            self._arena[tenant] = max(0, self._arena.get(tenant, 0) - nbytes)
+
+    # -- plan-cache fair share -----------------------------------------
+    def enforce_plan_quota(self, tenant: str, plan_cache) -> int:
+        """Evict ``tenant``'s LRU plans back under its byte quota.
+
+        Called after each batch (plans grow only when requests build
+        them, so post-batch is the only time the usage can have risen).
+        Returns the number of evicted entries.
+        """
+        q = self.quota(tenant)
+        if q.max_plan_bytes is None:
+            return 0
+        if plan_cache.tenant_bytes(tenant) <= q.max_plan_bytes:
+            return 0
+        evicted = plan_cache.evict_tenant(tenant, q.max_plan_bytes)
+        if evicted:
+            self.metrics.counter(
+                labeled("serve.plan_evictions", tenant=tenant)
+            ).inc(evicted)
+        return evicted
+
+    # -- reporting -----------------------------------------------------
+    def snapshot(self) -> dict[str, dict]:
+        with self._lock:
+            tenants = set(self._pending) | set(self._arena) | set(self._quotas)
+            return {
+                t: {
+                    "pending": self._pending.get(t, 0),
+                    "arena_bytes": self._arena.get(t, 0),
+                    "max_pending": self._quotas.get(t, self.default_quota).max_pending,
+                }
+                for t in sorted(tenants)
+            }

@@ -143,6 +143,60 @@ class TestCliServe:
             }
             assert span["end"] >= span["start"]
 
+    def test_serve_listen_rejects_bad_address(self, capsys):
+        assert main(["serve", "--listen", "nonsense"]) == 2
+        assert "HOST:PORT" in capsys.readouterr().err
+
+    @pytest.mark.slow
+    def test_serve_listen_roundtrip_subprocess(self):
+        """Boot the real TCP front-end on an ephemeral port, register a
+        model and run one inference through it, then SIGINT it down."""
+        import asyncio
+        import os
+        import re
+        import signal
+        import subprocess
+        import sys as _sys
+
+        import numpy as np
+
+        from repro.serve import ServeClient, tensor_digest
+
+        env = dict(os.environ, PYTHONPATH="src", PYTHONUNBUFFERED="1")
+        proc = subprocess.Popen(
+            [_sys.executable, "-m", "repro.cli", "serve",
+             "--listen", "127.0.0.1:0"],
+            cwd="/root/repo", env=env, stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE, text=True,
+        )
+        try:
+            line = proc.stdout.readline()
+            m = re.match(r"serving on 127\.0\.0\.1:(\d+) ", line)
+            assert m, f"unexpected banner: {line!r}"
+            port = int(m.group(1))
+
+            rng = np.random.default_rng(7)
+            ker = (rng.standard_normal((8, 8, 3, 3)) * 0.2).astype(np.float32)
+            img = rng.standard_normal((2, 8, 8, 8)).astype(np.float32)
+
+            async def roundtrip():
+                async with ServeClient("127.0.0.1", port) as cli:
+                    await cli.register("m", ker, [1, 1])
+                    return await cli.infer("m", img)
+
+            rep = asyncio.run(roundtrip())
+            assert rep["digest"] == tensor_digest(rep["output"])
+            assert rep["output"].shape == (2, 8, 8, 8)
+
+            proc.send_signal(signal.SIGINT)
+            out, err = proc.communicate(timeout=20)
+            assert proc.returncode == 0, err
+            assert "shutting down" in out
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+
 
 class TestCliRun:
     RUN_ARGS = [

@@ -224,6 +224,121 @@ def test_compiled_fallback_is_visible_and_correct(monkeypatch):
 
 
 # ----------------------------------------------------------------------
+# Batch axis: the serving batcher's coalescing contract.
+#
+# ``ConvolutionEngine.run_many`` stacks same-(C, *spatial) requests
+# along the batch dimension (optionally zero-padding up to a bucket
+# size) and executes them as ONE dispatch.  The contract the serving
+# front-end sells is that coalescing is *invisible*: every request's
+# output is bitwise identical to what a lone ``run`` call would have
+# produced.  That holds because every executor computes output samples
+# independently -- per-sample stage-1 GEMMs in the fused path, per-tile
+# block-K loops everywhere else -- and these tests pin it across all
+# backends and across randomly composed mixed-shape queues.
+# ----------------------------------------------------------------------
+ENGINE_BACKENDS = ("fused", "blocked", "thread", "process", "compiled")
+
+
+@pytest.mark.parametrize("backend", ENGINE_BACKENDS)
+def test_run_many_bitwise_equals_run(backend):
+    if backend == "compiled" and not compiled_available():
+        pytest.skip("no C toolchain")
+    spec = FmrSpec(m=(2, 2), r=(3, 3))
+    rng = np.random.default_rng(11)
+    ker = (rng.standard_normal((16, 16, 3, 3)) * 0.2).astype(np.float32)
+    # Mixed per-request batch sizes, coalesced total 5, bucketed to 8.
+    reqs = [
+        rng.standard_normal((b, 16, 10, 10)).astype(np.float32)
+        for b in (1, 2, 1, 1)
+    ]
+    kwargs = dict(fmr=spec, padding=(1, 1), dtype=np.float32, backend=backend)
+    if backend in ("blocked", "thread", "process", "compiled"):
+        kwargs["blocking"] = BLK
+    with ConvolutionEngine(n_workers=2) as engine:
+        batched = engine.run_many(reqs, ker, pad_to=8, **kwargs)
+        singles = [engine.run(im, ker, **kwargs) for im in reqs]
+    for i, (one, many) in enumerate(zip(singles, batched)):
+        np.testing.assert_array_equal(
+            one, many,
+            err_msg=f"{backend}: request {i} batched != per-request",
+        )
+    # And the batch is still the right convolution.
+    for im, many in zip(reqs, batched):
+        ref = direct_convolution(
+            im.astype(np.float64), ker.astype(np.float64), (1, 1)
+        )
+        scale = float(np.abs(ref).max())
+        np.testing.assert_allclose(
+            many.astype(np.float64), ref, atol=5e-4 * scale, rtol=0,
+            err_msg=f"{backend}: batched result vs direct oracle",
+        )
+
+
+def test_run_many_rejects_mismatched_signatures():
+    rng = np.random.default_rng(0)
+    ker = (rng.standard_normal((8, 8, 3, 3)) * 0.2).astype(np.float32)
+    a = rng.standard_normal((1, 8, 8, 8)).astype(np.float32)
+    b = rng.standard_normal((1, 8, 10, 10)).astype(np.float32)
+    with ConvolutionEngine() as engine:
+        with pytest.raises(ValueError, match="share"):
+            engine.run_many([a, b], ker, padding=(1, 1))
+        with pytest.raises(ValueError, match="pad_to"):
+            engine.run_many([a], ker, padding=(1, 1), pad_to=0)
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_fuzz_mixed_shape_queue_batching(seed):
+    """Randomly composed multi-shape queues, grouped the way the serving
+    batcher keys them, stay bitwise-faithful to per-request execution.
+
+    Emulates the server's shape-keyed coalescing: a shuffled queue of
+    requests over several (C, *spatial) signatures is grouped by
+    signature, each group runs as one bucketed ``run_many`` dispatch
+    on a SHARED engine (so groups contend for the same plan cache and
+    arena, as they do in the server), and every output is compared
+    bitwise against a lone ``run`` of the same request.
+    """
+    r = random.Random(4200 + seed)
+    rng = np.random.default_rng(4200 + seed)
+    signatures = r.sample(
+        [(8, (8, 8)), (8, (10, 10)), (16, (8, 8)), (8, (6, 6, 6))], k=3
+    )
+    kernels = {}
+    queue = []
+    for c, spatial in signatures:
+        nd = len(spatial)
+        kernels[(c, spatial)] = (
+            rng.standard_normal((c, 8) + (3,) * nd) * 0.2
+        ).astype(np.float32)
+        for _ in range(r.randint(1, 4)):
+            queue.append(
+                (c, spatial,
+                 rng.standard_normal((r.randint(1, 2), c) + spatial)
+                 .astype(np.float32))
+            )
+    r.shuffle(queue)
+    with ConvolutionEngine() as engine:
+        groups: dict[tuple, list[np.ndarray]] = {}
+        for c, spatial, im in queue:
+            groups.setdefault((c, spatial), []).append(im)
+        for (c, spatial), reqs in groups.items():
+            nd = len(spatial)
+            ker = kernels[(c, spatial)]
+            total = sum(im.shape[0] for im in reqs)
+            pad_to = 1 << (total - 1).bit_length()  # power-of-two bucket
+            batched = engine.run_many(
+                reqs, ker, padding=(1,) * nd, pad_to=pad_to
+            )
+            for i, (im, many) in enumerate(zip(reqs, batched)):
+                one = engine.run(im, ker, padding=(1,) * nd)
+                np.testing.assert_array_equal(
+                    one, many,
+                    err_msg=(f"seed={seed} sig=({c},{spatial}) request {i}: "
+                             f"batched != per-request"),
+                )
+
+
+# ----------------------------------------------------------------------
 # Shape fuzzing: process backend vs the im2col-style direct oracle.
 # ----------------------------------------------------------------------
 def _fuzz_one(ndim, m, channels, c_out, batch, size, pad):

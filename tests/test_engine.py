@@ -162,6 +162,21 @@ class TestWorkspaceArena:
             b[:] = 2.0
             assert np.all(a == 1.0)
 
+    def test_mixed_size_pool_reacquire(self):
+        """Regression: acquiring from a pool holding buffers of
+        *different* sizes must not compare ndarrays by value (the old
+        ``list.remove`` path broadcast-compared a stale pre-growth
+        buffer against the grown one and raised ValueError)."""
+        arena = WorkspaceArena()
+        with arena.lease(1000):          # allocates the small buffer
+            with arena.lease(50000):     # concurrent -> second, larger buffer
+                pass
+        # Pool now holds [small, large]; the next acquire must pick and
+        # pop the large one without touching the small one.
+        with arena.lease(50000) as lease:
+            lease.take((50000,), np.uint8)
+        assert arena.grows == 2  # no fresh allocation on the reacquire
+
 
 class TestEngineCorrectness:
     def _compare(self, engine, img, ker, padding, **kwargs):

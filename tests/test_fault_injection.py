@@ -233,6 +233,66 @@ class TestFallbackChain:
                 == 1
             )
 
+    def test_close_during_inflight_fallback_sweeps_everything(self, monkeypatch):
+        """``close()`` landing while a request is mid-fallback must not
+        leak the plan entries (pools, shared memory) that the fallback
+        rebuilds *after* close already swept the cache.
+
+        Sequence forced here: a worker crash reroutes the request to the
+        thread backend; close() runs after the crash but before the
+        fallback dispatch; the fallback then repopulates the plan cache
+        with a fresh thread-pool entry.  The draining request must
+        re-run the sweep on its way out, leaving the engine truly closed
+        (empty cache, no live shm segments -- the session-wide shm-leak
+        fixture backstops the latter).
+        """
+        import threading
+
+        from repro.core.shm import active_segment_names
+
+        images, kernels = _data()
+        engine = ConvolutionEngine(
+            backend="process", n_workers=2, worker_timeout=20.0,
+            faults=FaultPlan.parse("kill-worker:1"),
+        )
+        orig = engine._dispatch
+        crashed = threading.Event()
+        closed = threading.Event()
+
+        def gated(backend, *a, **k):
+            if backend == "thread":  # the fallback attempt, post-crash
+                crashed.set()
+                assert closed.wait(20), "close() never arrived"
+            return orig(backend, *a, **k)
+
+        monkeypatch.setattr(engine, "_dispatch", gated)
+        result: dict = {}
+
+        def request():
+            try:
+                result["out"] = engine.run(images, kernels)
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                result["err"] = exc
+
+        t = threading.Thread(target=request)
+        t.start()
+        assert crashed.wait(30), "worker crash / fallback never happened"
+        engine.close()  # lands while the fallback is in flight
+        closed.set()
+        t.join(30)
+        assert not t.is_alive()
+        assert "err" not in result, f"request failed: {result.get('err')!r}"
+        # The rerouted request still produced the right convolution...
+        np.testing.assert_allclose(
+            result["out"], _oracle(images, kernels), atol=1e-3
+        )
+        # ...and its exit swept the entries the fallback re-created.
+        assert len(engine.plans) == 0
+        assert not active_segment_names()
+        # close() after the sweep stays a no-op.
+        engine.close()
+        assert len(engine.plans) == 0
+
 
 # ----------------------------------------------------------------------
 # Executor-level self-healing

@@ -80,6 +80,43 @@ class TestSpinBarrier:
         with pytest.raises(BarrierBroken):
             b.wait()
 
+    def test_parked_wait_survives_past_timeout(self):
+        """``wait(park=True)`` is an idle park, not a deadlock: it must
+        outlive the timeout and still release when the peer arrives."""
+        b = SpinBarrier(2, timeout=0.05)
+        b.PARK_SPIN_SECONDS = 0.01
+        released = threading.Event()
+
+        def parked():
+            b.wait(park=True)
+            released.set()
+
+        t = threading.Thread(target=parked, daemon=True)
+        t.start()
+        time.sleep(0.2)  # well past the deadlock timeout
+        assert not released.is_set()  # still parked, not aborted
+        b.wait()  # peer arrives; parked waiter must release
+        assert released.wait(1.0)
+        t.join(1.0)
+
+    def test_parked_wait_still_observes_abort(self):
+        b = SpinBarrier(2, timeout=0.05)
+        b.PARK_SPIN_SECONDS = 0.01
+        failed = []
+
+        def parked():
+            try:
+                b.wait(park=True)
+            except BarrierBroken:
+                failed.append(True)
+
+        t = threading.Thread(target=parked, daemon=True)
+        t.start()
+        time.sleep(0.15)  # let the waiter degrade to the sleeping park
+        b.abort()
+        t.join(1.0)
+        assert failed == [True]
+
 
 class TestForkJoinPool:
     def test_executes_all_slices(self):
@@ -129,6 +166,24 @@ class TestForkJoinPool:
         with ForkJoinPool(2) as pool:
             with pytest.raises(ValueError, match="slices"):
                 pool.run(lambda tid, sl: None, static_schedule((4,), 3))
+
+    def test_idle_pool_survives_past_barrier_timeout(self):
+        """A pool left idle beyond the barrier timeout (a serving pool
+        between requests) must stay usable -- workers park, not abort."""
+        slices = static_schedule((4,), 2)
+        hits = []
+        lock = threading.Lock()
+
+        def stage(tid, sl):
+            with lock:
+                hits.append(tid)
+
+        with ForkJoinPool(2, barrier_timeout=0.05) as pool:
+            pool._barrier.PARK_SPIN_SECONDS = 0.01
+            pool.run(stage, slices)
+            time.sleep(0.3)  # idle well past the deadlock timeout
+            pool.run(stage, slices)  # must not raise BarrierBroken
+        assert sorted(hits) == [0, 0, 1, 1]
 
     def test_shutdown_idempotent(self):
         pool = ForkJoinPool(2)
