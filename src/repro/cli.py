@@ -497,6 +497,102 @@ def cmd_run(args) -> int:
     return 0
 
 
+#: Named graph builders for ``run-graph`` (resolved lazily in cmd).
+GRAPH_NETWORKS = ("vgg", "fusionnet", "c3d", "residual", "bottleneck", "classifier")
+
+
+def cmd_run_graph(args) -> int:
+    """Whole-graph execution through the graph planner [real].
+
+    Builds a named network as a DAG, plans it (per-node algorithm +
+    epilogue fusion + arena placement), runs it once, and prints the
+    per-conv plan table.  ``--check`` verifies the run bitwise against
+    the naive node-at-a-time reference and allclose against the
+    direct-convolution float64 oracle.
+    """
+    import numpy as np
+
+    from repro.core.engine import ConvolutionEngine
+    from repro.graph import (
+        GraphExecutor,
+        execute_plan_naive,
+        graph_scaled_c3d,
+        graph_scaled_fusionnet,
+        graph_scaled_vgg,
+        oracle_execute,
+        residual_block,
+        toy_classifier,
+    )
+
+    builders = {
+        "vgg": lambda: graph_scaled_vgg(batch=args.batch, seed=args.seed),
+        "fusionnet": lambda: graph_scaled_fusionnet(batch=args.batch, seed=args.seed),
+        "c3d": lambda: graph_scaled_c3d(batch=args.batch, seed=args.seed),
+        "residual": lambda: residual_block(batch=args.batch, seed=args.seed),
+        "bottleneck": lambda: residual_block(
+            c=32, size=16, batch=args.batch, kind="bottleneck", seed=args.seed
+        ),
+        "classifier": lambda: toy_classifier(batch=max(args.batch, 1), seed=args.seed),
+    }
+    graph = builders[args.network]()
+    rng = np.random.default_rng(args.seed)
+    feeds = {
+        name: rng.standard_normal(shape).astype(np.float32)
+        for name, shape in graph.inputs.items()
+    }
+
+    failed = False
+    with ConvolutionEngine(
+        backend=args.backend, n_workers=args.workers, algorithm=args.algorithm
+    ) as engine:
+        t0 = time.perf_counter()
+        executor = GraphExecutor(graph, engine, fuse=not args.no_fuse)
+        plan_ms = (time.perf_counter() - t0) * 1e3
+        t0 = time.perf_counter()
+        outputs = executor.run(feeds)
+        run_ms = (time.perf_counter() - t0) * 1e3
+
+        print(f"graph    : {graph.name} ({len(executor.plan.order)} nodes, "
+              f"{len(executor.plan.conv_plans)} convs, "
+              f"{len(executor.plan.folded_into)} folded)")
+        print(f"backend  : {args.backend}  algorithm: {args.algorithm}  "
+              f"fuse: {not args.no_fuse}")
+        _print_table(
+            ["conv", "algorithm", "backend", "source", "epilogues", "in-place", "output"],
+            [
+                [r["node"], r["algorithm"], r["backend"], r["source"],
+                 r["epilogues"], "yes" if r["in_place"] else "no",
+                 "x".join(map(str, r["shape"]))]
+                for r in executor.plan.describe()
+            ],
+        )
+        for name, arr in outputs.items():
+            print(f"output   : {name} shape {tuple(arr.shape)}, "
+                  f"checksum {float(arr.sum()):+.6e}")
+        print(f"plan time: {plan_ms:.2f} ms   run time: {run_ms:.2f} ms")
+        snap = engine.metrics.snapshot()["counters"]
+        print(f"metrics  : interlayer_copies={snap.get('graph.interlayer_copies', 0)} "
+              f"fused_epilogues={snap.get('graph.fused_epilogues', 0)}")
+
+        if args.check:
+            naive = execute_plan_naive(executor.plan, engine, feeds)
+            oracle = oracle_execute(graph, feeds)
+            for name, arr in outputs.items():
+                bitwise = bool(np.array_equal(arr, naive[name]))
+                scale = max(float(np.max(np.abs(oracle[name]))), 1.0)
+                err = float(np.max(np.abs(arr.astype(np.float64) - oracle[name])))
+                print(f"check    : {name} bitwise-vs-naive={bitwise} "
+                      f"max |err| vs oracle={err:.3e}")
+                if not bitwise or err > 5e-4 * scale:
+                    failed = True
+        if args.stats:
+            _print_metrics_snapshot(engine.stats())
+    if failed:
+        print("error: graph output does not match the reference", file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_info(args) -> int:
     for spec in (KNL_7210,):
         print(f"{spec.name}")
@@ -621,6 +717,28 @@ def build_parser() -> argparse.ArgumentParser:
     rn.add_argument("--trace-json", metavar="PATH",
                     help="write the span trace as JSON to PATH")
     rn.set_defaults(fn=cmd_run)
+
+    rg = sub.add_parser(
+        "run-graph",
+        help="whole-network DAG execution through the graph planner [real]",
+    )
+    rg.add_argument("--network", choices=list(GRAPH_NETWORKS), default="vgg")
+    rg.add_argument("--batch", type=int, default=1)
+    rg.add_argument("--backend", choices=list(ENGINE_BACKENDS), default="fused",
+                    help="engine backend for every conv node")
+    rg.add_argument("--algorithm", choices=["auto"] + list(ENGINE_ALGORITHMS),
+                    default="winograd",
+                    help="'auto' lets the portfolio planner pick per conv node")
+    rg.add_argument("--workers", type=int, default=None)
+    rg.add_argument("--seed", type=int, default=0)
+    rg.add_argument("--no-fuse", action="store_true",
+                    help="disable epilogue fusion (layer-at-a-time shape)")
+    rg.add_argument("--check", action="store_true",
+                    help="verify bitwise vs the node-at-a-time reference and "
+                         "allclose vs the direct-convolution oracle")
+    rg.add_argument("--stats", action="store_true",
+                    help="also dump the full metrics snapshot")
+    rg.set_defaults(fn=cmd_run_graph)
 
     i = sub.add_parser("info", help="simulated machine specifications")
     i.set_defaults(fn=cmd_info)

@@ -834,6 +834,7 @@ class _FusedPlan:
         lease: ArenaLease,
         out: np.ndarray | None = None,
         tracer: Tracer | None = None,
+        epilogue=None,
     ) -> np.ndarray:
         plan = self.plan
         dtype = plan.dtype
@@ -915,6 +916,11 @@ class _FusedPlan:
                     result.reshape((b, cp) + _interleave(self.counts, self.m)),
                     y_tiles.transpose(self._assemble_perm),
                 )
+            if epilogue is not None:
+                # Fused graph epilogue (ReLU/BN/add/mul chain) applied on
+                # the freshly written result while it is still hot -- the
+                # activation never takes a separate read-modify-write pass.
+                epilogue(result)
         return result
 
 
@@ -933,6 +939,21 @@ def _result_buffer(out, shape, dtype) -> np.ndarray:
             f"out buffer has shape {out.shape}/{out.dtype}, expected {shape}/{dtype}"
         )
     return out
+
+
+def _apply_epilogue(result: np.ndarray, epilogue) -> np.ndarray:
+    """Apply a graph epilogue in place on a finished backend result.
+
+    Backends without an in-place output path (blocked/thread/process/
+    compiled) return a private heap array, so mutating it is safe; the
+    fused path instead applies the epilogue inside
+    :meth:`_FusedPlan.run` while the result buffer is cache-hot.  Either
+    way the epilogue runs exactly once per *successful* attempt -- a
+    fallback reroute re-dispatches before any epilogue has been applied.
+    """
+    if epilogue is not None:
+        epilogue(result)
+    return result
 
 
 # ----------------------------------------------------------------------
@@ -1127,6 +1148,7 @@ class ConvolutionEngine:
         algorithm: str | None = None,
         tenant: str | None = None,
         out: np.ndarray | None = None,
+        epilogue=None,
     ) -> np.ndarray:
         """Convolve ``images`` with ``kernels`` through the cached plan.
 
@@ -1141,12 +1163,17 @@ class ConvolutionEngine:
         planner); the backend knobs apply to the Winograd family only.
         ``tenant`` attributes plans built for this request to a serving
         tenant for quota accounting (see :meth:`PlanCache.evict_tenant`).
+        ``epilogue`` is an in-place post-pass (``epilogue(result) ->
+        None``) fused into the conv's output write -- the graph
+        executor's folded ReLU/BN/add/mul chains; it is applied exactly
+        once, after whichever backend attempt succeeds.
         """
         with self._request_guard():
             return self._run(
                 images, kernels, fmr=fmr, padding=padding, dtype=dtype,
                 blocked=blocked, blocking=blocking, backend=backend,
                 algorithm=algorithm, tenant=tenant, out=out,
+                epilogue=epilogue,
             )
 
     def _run(
@@ -1163,6 +1190,7 @@ class ConvolutionEngine:
         algorithm: str | None = None,
         tenant: str | None = None,
         out: np.ndarray | None = None,
+        epilogue=None,
     ) -> np.ndarray:
         images = np.asarray(images)
         kernels = np.asarray(kernels)
@@ -1198,7 +1226,7 @@ class ConvolutionEngine:
             if algo != "winograd":
                 return self._run_baseline(
                     algo, images, kernels, padding, np.dtype(dtype), out,
-                    tenant=tenant,
+                    tenant=tenant, epilogue=epilogue,
                 )
         if backend is None:
             backend = "blocked" if blocked else self.backend
@@ -1232,7 +1260,7 @@ class ConvolutionEngine:
                     try:
                         return self._dispatch(
                             current, spec, images, kernels, padding, dtype,
-                            blocking, out, tenant=tenant,
+                            blocking, out, tenant=tenant, epilogue=epilogue,
                         )
                     except FALLBACK_ERRORS as exc:
                         nxt = FALLBACK_NEXT.get(current)
@@ -1339,6 +1367,38 @@ class ConvolutionEngine:
         return results
 
     # ------------------------------------------------------------------
+    def run_graph(
+        self,
+        graph,
+        feeds,
+        *,
+        backend: str | None = None,
+        algorithm: str | None = None,
+        dtype=np.float32,
+        fuse: bool = True,
+        tenant: str | None = None,
+    ):
+        """Execute a :class:`repro.graph.ir.Graph` end to end.
+
+        Plans the graph (per-node algorithm via the portfolio when
+        ``algorithm="auto"``, elementwise epilogues folded into conv
+        stage-3 writes, intermediate activations placed in the workspace
+        arena) and runs it; returns ``{output name: array}``.  ``feeds``
+        is ``{input name: array}``, or a bare array for single-input
+        graphs.  For repeated execution hold a
+        :class:`repro.graph.executor.GraphExecutor` instead -- this
+        convenience re-plans per call (cheap: decisions and plans are
+        memoized, but not free).
+        """
+        from repro.graph.executor import GraphExecutor
+
+        executor = GraphExecutor(
+            graph, self, backend=backend, algorithm=algorithm,
+            dtype=dtype, fuse=fuse, tenant=tenant,
+        )
+        return executor.run(feeds)
+
+    # ------------------------------------------------------------------
     def workspace_bytes(
         self,
         input_shape: tuple[int, ...],
@@ -1382,7 +1442,7 @@ class ConvolutionEngine:
     # ------------------------------------------------------------------
     def _dispatch(
         self, backend, spec, images, kernels, padding, dtype, blocking, out,
-        tenant: str | None = None,
+        tenant: str | None = None, epilogue=None,
     ) -> np.ndarray:
         """Resolve the plan for ``backend`` and execute one attempt."""
         if backend == "blocked":
@@ -1404,7 +1464,7 @@ class ConvolutionEngine:
         )
         entry = self.plans.get_or_create(key, tenant=tenant)
         if backend == "blocked":
-            return self._run_blocked(entry, images, kernels)
+            return _apply_epilogue(self._run_blocked(entry, images, kernels), epilogue)
         if backend in ("thread", "process"):
             execu = entry.parallel_executor(
                 self.n_workers,
@@ -1419,11 +1479,13 @@ class ConvolutionEngine:
                     # Batched serving hits the same kernel tensor every
                     # round; shipping its fingerprint lets the executor
                     # skip the shared-memory kernel upload on a match.
-                    return execu.execute(
+                    result = execu.execute(
                         images, kernels,
                         kernels_fingerprint=kernel_fingerprint(kernels),
                     )
-                return execu.execute(images, kernels)
+                else:
+                    result = execu.execute(images, kernels)
+            return _apply_epilogue(result, epilogue)
         if backend == "compiled":
             execu = entry.compiled_executor(tracer=self.tracer, metrics=self.metrics)
             # Same FX memoization as the fused path: the (T, C, C')
@@ -1431,7 +1493,8 @@ class ConvolutionEngine:
             # kernels skip stage 1b entirely.
             w = self.plans.kernel_transform(entry, kernels)
             with self.tracer.span("execute.compiled"):
-                return execu.execute(images, w)
+                result = execu.execute(images, w)
+            return _apply_epilogue(result, epilogue)
         # Kernel transform outside the execute span, mirroring the
         # compiled branch: the memoized FX lookup is shared request
         # plumbing, and keeping it out of both spans makes
@@ -1441,7 +1504,7 @@ class ConvolutionEngine:
             with self.arena.lease(entry.fast.lease_bytes) as lease:
                 return entry.fast.run(
                     images.astype(dtype, copy=False), w, lease, out=out,
-                    tracer=self.tracer,
+                    tracer=self.tracer, epilogue=epilogue,
                 )
 
     # ------------------------------------------------------------------
@@ -1503,7 +1566,7 @@ class ConvolutionEngine:
 
     def _run_baseline(
         self, algo, images, kernels, padding, dtype, out,
-        tenant: str | None = None,
+        tenant: str | None = None, epilogue=None,
     ) -> np.ndarray:
         """One request through a non-Winograd portfolio algorithm."""
         self.metrics.counter(f"engine.requests.{algo}").inc()
@@ -1531,9 +1594,10 @@ class ConvolutionEngine:
                 )
                 prepared = self.plans.baseline_prepared(entry, kernels)
                 with self.tracer.span(f"execute.{algo}"):
-                    return entry.impl.execute_prepared(
+                    result = entry.impl.execute_prepared(
                         images.astype(dtype, copy=False), prepared, layer, out=out
                     )
+                return _apply_epilogue(result, epilogue)
             finally:
                 self.metrics.histogram("engine.request_seconds").observe(
                     time.perf_counter() - t0

@@ -1,0 +1,231 @@
+"""Graph builders: importers, residual blocks, and a topology fuzzer.
+
+Three families:
+
+* :func:`from_sequential` imports a :class:`~repro.nets.network.
+  SequentialConvNet` -- conv / relu / maxpool per layer, with each conv
+  carrying the layer's ``FmrSpec`` so the graph path hits the *same*
+  plan-cache entries as ``SequentialConvNet.forward`` and stays bitwise
+  identical to it;
+* hand-written branching builders (ResNet-style basic and bottleneck
+  residual blocks, a BN+GAP+GEMM classifier head) that exercise the
+  graph shapes a linear net cannot: skip connections, merges, 1x1
+  convolutions where the portfolio planner should ditch Winograd;
+* :func:`random_graph`, a seeded DAG fuzzer emitting small valid graphs
+  with fan-out, skip connections and diamond merges for the
+  differential suite's oracle fuzzing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.ir import Graph, GraphError
+from repro.nets.network import (
+    SequentialConvNet,
+    scaled_c3d,
+    scaled_fusionnet,
+    scaled_vgg,
+)
+
+
+def from_sequential(net: SequentialConvNet, name: str | None = None) -> Graph:
+    """Import a :class:`SequentialConvNet` (weights must be set).
+
+    Produces ``conv{i} [-> relu{i}] [-> pool{i}]`` per layer, the exact
+    op sequence :meth:`ConvLayer.forward` executes, with the layer's
+    ``fmr`` pinned on the conv node.
+    """
+    g = Graph(name=name if name is not None else net.name)
+    tensor = g.add_input("input", net.input_shape)
+    for i, layer in enumerate(net.layers, start=1):
+        if layer._weights is None:
+            raise GraphError(
+                "bad_attr",
+                f"layer {layer.spec.label}: weights not set "
+                f"(call net.initialize first)",
+            )
+        tensor = g.add(
+            "conv", f"conv{i}", tensor,
+            weights=layer._weights,
+            padding=layer.spec.padding,
+            fmr=layer.fmr,
+        )
+        if layer.activation:
+            tensor = g.add("relu", f"relu{i}", tensor)
+        if layer.pool > 1:
+            tensor = g.add("maxpool", f"pool{i}", tensor, window=layer.pool)
+    g.mark_output(tensor)
+    return g
+
+
+def _init(net: SequentialConvNet, seed: int) -> SequentialConvNet:
+    net.initialize(np.random.default_rng(seed))
+    return net
+
+
+def graph_scaled_vgg(batch: int = 1, seed: int = 0) -> Graph:
+    return from_sequential(_init(scaled_vgg(batch), seed))
+
+
+def graph_scaled_fusionnet(batch: int = 1, seed: int = 0) -> Graph:
+    return from_sequential(_init(scaled_fusionnet(batch), seed))
+
+
+def graph_scaled_c3d(batch: int = 1, seed: int = 0) -> Graph:
+    return from_sequential(_init(scaled_c3d(batch), seed))
+
+
+# ----------------------------------------------------------------------
+def _weights(rng, c_in: int, c_out: int, kernel: tuple[int, ...]) -> np.ndarray:
+    return (rng.normal(size=(c_in, c_out) + kernel) * 0.05).astype(np.float32)
+
+
+def residual_block(
+    c: int = 16,
+    size: int = 8,
+    batch: int = 1,
+    *,
+    kind: str = "basic",
+    ndim: int = 2,
+    seed: int = 0,
+) -> Graph:
+    """A ResNet-style residual block.
+
+    ``kind="basic"``: two 3x3 convs plus identity skip.
+    ``kind="bottleneck"``: 1x1 reduce -> 3x3 -> 1x1 expand plus skip --
+    the 1x1 convolutions are where a per-node portfolio planner earns
+    its keep (Winograd's transform overhead buys nothing at r=1).
+    """
+    rng = np.random.default_rng(seed)
+    g = Graph(name=f"resblock-{kind}")
+    k3, k1 = (3,) * ndim, (1,) * ndim
+    pad1, pad0 = (1,) * ndim, (0,) * ndim
+    x = g.add_input("x", (batch, c) + (size,) * ndim)
+    if kind == "basic":
+        t = g.add("conv", "c1", x, weights=_weights(rng, c, c, k3), padding=pad1)
+        t = g.add("relu", "r1", t)
+        t = g.add("conv", "c2", t, weights=_weights(rng, c, c, k3), padding=pad1)
+        t = g.add("add", "sum", (t, x))
+    elif kind == "bottleneck":
+        mid = max(c // 4, 4)
+        t = g.add("conv", "c1", x, weights=_weights(rng, c, mid, k1), padding=pad0)
+        t = g.add("relu", "r1", t)
+        t = g.add("conv", "c2", t, weights=_weights(rng, mid, mid, k3), padding=pad1)
+        t = g.add("relu", "r2", t)
+        t = g.add("conv", "c3", t, weights=_weights(rng, mid, c, k1), padding=pad0)
+        t = g.add("add", "sum", (t, x))
+    else:
+        raise GraphError("bad_attr", f"unknown residual kind {kind!r}")
+    g.mark_output(g.add("relu", "out", t))
+    return g
+
+
+def toy_classifier(
+    c: int = 8,
+    size: int = 12,
+    classes: int = 10,
+    batch: int = 2,
+    *,
+    seed: int = 0,
+) -> Graph:
+    """conv -> relu -> pool -> conv -> batchnorm -> relu -> gap -> gemm.
+
+    Small end-to-end head exercising every IR op the evaluation stacks
+    do not (batchnorm, gap, gemm).
+    """
+    rng = np.random.default_rng(seed)
+    g = Graph(name="toy-classifier")
+    t = g.add_input("x", (batch, c, size, size))
+    t = g.add("conv", "c1", t, weights=_weights(rng, c, c, (3, 3)), padding=(1, 1))
+    t = g.add("relu", "r1", t)
+    t = g.add("maxpool", "p1", t, window=2)
+    t = g.add("conv", "c2", t, weights=_weights(rng, c, 2 * c, (3, 3)), padding=(1, 1))
+    t = g.add(
+        "batchnorm", "bn2", t,
+        scale=(rng.normal(size=2 * c).astype(np.float32) * 0.1 + 1.0),
+        shift=(rng.normal(size=2 * c).astype(np.float32) * 0.1),
+    )
+    t = g.add("relu", "r2", t)
+    t = g.add("gap", "pool", t)
+    t = g.add(
+        "gemm", "logits", t,
+        weights=(rng.normal(size=(2 * c, classes)) * 0.1).astype(np.float32),
+        bias=(rng.normal(size=classes) * 0.1).astype(np.float32),
+    )
+    g.mark_output(t)
+    return g
+
+
+# ----------------------------------------------------------------------
+# Seeded DAG fuzzer
+# ----------------------------------------------------------------------
+def random_graph(
+    rng: np.random.Generator,
+    *,
+    ndim: int = 2,
+    max_nodes: int = 7,
+    batch: int = 1,
+) -> Graph:
+    """One random valid DAG from a seeded generator.
+
+    Convolutions are channel-preserving 3x3 (pad 1), so every tensor at
+    a given spatial size is merge-compatible -- which is what lets the
+    fuzzer create genuine fan-out (one tensor consumed twice), skip
+    connections (merge with a much earlier tensor) and diamond shapes
+    (two branches off one tensor, merged back), not just chains.
+    Downsampling via occasional maxpool partitions tensors into shape
+    classes; merges draw both operands from one class.
+    """
+    c = int(rng.choice([4, 8]))
+    size = int(rng.choice([6, 8])) if ndim == 3 else int(rng.choice([8, 10, 12]))
+    g = Graph(name="fuzz")
+    g.add_input("x", (batch, c) + (size,) * ndim)
+    shapes: dict[str, tuple[int, ...]] = {"x": (batch, c) + (size,) * ndim}
+    n_nodes = int(rng.integers(3, max_nodes + 1))
+    for i in range(n_nodes):
+        name = f"n{i}"
+        # Bias toward recent tensors (chains) but keep old ones live
+        # (skip connections / fan-out).
+        names = list(shapes)
+        weights = np.arange(1, len(names) + 1, dtype=np.float64)
+        weights /= weights.sum()
+        src = names[int(rng.choice(len(names), p=weights))]
+        sshape = shapes[src]
+        ops = ["conv", "conv", "relu", "batchnorm", "mul"]
+        peers = [t for t in names if t != src and shapes[t] == sshape]
+        if peers:
+            ops += ["add", "add"]  # favor merges when one is possible
+        if min(sshape[2:]) >= 4:
+            ops.append("maxpool")
+        op = ops[int(rng.choice(len(ops)))]
+        if op == "conv":
+            g.add(
+                "conv", name, src,
+                weights=_weights(rng, c, c, (3,) * ndim),
+                padding=(1,) * ndim,
+            )
+            shapes[name] = sshape
+        elif op == "relu":
+            g.add("relu", name, src)
+            shapes[name] = sshape
+        elif op == "batchnorm":
+            g.add(
+                "batchnorm", name, src,
+                scale=(rng.normal(size=c).astype(np.float32) * 0.1 + 1.0),
+                shift=(rng.normal(size=c).astype(np.float32) * 0.1),
+            )
+            shapes[name] = sshape
+        elif op == "mul":
+            g.add("mul", name, (src, src))  # fan-out: same tensor twice
+            shapes[name] = sshape
+        elif op == "add":
+            other = peers[int(rng.choice(len(peers)))]
+            g.add("add", name, (src, other))
+            shapes[name] = sshape
+        else:  # maxpool
+            g.add("maxpool", name, src, window=2)
+            shapes[name] = sshape[:2] + tuple(s // 2 for s in sshape[2:])
+    g.mark_output(f"n{n_nodes - 1}")
+    g.validate()
+    return g

@@ -1,0 +1,392 @@
+"""A small DAG IR for whole-network execution.
+
+The fpgaHART snippets (SNIPPETS.md, ``layer_compose.py``) dispatch a
+full model graph -- Conv, BatchNorm, GAP, elementwise Add/Mul, GEMM --
+with per-layer optimization.  This module is our equivalent substrate:
+a named-tensor DAG just rich enough to express the evaluation networks
+(scaled VGG / FusionNet / C3D stacks, ResNet-style residual and
+bottleneck blocks, GAP + GEMM classifier heads) so the engine can plan
+and execute *networks* instead of single layers.
+
+Design points:
+
+* **Named tensors.**  Every node produces exactly one tensor named
+  after the node; graph inputs are declared with explicit shapes.
+  Node inputs are tensor names, so fan-out, skip connections and
+  diamond merges are just names used twice.
+* **Topological validation with structured errors.**  :meth:`Graph.
+  validate` runs Kahn's algorithm plus per-op shape inference and
+  raises :class:`GraphError` with a stable ``code`` (``"cycle"``,
+  ``"dangling_input"``, ``"shape_mismatch"``, ...) so callers -- and
+  the topology fuzz tests -- can assert on the *kind* of invalidity,
+  not on message prose.
+* **Executable semantics defined once.**  Each non-conv op's numerics
+  are pinned by a single helper in :mod:`repro.graph.executor` shared
+  by the optimized executor, the naive node-at-a-time reference and
+  (in float64) the NumPy oracle, which is what makes the differential
+  suite's bitwise assertions meaningful.
+
+Convolution weights live *in* the graph (``weights`` attr), mirroring
+how the serve registry stores kernels: a graph is a model, not just a
+topology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from math import prod
+
+import numpy as np
+
+from repro.core.fmr import FmrSpec
+from repro.nets.reference import output_shape
+
+#: Operations the IR understands.  ``conv`` is the planned/fused hot
+#: path; everything else is a single vectorized numpy pass.
+OPS = ("conv", "relu", "batchnorm", "add", "mul", "maxpool", "gap", "gemm")
+
+#: Ops a planner may fold into the preceding conv's stage-3 write
+#: (simple elementwise epilogues; see repro.graph.planner).
+EPILOGUE_OPS = ("relu", "batchnorm", "add", "mul")
+
+
+class GraphError(ValueError):
+    """Structured graph-validation failure.
+
+    ``code`` is one of a small stable vocabulary so tests and callers
+    can dispatch on the failure kind::
+
+        cycle | dangling_input | shape_mismatch | duplicate_name |
+        unknown_op | bad_attr | bad_feed | empty_graph | unknown_output
+    """
+
+    def __init__(self, code: str, message: str):
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+
+
+@dataclass
+class Node:
+    """One operation; produces the tensor named ``name``."""
+
+    name: str
+    op: str
+    inputs: tuple[str, ...]
+    attrs: dict[str, object] = field(default_factory=dict)
+
+    def attr(self, key: str, default=None):
+        return self.attrs.get(key, default)
+
+
+class Graph:
+    """A DAG of :class:`Node` over named tensors.
+
+    Construction is permissive -- nodes may reference tensors that do
+    not (yet, or ever) exist, cycles can be written down -- and
+    :meth:`validate` is where invalid graphs are rejected with
+    structured :class:`GraphError` codes.  All well-formedness consumers
+    (the planner, executors, serializers) call it first.
+    """
+
+    def __init__(self, name: str = "graph"):
+        self.name = name
+        self.inputs: dict[str, tuple[int, ...]] = {}
+        self.nodes: list[Node] = []
+        self._outputs: list[str] = []
+
+    # -- construction ---------------------------------------------------
+    def add_input(self, name: str, shape: tuple[int, ...]) -> str:
+        if name in self.inputs or any(n.name == name for n in self.nodes):
+            raise GraphError("duplicate_name", f"tensor {name!r} already defined")
+        shape = tuple(int(s) for s in shape)
+        if len(shape) < 2 or any(s < 1 for s in shape):
+            raise GraphError(
+                "bad_attr", f"input {name!r}: shape must be (B, C, ...) >= 1, got {shape}"
+            )
+        self.inputs[name] = shape
+        return name
+
+    def add(self, op: str, name: str, inputs, **attrs) -> str:
+        """Append a node producing tensor ``name``; returns ``name``."""
+        if name in self.inputs or any(n.name == name for n in self.nodes):
+            raise GraphError("duplicate_name", f"tensor {name!r} already defined")
+        if isinstance(inputs, str):
+            inputs = (inputs,)
+        self.nodes.append(Node(name=name, op=op, inputs=tuple(inputs), attrs=attrs))
+        return name
+
+    def mark_output(self, *names: str) -> None:
+        for name in names:
+            if name not in self._outputs:
+                self._outputs.append(name)
+
+    @property
+    def outputs(self) -> tuple[str, ...]:
+        """Declared outputs, defaulting to the last node's tensor."""
+        if self._outputs:
+            return tuple(self._outputs)
+        if self.nodes:
+            return (self.nodes[-1].name,)
+        return ()
+
+    def node(self, name: str) -> Node:
+        for n in self.nodes:
+            if n.name == name:
+                return n
+        raise KeyError(f"no node {name!r} in graph {self.name!r}")
+
+    @property
+    def conv_nodes(self) -> list[Node]:
+        return [n for n in self.nodes if n.op == "conv"]
+
+    # -- validation -----------------------------------------------------
+    def validate(self) -> tuple[list[Node], dict[str, tuple[int, ...]]]:
+        """Topologically sort and shape-infer the graph.
+
+        Returns ``(topo_order, shapes)`` where ``shapes`` maps every
+        tensor name (inputs included) to its inferred shape.  Raises
+        :class:`GraphError` on any structural or shape problem.
+        """
+        if not self.nodes:
+            raise GraphError("empty_graph", f"graph {self.name!r} has no nodes")
+        producers: dict[str, Node] = {}
+        for n in self.nodes:
+            if n.op not in OPS:
+                raise GraphError(
+                    "unknown_op", f"node {n.name!r}: unknown op {n.op!r} (known: {OPS})"
+                )
+            if n.name in producers or n.name in self.inputs:
+                raise GraphError("duplicate_name", f"tensor {n.name!r} defined twice")
+            producers[n.name] = n
+
+        for n in self.nodes:
+            for t in n.inputs:
+                if t not in producers and t not in self.inputs:
+                    raise GraphError(
+                        "dangling_input",
+                        f"node {n.name!r} reads undefined tensor {t!r}",
+                    )
+        for t in self.outputs:
+            if t not in producers and t not in self.inputs:
+                raise GraphError("unknown_output", f"declared output {t!r} is undefined")
+
+        # Kahn's algorithm over node -> node dependencies.
+        indeg: dict[str, int] = {}
+        dependents: dict[str, list[str]] = {}
+        for n in self.nodes:
+            deps = {t for t in n.inputs if t in producers}
+            indeg[n.name] = len(deps)
+            for d in deps:
+                dependents.setdefault(d, []).append(n.name)
+        ready = [n.name for n in self.nodes if indeg[n.name] == 0]
+        order: list[Node] = []
+        while ready:
+            # Pop the earliest-declared ready node: deterministic order,
+            # and for already-sorted builders the identity permutation.
+            ready.sort(key=lambda nm: self.nodes.index(producers[nm]))
+            nm = ready.pop(0)
+            order.append(producers[nm])
+            for dep in dependents.get(nm, ()):
+                indeg[dep] -= 1
+                if indeg[dep] == 0:
+                    ready.append(dep)
+        if len(order) != len(self.nodes):
+            stuck = sorted(nm for nm, d in indeg.items() if d > 0)
+            raise GraphError("cycle", f"graph {self.name!r} has a cycle through {stuck}")
+
+        shapes: dict[str, tuple[int, ...]] = dict(self.inputs)
+        for n in order:
+            shapes[n.name] = _infer_shape(n, [shapes[t] for t in n.inputs])
+        return order, shapes
+
+    # -- serialization --------------------------------------------------
+    def to_dict(self, tensor_encoder=None) -> dict:
+        """JSON-friendly form; ndarray attrs go through ``tensor_encoder``
+        (default: dtype/shape/flat-values dict)."""
+        enc = tensor_encoder if tensor_encoder is not None else _default_encode
+        nodes = []
+        for n in self.nodes:
+            attrs = {}
+            for k, v in n.attrs.items():
+                if isinstance(v, np.ndarray):
+                    attrs[k] = {"__tensor__": enc(v)}
+                elif isinstance(v, FmrSpec):
+                    attrs[k] = {"__fmr__": [list(v.m), list(v.r)]}
+                elif isinstance(v, tuple):
+                    attrs[k] = list(v)
+                else:
+                    attrs[k] = v
+            nodes.append(
+                {"name": n.name, "op": n.op, "inputs": list(n.inputs), "attrs": attrs}
+            )
+        return {
+            "name": self.name,
+            "inputs": {k: list(v) for k, v in self.inputs.items()},
+            "outputs": list(self.outputs),
+            "nodes": nodes,
+        }
+
+    @classmethod
+    def from_dict(cls, obj: dict, tensor_decoder=None) -> "Graph":
+        dec = tensor_decoder if tensor_decoder is not None else _default_decode
+        try:
+            g = cls(name=str(obj.get("name", "graph")))
+            for k, v in obj["inputs"].items():
+                g.add_input(k, tuple(v))
+            for nd in obj["nodes"]:
+                attrs = {}
+                for k, v in nd.get("attrs", {}).items():
+                    if isinstance(v, dict) and "__tensor__" in v:
+                        attrs[k] = np.asarray(dec(v["__tensor__"]))
+                    elif isinstance(v, dict) and "__fmr__" in v:
+                        m, r = v["__fmr__"]
+                        attrs[k] = FmrSpec(m=tuple(m), r=tuple(r))
+                    elif isinstance(v, list):
+                        attrs[k] = tuple(v)
+                    else:
+                        attrs[k] = v
+                g.add(nd["op"], nd["name"], tuple(nd["inputs"]), **attrs)
+            g.mark_output(*obj.get("outputs", ()))
+        except GraphError:
+            raise
+        except (KeyError, TypeError, ValueError) as exc:
+            raise GraphError("bad_attr", f"malformed graph dict: {exc}") from exc
+        return g
+
+
+def _default_encode(arr: np.ndarray) -> dict:
+    return {
+        "dtype": arr.dtype.name,
+        "shape": list(arr.shape),
+        "values": arr.reshape(-1).tolist(),
+    }
+
+
+def _default_decode(obj: dict) -> np.ndarray:
+    return np.asarray(obj["values"], dtype=obj["dtype"]).reshape(obj["shape"])
+
+
+# ----------------------------------------------------------------------
+# Per-op shape inference (validation lives here too)
+# ----------------------------------------------------------------------
+def _want_arity(node: Node, n: int, shapes) -> None:
+    if len(shapes) != n:
+        raise GraphError(
+            "shape_mismatch",
+            f"node {node.name!r} ({node.op}): expects {n} input(s), got {len(shapes)}",
+        )
+
+
+def _infer_shape(node: Node, shapes: list[tuple[int, ...]]) -> tuple[int, ...]:
+    op = node.op
+    if op == "conv":
+        _want_arity(node, 1, shapes)
+        (ish,) = shapes
+        w = node.attr("weights")
+        if not isinstance(w, np.ndarray) or w.ndim < 3:
+            raise GraphError(
+                "bad_attr", f"conv {node.name!r}: weights must be a (C, K, *r) ndarray"
+            )
+        ndim = w.ndim - 2
+        if len(ish) != ndim + 2:
+            raise GraphError(
+                "shape_mismatch",
+                f"conv {node.name!r}: input rank {len(ish)} does not fit "
+                f"{ndim}-d weights {w.shape}",
+            )
+        if ish[1] != w.shape[0]:
+            raise GraphError(
+                "shape_mismatch",
+                f"conv {node.name!r}: input has {ish[1]} channels, "
+                f"weights expect {w.shape[0]}",
+            )
+        padding = tuple(node.attr("padding", (0,) * ndim))
+        if len(padding) != ndim or any(p < 0 for p in padding):
+            raise GraphError(
+                "bad_attr",
+                f"conv {node.name!r}: padding {padding} must be {ndim} ints >= 0",
+            )
+        node.attrs["padding"] = padding
+        try:
+            out_sp = output_shape(ish[2:], w.shape[2:], padding)
+        except ValueError as exc:
+            raise GraphError(
+                "shape_mismatch",
+                f"conv {node.name!r}: kernel {w.shape[2:]} does not fit "
+                f"input {ish[2:]} with padding {padding} ({exc})",
+            ) from exc
+        return (ish[0], w.shape[1]) + tuple(out_sp)
+    if op == "relu":
+        _want_arity(node, 1, shapes)
+        return shapes[0]
+    if op == "batchnorm":
+        _want_arity(node, 1, shapes)
+        (ish,) = shapes
+        for key in ("scale", "shift"):
+            v = node.attr(key)
+            if not isinstance(v, np.ndarray) or v.shape != (ish[1],):
+                raise GraphError(
+                    "bad_attr",
+                    f"batchnorm {node.name!r}: {key} must be a ({ish[1]},) ndarray",
+                )
+        return ish
+    if op in ("add", "mul"):
+        _want_arity(node, 2, shapes)
+        a, b = shapes
+        if a != b:
+            raise GraphError(
+                "shape_mismatch",
+                f"{op} {node.name!r}: operand shapes {a} and {b} differ",
+            )
+        return a
+    if op == "maxpool":
+        _want_arity(node, 1, shapes)
+        (ish,) = shapes
+        window = int(node.attr("window", 2))
+        if window < 1:
+            raise GraphError(
+                "bad_attr", f"maxpool {node.name!r}: window must be >= 1, got {window}"
+            )
+        node.attrs["window"] = window
+        out_sp = tuple(s // window for s in ish[2:])
+        if len(out_sp) < 1 or any(s < 1 for s in out_sp):
+            raise GraphError(
+                "shape_mismatch",
+                f"maxpool {node.name!r}: window {window} empties spatial {ish[2:]}",
+            )
+        return ish[:2] + out_sp
+    if op == "gap":
+        _want_arity(node, 1, shapes)
+        (ish,) = shapes
+        if len(ish) < 3:
+            raise GraphError(
+                "shape_mismatch",
+                f"gap {node.name!r}: needs a (B, C, *spatial) input, got {ish}",
+            )
+        return ish[:2]
+    if op == "gemm":
+        _want_arity(node, 1, shapes)
+        (ish,) = shapes
+        w = node.attr("weights")
+        if not isinstance(w, np.ndarray) or w.ndim != 2:
+            raise GraphError(
+                "bad_attr", f"gemm {node.name!r}: weights must be a (C, K) ndarray"
+            )
+        if len(ish) != 2 or ish[1] != w.shape[0]:
+            raise GraphError(
+                "shape_mismatch",
+                f"gemm {node.name!r}: input {ish} does not fit weights {w.shape}",
+            )
+        bias = node.attr("bias")
+        if bias is not None and (
+            not isinstance(bias, np.ndarray) or bias.shape != (w.shape[1],)
+        ):
+            raise GraphError(
+                "bad_attr", f"gemm {node.name!r}: bias must be a ({w.shape[1]},) ndarray"
+            )
+        return (ish[0], w.shape[1])
+    raise GraphError("unknown_op", f"node {node.name!r}: unknown op {op!r}")
+
+
+def tensor_nbytes(shape: tuple[int, ...], dtype=np.float32) -> int:
+    return prod(shape) * np.dtype(dtype).itemsize

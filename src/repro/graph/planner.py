@@ -1,0 +1,236 @@
+"""Per-node planning: algorithm choice + epilogue fusion + arena sizing.
+
+:func:`plan_graph` turns a validated :class:`~repro.graph.ir.Graph`
+into an executable :class:`GraphPlan`:
+
+* **Per-conv algorithm.**  Each conv node goes through the same
+  resolution as :meth:`ConvolutionEngine.run` -- an explicit
+  ``algorithm`` pins every node, an explicit ``backend`` pins the
+  Winograd family, and ``"auto"`` asks the engine's memoized
+  :class:`~repro.core.portfolio.PortfolioPlanner` per *node shape*, so
+  a bottleneck block can run its 1x1 convs through im2col while the
+  3x3 stays on Winograd (the fpgaHART-style per-layer optimization).
+* **Epilogue fusion.**  A chain of elementwise ops (relu, batchnorm,
+  add, mul) hanging off a conv's sole consumer edge is folded into the
+  conv's stage-3 write: the engine applies them on the result buffer
+  before returning, so the activation never takes an extra pass.
+  Folding requires every other operand of the folded op to be
+  materialized before the conv executes (so diamond merges fold only
+  when the sibling branch is already done) and never crosses a
+  declared graph output or a fan-out (>1 consumer) edge.
+* **Arena placement.**  Conv outputs that stay inside the graph are
+  written straight into one :class:`~repro.core.engine.WorkspaceArena`
+  lease via ``out=`` on in-place-capable paths (fused backend and all
+  baseline algorithms), so activations flow conv-to-conv without
+  leaving the workspace; graph outputs get fresh heap arrays that are
+  safe to return after the lease is released.
+
+The plan is also the contract the differential tests hold execution
+to: the naive node-at-a-time reference replays the *same* plan without
+fusion or arena placement, so optimized-vs-naive must be bitwise
+identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.graph.ir import EPILOGUE_OPS, Graph, Node, tensor_nbytes
+from repro.util.alignment import round_up
+
+
+@dataclass(frozen=True)
+class NodePlan:
+    """Execution decision for one conv node."""
+
+    name: str
+    algorithm: str
+    #: Winograd backend request (None = engine default); always None for
+    #: baseline algorithms, where the knob does not apply.
+    backend: str | None
+    #: Where the algorithm came from: forced | default | predicted |
+    #: probed | remembered (the latter three from the portfolio planner).
+    source: str
+    #: Names of epilogue nodes folded into this conv's stage-3 write.
+    epilogues: tuple[str, ...]
+    #: Tensor name the conv's (epilogue-applied) result is stored under.
+    result: str
+    #: True when the conv can write straight into a caller buffer
+    #: (fused backend or baseline algorithm honoring ``out=``).
+    writes_in_place: bool
+    #: True when the result is consumed by a later node in this plan.
+    feeds_downstream: bool
+    #: True when the result is a declared graph output.
+    is_output: bool
+
+
+@dataclass
+class GraphPlan:
+    """A fully resolved execution plan for one graph."""
+
+    graph: Graph
+    order: list[Node]
+    shapes: dict[str, tuple[int, ...]]
+    dtype: np.dtype
+    node_plans: dict[str, NodePlan]
+    #: folded node name -> conv node name it rides on.
+    folded_into: dict[str, str] = field(default_factory=dict)
+    #: Bytes to lease from the arena for intermediate conv activations.
+    arena_bytes: int = 0
+
+    @property
+    def conv_plans(self) -> list[NodePlan]:
+        return [self.node_plans[n.name] for n in self.order if n.op == "conv"]
+
+    def describe(self) -> list[dict[str, object]]:
+        """One row per conv: the plan table the CLI prints."""
+        rows = []
+        for node in self.order:
+            if node.op != "conv":
+                continue
+            np_ = self.node_plans[node.name]
+            rows.append(
+                {
+                    "node": node.name,
+                    "algorithm": np_.algorithm,
+                    "backend": np_.backend or "-",
+                    "source": np_.source,
+                    "epilogues": "+".join(np_.epilogues) or "-",
+                    "in_place": np_.writes_in_place,
+                    "shape": self.shapes[node.name],
+                }
+            )
+        return rows
+
+
+def plan_graph(
+    graph: Graph,
+    engine,
+    *,
+    backend: str | None = None,
+    algorithm: str | None = None,
+    dtype=np.float32,
+    fuse: bool = True,
+) -> GraphPlan:
+    """Resolve per-node algorithms and fold epilogues for ``graph``.
+
+    ``backend``/``algorithm`` mirror :meth:`ConvolutionEngine.run`:
+    ``None`` defers to the engine's defaults, ``algorithm="auto"``
+    engages the portfolio per conv node, and an explicit backend with
+    an explicit baseline algorithm is the same contradiction it is on
+    the engine (ValueError).  ``fuse=False`` disables epilogue folding
+    (every node executes standalone) -- the layer-at-a-time shape the
+    benchmarks compare against.
+    """
+    order, shapes = graph.validate()
+    dtype = np.dtype(dtype)
+
+    # Consumer map over the original topology (graph outputs count).
+    consumers: dict[str, list[Node]] = {}
+    for node in order:
+        for t in node.inputs:
+            consumers.setdefault(t, []).append(node)
+
+    pos = {node.name: i for i, node in enumerate(order)}
+    # Tensors whose values exist in the executor's environment when the
+    # node at position i dispatches: graph inputs plus every chain-final
+    # tensor stored by earlier nodes.  Grown as we walk the order.
+    materialized = set(graph.inputs)
+    outputs = set(graph.outputs)
+
+    node_plans: dict[str, NodePlan] = {}
+    folded_into: dict[str, str] = {}
+
+    for node in order:
+        if node.name in folded_into:
+            continue
+        if node.op != "conv":
+            materialized.add(node.name)
+            continue
+
+        algo, source, req_backend = _resolve_algorithm(
+            node, shapes, engine, backend=backend, algorithm=algorithm, dtype=dtype
+        )
+
+        epilogues: list[str] = []
+        tensor = node.name
+        if fuse:
+            while True:
+                if tensor in outputs:
+                    break
+                cons = consumers.get(tensor, [])
+                if len(cons) != 1:
+                    break
+                nxt = cons[0]
+                if nxt.op not in EPILOGUE_OPS:
+                    break
+                others = [t for t in nxt.inputs if t != tensor]
+                if not all(t in materialized for t in others):
+                    break
+                folded_into[nxt.name] = node.name
+                epilogues.append(nxt.name)
+                tensor = nxt.name
+
+        resolved_backend = req_backend if req_backend is not None else engine.backend
+        writes_in_place = algo != "winograd" or resolved_backend == "fused"
+        # The chain stopped at `tensor`, so none of its consumers were
+        # folded into THIS conv; consumers folded into a *later* conv
+        # still read the stored value as an epilogue operand.  Any
+        # consumer at all therefore means the result must survive.
+        feeds_downstream = bool(consumers.get(tensor))
+        node_plans[node.name] = NodePlan(
+            name=node.name,
+            algorithm=algo,
+            backend=req_backend if algo == "winograd" else None,
+            source=source,
+            epilogues=tuple(epilogues),
+            result=tensor,
+            writes_in_place=writes_in_place,
+            feeds_downstream=feeds_downstream,
+            is_output=tensor in outputs,
+        )
+        materialized.add(tensor)
+
+    align = engine.arena.alignment
+    arena_bytes = sum(
+        round_up(tensor_nbytes(shapes[p.result], dtype), align)
+        for p in node_plans.values()
+        if p.writes_in_place and not p.is_output
+    )
+    return GraphPlan(
+        graph=graph,
+        order=order,
+        shapes=shapes,
+        dtype=dtype,
+        node_plans=node_plans,
+        folded_into=folded_into,
+        arena_bytes=arena_bytes,
+    )
+
+
+def _resolve_algorithm(
+    node: Node, shapes, engine, *, backend, algorithm, dtype
+) -> tuple[str, str, str | None]:
+    """Mirror :meth:`ConvolutionEngine._run`'s algorithm resolution for
+    one conv node; returns (algorithm, source, backend_request)."""
+    algo = algorithm if algorithm is not None else engine.algorithm
+    wino_forced = backend is not None
+    if algo == "auto":
+        if wino_forced:
+            return "winograd", "forced", backend
+        in_shape = shapes[node.inputs[0]]
+        choice = engine._decide_algorithm(
+            np.zeros(in_shape, dtype=dtype),
+            node.attrs["weights"],
+            tuple(node.attrs["padding"]),
+            dtype,
+        )
+        return choice.algorithm, choice.source, None
+    if algo != "winograd" and wino_forced:
+        raise ValueError(
+            f"backend applies to the winograd path, not algorithm={algo!r}"
+        )
+    source = "forced" if algorithm is not None else "default"
+    return algo, source, backend

@@ -95,6 +95,21 @@ class ServeClient:
             }
         )
 
+    async def register_graph(self, model: str, graph) -> dict:
+        """Register a whole-network :class:`repro.graph.ir.Graph`.
+
+        Weights travel inside the graph dict (each ndarray attr as a
+        base64 tensor envelope); subsequent :meth:`infer` calls on this
+        model name run the planned graph end to end server-side.
+        """
+        return await self._request(
+            {
+                "op": "register_graph",
+                "model": model,
+                "graph": graph.to_dict(tensor_encoder=encode_tensor),
+            }
+        )
+
     async def stats(self) -> dict:
         return await self._request({"op": "stats"})
 

@@ -31,6 +31,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.engine import ConvolutionEngine
+from repro.graph.executor import GraphExecutor
+from repro.graph.ir import Graph, GraphError
 from repro.obs.metrics import MetricsRegistry, labeled
 from repro.serve.batcher import BatchKey, DynamicBatcher
 from repro.serve.protocol import (
@@ -58,6 +60,27 @@ class Model:
     padding: tuple[int, ...]
 
 
+@dataclass(frozen=True)
+class GraphModel:
+    """One registered whole-network DAG plus its planned executor.
+
+    Graph inference runs the executor in a worker thread and bypasses
+    the :class:`~repro.serve.batcher.DynamicBatcher`: the graph path
+    already amortizes per-dispatch overheads internally (one arena
+    lease, folded epilogues, per-node plans), and cross-request
+    coalescing of whole-network passes would need per-node batching
+    semantics the IR does not promise.  Single-conv models remain the
+    batcher's domain.
+    """
+
+    name: str
+    graph: Graph
+    executor: GraphExecutor
+    input_name: str
+    input_shape: tuple[int, ...]
+    output_name: str
+
+
 class ModelRegistry:
     """``(tenant, model-name) -> Model`` map; registration is per-tenant.
 
@@ -69,6 +92,7 @@ class ModelRegistry:
 
     def __init__(self):
         self._models: dict[tuple[str, str], Model] = {}
+        self._graphs: dict[tuple[str, str], GraphModel] = {}
         self._lock = threading.Lock()
 
     def register(
@@ -89,7 +113,49 @@ class ModelRegistry:
         model = Model(name=name, kernels=kernels, padding=tuple(padding))
         with self._lock:
             self._models[(tenant, name)] = model
+            self._graphs.pop((tenant, name), None)
         return model
+
+    def register_graph(self, tenant: str, name: str, graph: Graph, engine) -> GraphModel:
+        """Validate, plan, and store a whole-network graph model.
+
+        Serving requires exactly one input and one output (the infer
+        protocol carries one tensor each way); the graph is planned
+        eagerly so registration surfaces plan errors and infer hits a
+        warm executor.
+        """
+        try:
+            graph.validate()
+            executor = GraphExecutor(graph, engine)
+        except GraphError as exc:
+            raise ProtocolError("bad_request", f"invalid graph: {exc}") from exc
+        if len(graph.inputs) != 1 or len(graph.outputs) != 1:
+            raise ProtocolError(
+                "bad_request",
+                f"graph models need exactly one input and one output, got "
+                f"{sorted(graph.inputs)} -> {list(graph.outputs)}",
+            )
+        input_name = next(iter(graph.inputs))
+        model = GraphModel(
+            name=name,
+            graph=graph,
+            executor=executor,
+            input_name=input_name,
+            input_shape=graph.inputs[input_name],
+            output_name=graph.outputs[0],
+        )
+        with self._lock:
+            self._graphs[(tenant, name)] = model
+            # One namespace per tenant: a graph registration shadows any
+            # conv model of the same name rather than leaving infer
+            # routing ambiguous.
+            self._models.pop((tenant, name), None)
+        return model
+
+    def get_graph(self, tenant: str, name: str) -> GraphModel | None:
+        """The graph model, or None when ``name`` is not a graph."""
+        with self._lock:
+            return self._graphs.get((tenant, name))
 
     def get(self, tenant: str, name: str) -> Model:
         with self._lock:
@@ -279,6 +345,33 @@ class ConvServer:
                     "c_in": int(model.kernels.shape[0]),
                     "c_out": int(model.kernels.shape[1]),
                 }
+            elif op == "register_graph":
+                name = msg.get("model")
+                if not isinstance(name, str) or not name:
+                    raise ProtocolError("bad_request", "model must be a non-empty string")
+                payload = msg.get("graph")
+                if not isinstance(payload, dict):
+                    raise ProtocolError("bad_request", "graph must be a graph dict")
+                try:
+                    graph = Graph.from_dict(payload, tensor_decoder=decode_tensor)
+                except GraphError as exc:
+                    raise ProtocolError("bad_request", f"invalid graph: {exc}") from exc
+                model = self.models.register_graph(
+                    state["tenant"], name, graph, self.engine
+                )
+                plan = model.executor.plan
+                reply = {
+                    "ok": True,
+                    "op": "register_graph",
+                    "model": name,
+                    "nodes": len(plan.order),
+                    "convs": len(plan.conv_plans),
+                    "folded": len(plan.folded_into),
+                    "input_shape": list(model.input_shape),
+                    "algorithms": {
+                        p.name: p.algorithm for p in plan.conv_plans
+                    },
+                }
             elif op == "stats":
                 reply = {
                     "ok": True,
@@ -317,6 +410,13 @@ class ConvServer:
                     "bad_request", f"respond must be 'full' or 'checksum', got {respond!r}"
                 )
             images = decode_tensor(msg.get("images"))
+            gmodel = self.models.get_graph(tenant, name)
+            if gmodel is not None:
+                await self._infer_graph(
+                    gmodel, images, respond, request_id, tenant, t0,
+                    writer, write_lock,
+                )
+                return
             model = self.models.get(tenant, name)
             if images.ndim != model.kernels.ndim:
                 raise ProtocolError(
@@ -352,6 +452,49 @@ class ConvServer:
             if respond == "full":
                 reply["output"] = encode_tensor(result.output)
             self.metrics.counter(labeled("serve.requests", tenant=tenant)).inc()
+            self.metrics.histogram(
+                labeled("serve.request_seconds", tenant=tenant)
+            ).observe(time.perf_counter() - t0)
+        except ProtocolError as exc:
+            reply = exc.as_reply(request_id)
+        except asyncio.CancelledError:
+            return
+        except Exception as exc:  # noqa: BLE001 - fault boundary
+            reply = ProtocolError("internal", f"{type(exc).__name__}: {exc}").as_reply(
+                request_id
+            )
+        try:
+            await self._send(writer, write_lock, reply)
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+    async def _infer_graph(
+        self, model: GraphModel, images: np.ndarray, respond: str,
+        request_id, tenant: str, t0: float, writer, write_lock: asyncio.Lock,
+    ) -> None:
+        """One whole-network pass; runs off-loop, bypasses the batcher."""
+        try:
+            if tuple(images.shape) != model.input_shape:
+                raise ProtocolError(
+                    "bad_request",
+                    f"graph model {model.name!r} expects input shape "
+                    f"{model.input_shape}, got {tuple(images.shape)}",
+                )
+            try:
+                outputs = await asyncio.to_thread(model.executor.run, images)
+            except GraphError as exc:
+                raise ProtocolError("bad_request", str(exc)) from exc
+            output = outputs[model.output_name]
+            reply = {
+                "ok": True,
+                "id": request_id,
+                "model": model.name,
+                "graph": True,
+                "digest": tensor_digest(output),
+            }
+            if respond == "full":
+                reply["output"] = encode_tensor(output)
+            self.metrics.counter(labeled("serve.graph_requests", tenant=tenant)).inc()
             self.metrics.histogram(
                 labeled("serve.request_seconds", tenant=tenant)
             ).observe(time.perf_counter() - t0)

@@ -278,3 +278,39 @@ class TestCliSelect:
         from repro.cli import main as cli_main
 
         assert cli_main(["select", "--network", "VGG", "--layer", "zzz"]) == 2
+
+
+class TestCliRunGraph:
+    def test_run_graph_check_fused(self, capsys):
+        assert main(["run-graph", "--network", "vgg", "--check"]) == 0
+        out = capsys.readouterr().out
+        assert "graph    : VGG-s" in out
+        assert "interlayer_copies=0" in out
+        assert "bitwise-vs-naive=True" in out
+        assert "max |err| vs oracle" in out
+
+    def test_run_graph_auto_prints_plan_table(self, capsys):
+        assert main(["run-graph", "--network", "bottleneck",
+                     "--algorithm", "auto", "--check"]) == 0
+        out = capsys.readouterr().out
+        # Plan table has one row per conv with a resolved algorithm.
+        for conv in ("c1", "c2", "c3"):
+            assert conv in out
+        assert "probed" in out or "predicted" in out or "remembered" in out
+
+    def test_run_graph_no_fuse(self, capsys):
+        assert main(["run-graph", "--network", "residual",
+                     "--no-fuse", "--check"]) == 0
+        out = capsys.readouterr().out
+        assert "fused_epilogues=0" in out
+        assert "0 folded" in out
+
+    def test_run_graph_thread_backend(self, capsys):
+        assert main(["run-graph", "--network", "classifier", "--backend",
+                     "thread", "--workers", "2", "--check"]) == 0
+        out = capsys.readouterr().out
+        assert "bitwise-vs-naive=True" in out
+
+    def test_run_graph_rejects_unknown_network(self):
+        with pytest.raises(SystemExit):
+            main(["run-graph", "--network", "nope"])

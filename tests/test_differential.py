@@ -420,3 +420,61 @@ else:  # pragma: no cover - exercised only without hypothesis
             size=r.randint(5, 7 if ndim == 3 else 13),
             pad=r.randint(0, 1),
         )
+
+
+# ----------------------------------------------------------------------
+# Graph axis: whole-graph execution joins the matrix (PR 9).  The graph
+# executor composes the same engine dispatches the rows above pin down,
+# plus epilogue fusion and arena placement -- so on every backend the
+# optimized whole-graph pass must stay BITWISE equal to the naive
+# node-at-a-time replay of its own plan, and allclose to the float64
+# direct-convolution oracle.  The deep per-network/fusion/fault matrix
+# lives in tests/test_graph.py; this axis keeps graphs in the same file
+# that guards every other executor pairing.
+# ----------------------------------------------------------------------
+def _assert_graph_differential(engine, graph, backend, seed=0):
+    from repro.graph import GraphExecutor, execute_plan_naive, oracle_execute
+
+    rng = np.random.default_rng(seed)
+    feeds = {
+        name: rng.standard_normal(shape).astype(np.float32)
+        for name, shape in graph.inputs.items()
+    }
+    ex = GraphExecutor(graph, engine, backend=backend)
+    out = ex.run(feeds)
+    naive = execute_plan_naive(ex.plan, engine, feeds)
+    oracle = oracle_execute(graph, feeds)
+    for name in out:
+        np.testing.assert_array_equal(
+            out[name], naive[name],
+            err_msg=f"{graph.name}[{backend}]/{name}: graph != node-at-a-time",
+        )
+        scale = max(float(np.abs(oracle[name]).max()), 1.0)
+        np.testing.assert_allclose(
+            out[name].astype(np.float64), oracle[name],
+            atol=5e-4 * scale, rtol=0,
+            err_msg=f"{graph.name}[{backend}]/{name}: graph vs direct oracle",
+        )
+
+
+@pytest.mark.parametrize("backend", ENGINE_BACKENDS)
+@pytest.mark.parametrize("network", ("vgg", "residual"))
+def test_graph_execution_matrix(backend, network):
+    from repro.graph import graph_scaled_vgg, residual_block
+
+    if backend == "compiled" and not compiled_available():
+        pytest.skip("no C toolchain")
+    graph = graph_scaled_vgg() if network == "vgg" else residual_block()
+    with ConvolutionEngine(n_workers=2) as engine:
+        _assert_graph_differential(engine, graph, backend)
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_graph_fuzz_topologies_vs_oracle(seed):
+    """Seeded random DAGs (fan-out, skips, diamonds) through the fused
+    engine: bitwise vs naive replay, allclose vs the float64 oracle."""
+    from repro.graph import random_graph
+
+    graph = random_graph(np.random.default_rng(2000 + seed))
+    with ConvolutionEngine() as engine:
+        _assert_graph_differential(engine, graph, None, seed=seed)

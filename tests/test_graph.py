@@ -1,0 +1,487 @@
+"""Graph differential suite: whole-graph execution is trustworthy.
+
+The contract under test (ISSUE 9): for every supported backend and
+algorithm, :class:`GraphExecutor` -- with epilogue fusion and arena
+placement on -- produces output **bitwise identical** to the naive
+node-at-a-time replay of the same plan, and allclose to a float64
+direct-convolution oracle.  Plus: topology validation raises structured
+errors, seeded random DAGs (fan-out, skips, diamonds) match the oracle,
+the fused path performs zero inter-layer copies, the process backend
+leaks no shared-memory segments (even when a worker is killed
+mid-graph), and the serve/CLI wiring round-trips.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.core.compiled_backend import compiled_available
+from repro.core.engine import ConvolutionEngine
+from repro.core.portfolio import ALGORITHMS
+from repro.graph import (
+    EPILOGUE_OPS,
+    Graph,
+    GraphError,
+    GraphExecutor,
+    execute_plan_naive,
+    from_sequential,
+    graph_scaled_c3d,
+    graph_scaled_fusionnet,
+    graph_scaled_vgg,
+    oracle_execute,
+    plan_graph,
+    random_graph,
+    residual_block,
+    toy_classifier,
+)
+from repro.nets.network import scaled_vgg
+from repro.obs.faults import FaultPlan
+from repro.serve import ServeClient
+from repro.serve.protocol import ProtocolError
+from repro.serve.server import ConvServer
+
+#: name -> zero-arg builder for the evaluation networks of the issue.
+NETWORKS = {
+    "vgg": graph_scaled_vgg,
+    "fusionnet": graph_scaled_fusionnet,
+    "c3d": graph_scaled_c3d,
+    "residual": residual_block,
+}
+
+#: Oracle tolerance, scaled by output magnitude (float32 engine paths).
+ORACLE_ATOL = 5e-4
+
+
+def _feeds(graph: Graph, seed: int = 0) -> dict[str, np.ndarray]:
+    rng = np.random.default_rng(seed)
+    return {
+        name: rng.standard_normal(shape).astype(np.float32)
+        for name, shape in graph.inputs.items()
+    }
+
+
+def _assert_graph_faithful(engine, graph, *, backend=None, algorithm=None,
+                           fuse=True, seed=0):
+    """Optimized == naive (bitwise) and == oracle (allclose); returns
+    the executor for plan introspection."""
+    feeds = _feeds(graph, seed)
+    ex = GraphExecutor(graph, engine, backend=backend, algorithm=algorithm, fuse=fuse)
+    out = ex.run(feeds)
+    naive = execute_plan_naive(ex.plan, engine, feeds)
+    oracle = oracle_execute(graph, feeds)
+    assert set(out) == set(graph.outputs)
+    for name in out:
+        np.testing.assert_array_equal(
+            out[name], naive[name],
+            err_msg=f"{graph.name}/{name}: optimized != naive node-at-a-time",
+        )
+        scale = max(float(np.abs(oracle[name]).max()), 1.0)
+        np.testing.assert_allclose(
+            out[name].astype(np.float64), oracle[name],
+            atol=ORACLE_ATOL * scale, rtol=0,
+            err_msg=f"{graph.name}/{name}: vs direct-convolution oracle",
+        )
+    return ex
+
+
+# ----------------------------------------------------------------------
+# IR validation: structured errors
+# ----------------------------------------------------------------------
+class TestValidation:
+    def _w(self, c_in=4, c_out=4, k=(3, 3)):
+        return np.ones((c_in, c_out) + k, dtype=np.float32)
+
+    def _code(self, graph) -> str:
+        with pytest.raises(GraphError) as exc:
+            graph.validate()
+        return exc.value.code
+
+    def test_empty_graph(self):
+        g = Graph()
+        g.add_input("x", (1, 4, 8, 8))
+        assert self._code(g) == "empty_graph"
+
+    def test_duplicate_name(self):
+        g = Graph()
+        g.add_input("x", (1, 4, 8, 8))
+        g.add("relu", "a", "x")
+        with pytest.raises(GraphError) as exc:
+            g.add("relu", "a", "x")
+        assert exc.value.code == "duplicate_name"
+        with pytest.raises(GraphError) as exc:
+            g.add_input("a", (1, 4, 8, 8))
+        assert exc.value.code == "duplicate_name"
+
+    def test_unknown_op(self):
+        g = Graph()
+        g.add_input("x", (1, 4, 8, 8))
+        g.add("softmax", "a", "x")
+        assert self._code(g) == "unknown_op"
+
+    def test_dangling_input(self):
+        g = Graph()
+        g.add_input("x", (1, 4, 8, 8))
+        g.add("add", "a", ("x", "ghost"))
+        assert self._code(g) == "dangling_input"
+
+    def test_cycle(self):
+        g = Graph()
+        g.add_input("x", (1, 4, 8, 8))
+        g.add("add", "a", ("x", "b"))
+        g.add("relu", "b", "a")
+        assert self._code(g) == "cycle"
+
+    def test_elementwise_shape_mismatch(self):
+        g = Graph()
+        g.add_input("x", (1, 4, 8, 8))
+        g.add("maxpool", "p", "x", window=2)
+        g.add("add", "a", ("x", "p"))
+        assert self._code(g) == "shape_mismatch"
+
+    def test_conv_channel_mismatch(self):
+        g = Graph()
+        g.add_input("x", (1, 4, 8, 8))
+        g.add("conv", "c", "x", weights=self._w(c_in=8), padding=(1, 1))
+        assert self._code(g) == "shape_mismatch"
+
+    def test_conv_kernel_does_not_fit(self):
+        g = Graph()
+        g.add_input("x", (1, 4, 2, 2))
+        g.add("conv", "c", "x", weights=self._w(), padding=(0, 0))
+        assert self._code(g) == "shape_mismatch"
+
+    def test_conv_bad_weights(self):
+        g = Graph()
+        g.add_input("x", (1, 4, 8, 8))
+        g.add("conv", "c", "x", weights="nope", padding=(1, 1))
+        assert self._code(g) == "bad_attr"
+
+    def test_batchnorm_bad_params(self):
+        g = Graph()
+        g.add_input("x", (1, 4, 8, 8))
+        g.add("batchnorm", "bn", "x",
+              scale=np.ones(3, np.float32), shift=np.ones(4, np.float32))
+        assert self._code(g) == "bad_attr"
+
+    def test_maxpool_empties_spatial(self):
+        g = Graph()
+        g.add_input("x", (1, 4, 3, 3))
+        g.add("maxpool", "p", "x", window=4)
+        assert self._code(g) == "shape_mismatch"
+
+    def test_gemm_needs_2d_input(self):
+        g = Graph()
+        g.add_input("x", (1, 4, 8, 8))
+        g.add("gemm", "m", "x", weights=np.ones((4, 2), np.float32))
+        assert self._code(g) == "shape_mismatch"
+
+    def test_unknown_output(self):
+        g = Graph()
+        g.add_input("x", (1, 4, 8, 8))
+        g.add("relu", "a", "x")
+        g.mark_output("ghost")
+        assert self._code(g) == "unknown_output"
+
+    def test_arity_mismatch(self):
+        g = Graph()
+        g.add_input("x", (1, 4, 8, 8))
+        g.add("add", "a", ("x",))
+        assert self._code(g) == "shape_mismatch"
+
+    def test_valid_graph_reports_order_and_shapes(self):
+        g = residual_block(c=8, size=8)
+        order, shapes = g.validate()
+        assert [n.name for n in order] == ["c1", "r1", "c2", "sum", "out"]
+        assert shapes["out"] == (1, 8, 8, 8)
+        assert g.outputs == ("out",)
+
+    def test_bad_feeds_raise_structured(self):
+        g = residual_block(c=8, size=8)
+        with ConvolutionEngine() as eng:
+            ex = GraphExecutor(g, eng)
+            with pytest.raises(GraphError) as exc:
+                ex.run({})
+            assert exc.value.code == "bad_feed"
+            with pytest.raises(GraphError) as exc:
+                ex.run({"x": np.zeros((1, 8, 4, 4), np.float32)})
+            assert exc.value.code == "bad_feed"
+            with pytest.raises(GraphError) as exc:
+                ex.run({"x": np.zeros((1, 8, 8, 8), np.float32),
+                        "y": np.zeros(3)})
+            assert exc.value.code == "bad_feed"
+
+    def test_serialization_roundtrip_executes_identically(self):
+        g = toy_classifier()
+        back = Graph.from_dict(g.to_dict())
+        assert [n.name for n in back.nodes] == [n.name for n in g.nodes]
+        feeds = _feeds(g, seed=5)
+        with ConvolutionEngine() as eng:
+            a = eng.run_graph(g, feeds)
+            b = eng.run_graph(back, feeds)
+        for k in a:
+            np.testing.assert_array_equal(a[k], b[k])
+
+    def test_from_dict_malformed_payload(self):
+        with pytest.raises(GraphError) as exc:
+            Graph.from_dict({"nodes": []})
+        assert exc.value.code == "bad_attr"
+
+
+# ----------------------------------------------------------------------
+# Differential matrix
+# ----------------------------------------------------------------------
+class TestDifferential:
+    @pytest.mark.parametrize("network", sorted(NETWORKS))
+    def test_fused_path_matches_naive_and_oracle(self, network):
+        with ConvolutionEngine(backend="fused") as eng:
+            _assert_graph_faithful(eng, NETWORKS[network]())
+
+    @pytest.mark.parametrize("backend", ("blocked", "thread", "process", "compiled"))
+    @pytest.mark.parametrize("network", ("vgg", "residual"))
+    def test_backend_matrix(self, backend, network):
+        if backend == "compiled" and not compiled_available():
+            pytest.skip("no C toolchain")
+        with ConvolutionEngine(n_workers=2) as eng:
+            _assert_graph_faithful(eng, NETWORKS[network](), backend=backend)
+
+    def test_classifier_head_ops(self):
+        """batchnorm / gap / gemm semantics agree with the oracle."""
+        with ConvolutionEngine() as eng:
+            ex = _assert_graph_faithful(eng, toy_classifier())
+        assert {n.op for n in ex.plan.order} >= {"batchnorm", "gap", "gemm", "maxpool"}
+
+    def test_auto_algorithm_per_node(self):
+        """The portfolio decides per conv node; the result stays faithful."""
+        g = residual_block(c=32, size=16, kind="bottleneck")
+        with ConvolutionEngine() as eng:
+            ex = _assert_graph_faithful(eng, g, algorithm="auto")
+        algos = {p.name: p.algorithm for p in ex.plan.conv_plans}
+        assert set(algos.values()) <= set(ALGORITHMS)
+        assert all(p.source in ("predicted", "probed", "remembered", "forced", "default")
+                   for p in ex.plan.conv_plans)
+
+    def test_forced_baseline_algorithm(self):
+        with ConvolutionEngine() as eng:
+            ex = _assert_graph_faithful(eng, residual_block(c=8, size=8),
+                                        algorithm="im2col")
+        assert all(p.algorithm == "im2col" for p in ex.plan.conv_plans)
+        # Baselines honor out=, so the arena path stays copy-free too.
+        assert all(p.writes_in_place for p in ex.plan.conv_plans)
+
+    def test_backend_with_baseline_algorithm_contradiction(self):
+        with ConvolutionEngine() as eng:
+            with pytest.raises(ValueError, match="winograd"):
+                plan_graph(residual_block(c=8, size=8), eng,
+                           backend="thread", algorithm="fft")
+
+    def test_graph_path_matches_sequential_forward_bitwise(self):
+        """The importer + graph executor reproduce SequentialConvNet's
+        forward pass bit for bit (same engine, same fmr, same op order)."""
+        net = scaled_vgg()
+        net.initialize(np.random.default_rng(0))
+        g = from_sequential(net)
+        x = np.random.default_rng(1).standard_normal(net.input_shape).astype(np.float32)
+        with ConvolutionEngine(backend="fused") as eng:
+            want = net.forward(x, engine=eng)
+            got = eng.run_graph(g, x)[g.outputs[0]]
+        np.testing.assert_array_equal(got, want)
+
+    def test_run_graph_convenience_equals_executor(self):
+        g = residual_block(c=8, size=8)
+        feeds = _feeds(g)
+        with ConvolutionEngine() as eng:
+            a = eng.run_graph(g, feeds)
+            b = GraphExecutor(g, eng).run(feeds)
+        for k in a:
+            np.testing.assert_array_equal(a[k], b[k])
+
+
+# ----------------------------------------------------------------------
+# Topology fuzzing vs the oracle
+# ----------------------------------------------------------------------
+class TestTopologyFuzz:
+    @pytest.mark.parametrize("seed", range(15))
+    def test_random_dags_match_naive_and_oracle(self, seed):
+        rng = np.random.default_rng(seed)
+        g = random_graph(rng)
+        with ConvolutionEngine() as eng:
+            _assert_graph_faithful(eng, g, seed=seed)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_3d_dags(self, seed):
+        rng = np.random.default_rng(100 + seed)
+        g = random_graph(rng, ndim=3, max_nodes=5)
+        with ConvolutionEngine() as eng:
+            _assert_graph_faithful(eng, g, seed=seed)
+
+    def test_fuzzer_emits_branching_topologies(self):
+        """The fuzzer must actually produce fan-out/merge shapes, or the
+        oracle fuzzing above only ever sees chains."""
+        merges = fanouts = 0
+        for seed in range(40):
+            g = random_graph(np.random.default_rng(seed))
+            uses: dict[str, int] = {}
+            for n in g.nodes:
+                if n.op in ("add", "mul") and len(set(n.inputs)) == 2:
+                    merges += 1
+                for t in n.inputs:
+                    uses[t] = uses.get(t, 0) + 1
+            fanouts += sum(1 for c in uses.values() if c > 1)
+        assert merges > 0 and fanouts > 0
+
+
+# ----------------------------------------------------------------------
+# Fusion + arena reuse
+# ----------------------------------------------------------------------
+class TestFusionAndArena:
+    def test_fused_path_zero_interlayer_copies(self):
+        """The tentpole's arena claim: on the fused backend every conv
+        writes straight into the arena (or the output buffer), so the
+        inter-layer copy counter stays at zero."""
+        g = graph_scaled_vgg()
+        with ConvolutionEngine(backend="fused") as eng:
+            ex = GraphExecutor(g, eng)
+            ex.run(_feeds(g))
+            assert eng.metrics.counter_value("graph.interlayer_copies") == 0
+            # All three ReLUs folded into their convs' stage-3 writes.
+            assert eng.metrics.counter_value("graph.fused_epilogues") == 3
+            assert eng.metrics.counter_value("graph.runs") == 1
+        assert set(ex.plan.folded_into) == {"relu1", "relu2", "relu3"}
+        assert all(p.writes_in_place for p in ex.plan.conv_plans)
+
+    def test_non_inplace_backend_counts_copies(self):
+        """The thread backend returns private heap arrays; every conv
+        whose activation feeds a later node costs one inter-layer copy
+        -- the cost the fused path's counter proves it avoids."""
+        g = graph_scaled_vgg()
+        with ConvolutionEngine(n_workers=2) as eng:
+            GraphExecutor(g, eng, backend="thread").run(_feeds(g))
+            # conv1 and conv2 feed their pools; conv3's chain ends the graph.
+            assert eng.metrics.counter_value("graph.interlayer_copies") == 2
+
+    def test_fusion_respects_fanout_and_outputs(self):
+        """A fan-out edge or a declared graph output stops the chain."""
+        g = residual_block(c=8, size=8)
+        with ConvolutionEngine() as eng:
+            plan = GraphExecutor(g, eng).plan
+            # r1 rides on c1; sum+out ride on c2 (skip operand x is a
+            # graph input, available before c2).
+            assert plan.folded_into == {"r1": "c1", "sum": "c2", "out": "c2"}
+
+            g2 = Graph()
+            g2.add_input("x", (1, 8, 8, 8))
+            g2.add("conv", "c1", "x",
+                   weights=np.ones((8, 8, 3, 3), np.float32) * 0.01,
+                   padding=(1, 1))
+            g2.add("relu", "r1", "c1")
+            g2.mark_output("c1", "r1")  # conv tensor escapes: no fold
+            plan2 = GraphExecutor(g2, eng).plan
+            assert plan2.folded_into == {}
+            out = GraphExecutor(g2, eng).run(_feeds(g2))
+            np.testing.assert_array_equal(
+                out["r1"], np.maximum(out["c1"], 0.0)
+            )
+
+    def test_fuse_off_still_faithful(self):
+        with ConvolutionEngine() as eng:
+            ex = _assert_graph_faithful(eng, NETWORKS["residual"](), fuse=False)
+        assert ex.plan.folded_into == {}
+        assert all(not p.epilogues for p in ex.plan.conv_plans)
+
+    def test_epilogue_ops_constant(self):
+        assert set(EPILOGUE_OPS) == {"relu", "batchnorm", "add", "mul"}
+
+    def test_process_backend_leaks_no_shm(self):
+        from repro.core.shm import active_segment_names
+
+        g = graph_scaled_c3d()
+        with ConvolutionEngine(n_workers=2) as eng:
+            _assert_graph_faithful(eng, g, backend="process")
+        assert not active_segment_names()
+
+    def test_worker_kill_mid_graph_falls_back_and_stays_clean(self):
+        """REPRO_FAULT kill-worker during a graph pass: the engine's
+        per-conv fallback chain absorbs the crash, the whole-graph
+        result stays correct, and no shm segment outlives the engine."""
+        from repro.core.shm import active_segment_names
+
+        g = graph_scaled_vgg()
+        feeds = _feeds(g)
+        with ConvolutionEngine(
+            backend="process", n_workers=2, worker_timeout=20.0,
+            faults=FaultPlan.parse("kill-worker:1"),
+        ) as eng:
+            out = GraphExecutor(g, eng).run(feeds)
+            assert eng.metrics.counter_value("engine.fallbacks") == 1
+            assert eng.metrics.counter_value(
+                "engine.fallbacks.process_to_thread") == 1
+        oracle = oracle_execute(g, feeds)
+        for name in out:
+            scale = max(float(np.abs(oracle[name]).max()), 1.0)
+            np.testing.assert_allclose(
+                out[name].astype(np.float64), oracle[name],
+                atol=ORACLE_ATOL * scale, rtol=0,
+            )
+        assert not active_segment_names()
+
+
+# ----------------------------------------------------------------------
+# Serve wiring
+# ----------------------------------------------------------------------
+def _serve(coro_fn, **server_kw):
+    async def main():
+        async with ConvServer(host="127.0.0.1", **server_kw) as server:
+            return await coro_fn(server)
+    return asyncio.run(main())
+
+
+class TestServeGraph:
+    def test_register_infer_roundtrip(self):
+        g = residual_block(c=8, size=8, seed=3)
+        feeds = _feeds(g, seed=9)
+        x = feeds["x"]
+
+        async def scenario(server):
+            async with ServeClient(server.host, server.port) as client:
+                reg = await client.register_graph("resnet", g)
+                assert reg["convs"] == 2 and reg["folded"] == 3
+                rep = await client.infer("resnet", x)
+                assert rep.get("graph") is True
+                return rep["output"]
+
+        out = _serve(scenario)
+        with ConvolutionEngine() as eng:
+            want = eng.run_graph(g, feeds)[g.outputs[0]]
+        scale = max(float(np.abs(want).max()), 1.0)
+        np.testing.assert_allclose(out, want, atol=ORACLE_ATOL * scale, rtol=0)
+
+    def test_graph_infer_validates_shape_and_name(self):
+        g = residual_block(c=8, size=8)
+
+        async def scenario(server):
+            async with ServeClient(server.host, server.port) as client:
+                await client.register_graph("m", g)
+                with pytest.raises(ProtocolError) as exc:
+                    await client.infer("m", np.zeros((1, 8, 4, 4), np.float32))
+                assert exc.value.code == "bad_request"
+                with pytest.raises(ProtocolError) as exc:
+                    await client.infer("ghost", np.zeros((1, 8, 8, 8), np.float32))
+                assert exc.value.code == "unknown_model"
+
+        _serve(scenario)
+
+    def test_register_invalid_graph_is_bad_request(self):
+        g = Graph()
+        g.add_input("x", (1, 4, 8, 8))
+        g.add("add", "a", ("x", "ghost"))
+
+        async def scenario(server):
+            async with ServeClient(server.host, server.port) as client:
+                with pytest.raises(ProtocolError) as exc:
+                    await client.register_graph("bad", g)
+                assert exc.value.code == "bad_request"
+
+        _serve(scenario)
