@@ -14,14 +14,32 @@ kernels produce smaller errors than Xavier ones.
 
 from __future__ import annotations
 
+import json
+
 from conftest import format_table, write_csv
 from repro.nets.accuracy import (
     C3D_ACCURACY_SURROGATE,
     C3D_SPECS,
+    NESTED_R3_REFERENCE_SURROGATE,
     VGG_ACCURACY_SURROGATE,
     VGG_SPECS,
     measure_accuracy,
+    measure_nested_accuracy,
 )
+
+
+def _emit_json(results_dir, bench_header, section: str, rows) -> None:
+    """Merge one table into ``BENCH_table3_accuracy.json``.
+
+    Every emitter stamps the shared provenance header; tests in this
+    file run in definition order, so read-modify-write is safe.
+    """
+    out = results_dir / "BENCH_table3_accuracy.json"
+    payload = json.loads(out.read_text()) if out.exists() else {}
+    payload.update(bench_header)
+    payload[section] = rows
+    out.write_text(json.dumps(payload, indent=2))
+    print(f"wrote {out} [{section}]")
 
 
 def _table(layer, specs, net):
@@ -48,7 +66,7 @@ def _table(layer, specs, net):
     return out
 
 
-def test_table3_accuracy(benchmark, results_dir):
+def test_table3_accuracy(benchmark, results_dir, bench_header):
     """[real] Regenerate both halves of Table 3."""
 
     def build():
@@ -62,6 +80,10 @@ def test_table3_accuracy(benchmark, results_dir):
     print("\nTable 3 [real] -- element errors vs long-double ground truth")
     print(format_table(headers, rows))
     write_csv(results_dir / "table3_accuracy.csv", headers, rows)
+    _emit_json(
+        results_dir, bench_header, "table3",
+        [dict(zip(headers, r)) for r in rows],
+    )
 
     by_algo = {(r[0], r[1]): [float(x) for x in r[2:]] for r in rows}
 
@@ -133,3 +155,67 @@ def test_table3_float64_extension(benchmark, results_dir):
 
     for r in rows:
         assert float(r[2]) < 1e-9 * max(float(r[1]), 1e-30) or float(r[2]) < 1e-12
+
+
+def test_table3_nested_extension(benchmark, results_dir, bench_header):
+    """[real] Extension: nested Winograd restores large-r accuracy.
+
+    One-level ``F(m, 7)`` error explodes with the tile (the Vandermonde
+    conditioning Table 3 truncates at r = 3): by ``F(8x8, 7x7)`` the
+    max element error crosses the 1e-2 training threshold.  The nested
+    decomposition only ever composes F(m, 3) transforms, so its error
+    stays within the single-level r = 3 budget -- measured against a
+    *channel-matched* F(4, 3) reference (the nested inner problem
+    accumulates over G*C = 576 channels).
+    """
+    from repro.core.fmr import FmrSpec
+
+    def build():
+        rows = []
+        for mode in ("train", "infer"):
+            for row in measure_nested_accuracy(mode=mode):
+                rows.append([
+                    "Stem7", row.algorithm, mode,
+                    f"{row.stats.max_error:.2E}", f"{row.stats.avg_error:.2E}",
+                ])
+            for row in measure_accuracy(
+                NESTED_R3_REFERENCE_SURROGATE,
+                [FmrSpec.uniform(2, 4, 3)], mode,
+            ):
+                rows.append([
+                    "r3-ref", row.algorithm, mode,
+                    f"{row.stats.max_error:.2E}", f"{row.stats.avg_error:.2E}",
+                ])
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    headers = ["layer", "algorithm", "mode", "max_err", "avg_err"]
+    print("\nTable 3 extension [real] -- nested vs one-level on r = 7")
+    print(format_table(headers, rows))
+    write_csv(results_dir / "table3_nested.csv", headers, rows)
+    _emit_json(
+        results_dir, bench_header, "nested_extension",
+        [dict(zip(headers, r)) for r in rows],
+    )
+
+    err = {
+        (r[0], r[1], r[2]): (float(r[3]), float(r[4])) for r in rows
+    }
+    nested = err[("Stem7", "nested[F(4,3)]", "train")][0]
+    r3_budget = err[("r3-ref", "F(4x4,3x3)", "train")][0]
+
+    # One-level error grows monotonically with the tile and crosses the
+    # paper's 1e-2 training threshold by F(8x8, 7x7).
+    one_level = [
+        err[("Stem7", f"F({m}x{m},7x7)", "train")][0] for m in (2, 4, 8)
+    ]
+    assert one_level == sorted(one_level), one_level
+    assert one_level[-1] > 1e-2, one_level
+
+    # The acceptance gate: where one-level fp32 Winograd is unusable,
+    # nested stays within 10x of the single-level r = 3 spec's budget.
+    assert nested <= 10 * r3_budget, (nested, r3_budget)
+    # ... and orders of magnitude below even the mid-size one-level tile.
+    assert nested < err[("Stem7", "F(4x4,7x7)", "train")][0], (
+        nested, one_level,
+    )

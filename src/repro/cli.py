@@ -43,6 +43,7 @@ from repro.core.autotune import DEFAULT_N_BLK_VALUES, autotune_layer
 from repro.core.engine import BACKENDS as ENGINE_BACKENDS
 from repro.core.portfolio import ALGORITHMS as ENGINE_ALGORITHMS
 from repro.core.fmr import FmrSpec
+from repro.machine.profiles import list_profiles, profile_fingerprints
 from repro.machine.spec import KNL_7210
 from repro.nets.layers import TABLE2_LAYERS, get_layer
 from repro.util.wisdom import Wisdom
@@ -294,7 +295,7 @@ def _cmd_serve_listen(args) -> int:
     )
     engine = ConvolutionEngine(
         wisdom_path=args.wisdom, backend=args.backend, n_workers=args.workers,
-        algorithm=args.algorithm,
+        algorithm=args.algorithm, profile=args.profile,
     )
 
     async def _run() -> None:
@@ -353,7 +354,7 @@ def cmd_serve(args) -> int:
     )
     engine = ConvolutionEngine(
         wisdom_path=args.wisdom, backend=args.backend, n_workers=args.workers,
-        algorithm=args.algorithm,
+        algorithm=args.algorithm, profile=args.profile,
     )
     rng = np.random.default_rng(0)
     images = rng.standard_normal(
@@ -459,7 +460,8 @@ def cmd_run(args) -> int:
     ).astype(np.float32)
 
     with ConvolutionEngine(
-        backend=args.backend, n_workers=args.workers, algorithm=args.algorithm
+        backend=args.backend, n_workers=args.workers, algorithm=args.algorithm,
+        profile=args.profile,
     ) as engine:
         t0 = time.perf_counter()
         out = engine.run(images, kernels, padding=layer.padding)
@@ -475,6 +477,7 @@ def cmd_run(args) -> int:
           f"C'={layer.c_out} I={'x'.join(map(str, layer.image))})")
     print(f"backend  : {args.backend}"
           + (f" ({workers} workers)" if args.backend in ("thread", "process") else ""))
+    print(f"profile  : {args.profile or 'manycore-knl'}")
     print(f"algorithm: {args.algorithm}"
           + "".join(f" -> {d['algorithm']} ({d['source']})" for d in decisions))
     print(f"output   : shape {tuple(out.shape)}, checksum {float(out.sum()):+.6e}")
@@ -543,7 +546,8 @@ def cmd_run_graph(args) -> int:
 
     failed = False
     with ConvolutionEngine(
-        backend=args.backend, n_workers=args.workers, algorithm=args.algorithm
+        backend=args.backend, n_workers=args.workers, algorithm=args.algorithm,
+        profile=args.profile,
     ) as engine:
         t0 = time.perf_counter()
         executor = GraphExecutor(graph, engine, fuse=not args.no_fuse)
@@ -590,6 +594,42 @@ def cmd_run_graph(args) -> int:
     if failed:
         print("error: graph output does not match the reference", file=sys.stderr)
         return 1
+    return 0
+
+
+def cmd_wisdom(args) -> int:
+    """Wisdom-file hygiene: per-fingerprint entry counts and staleness.
+
+    Multi-profile wisdom files hold one decision bucket per machine
+    fingerprint; this prints each bucket's entry count, algorithm mix
+    and calibration (labelling fingerprints that match a registered
+    profile), plus how many stale-schema entries the load dropped.
+    """
+    from pathlib import Path
+
+    path = Path(args.file)
+    if not path.exists():
+        print(f"error: no wisdom file at {path}", file=sys.stderr)
+        return 2
+    wisdom = Wisdom.load(path)
+    summary = wisdom.summary()
+    labels = {fp: name for name, fp in profile_fingerprints().items()}
+    print(f"wisdom file      : {path}")
+    print(f"blocking entries : {summary['blocking_entries']}")
+    print(f"algo entries     : {summary['algo_entries']}")
+    print(f"stale dropped    : {summary['stale_dropped']}")
+    if not summary["fingerprints"]:
+        print("fingerprints     : none")
+        return 0
+    rows = []
+    for fp, info in summary["fingerprints"].items():
+        algos = " ".join(f"{a}={n}" for a, n in info["algorithms"].items()) or "-"
+        cal = info["calibration"]
+        rows.append([
+            fp, labels.get(fp, "-"), info["entries"],
+            f"{cal:.3g}" if cal is not None else "-", algos,
+        ])
+    _print_table(["fingerprint", "profile", "entries", "calibration", "algorithms"], rows)
     return 0
 
 
@@ -670,6 +710,9 @@ def build_parser() -> argparse.ArgumentParser:
     sv.add_argument("--workers", type=int, default=None,
                     help="worker count for thread/process backends "
                          "(default: host core count)")
+    sv.add_argument("--profile", choices=list(list_profiles()), default=None,
+                    help="named machine profile for the cost model and "
+                         "wisdom namespace (default: manycore-knl)")
     sv.add_argument("--wisdom", help="wisdom file to load/update")
     sv.add_argument("--stats", action="store_true",
                     help="periodic [stats] lines plus a final metrics snapshot")
@@ -709,6 +752,9 @@ def build_parser() -> argparse.ArgumentParser:
                     help="convolution algorithm; 'auto' engages the portfolio "
                          "planner")
     rn.add_argument("--workers", type=int, default=None)
+    rn.add_argument("--profile", choices=list(list_profiles()), default=None,
+                    help="named machine profile (portfolio decisions are "
+                         "namespaced per profile in wisdom)")
     rn.add_argument("--seed", type=int, default=0)
     rn.add_argument("--check", action="store_true",
                     help="verify against the direct-convolution oracle")
@@ -730,6 +776,8 @@ def build_parser() -> argparse.ArgumentParser:
                     default="winograd",
                     help="'auto' lets the portfolio planner pick per conv node")
     rg.add_argument("--workers", type=int, default=None)
+    rg.add_argument("--profile", choices=list(list_profiles()), default=None,
+                    help="named machine profile for per-node planning")
     rg.add_argument("--seed", type=int, default=0)
     rg.add_argument("--no-fuse", action="store_true",
                     help="disable epilogue fusion (layer-at-a-time shape)")
@@ -739,6 +787,14 @@ def build_parser() -> argparse.ArgumentParser:
     rg.add_argument("--stats", action="store_true",
                     help="also dump the full metrics snapshot")
     rg.set_defaults(fn=cmd_run_graph)
+
+    wz = sub.add_parser(
+        "wisdom",
+        help="inspect a wisdom file: per-fingerprint entry counts, "
+             "calibration, dropped-stale counters",
+    )
+    wz.add_argument("--file", required=True, help="wisdom JSON file to inspect")
+    wz.set_defaults(fn=cmd_wisdom)
 
     i = sub.add_parser("info", help="simulated machine specifications")
     i.set_defaults(fn=cmd_info)

@@ -11,6 +11,11 @@ from repro.core.fmr import FmrSpec
 from repro.core.channel_padding import winograd_convolution_padded_channels
 from repro.core.complexity import complexity_table, effective_reduction
 from repro.core.gradients import weight_gradient, winograd_data_gradient
+from repro.core.nested import (
+    NestedWinogradExecutor,
+    nested_convolution,
+    nested_supported,
+)
 from repro.core.pointsearch import search_points
 from repro.core.tile_selection import select_tile_size
 from repro.core.parallel_convolution import ParallelWinogradExecutor
@@ -27,7 +32,10 @@ __all__ = [
     "BlockedWinogradExecutor",
     "BlockingConfig",
     "FmrSpec",
+    "NestedWinogradExecutor",
     "ParallelWinogradExecutor",
+    "nested_convolution",
+    "nested_supported",
     "Transform1D",
     "TransformND",
     "WinogradPlan",

@@ -73,8 +73,10 @@ from repro.core.parallel_process import (
     WorkerError,
     WorkspaceCorruptionError,
 )
+from repro.core.nested import NestedWinogradExecutor
 from repro.core.portfolio import (
     ALGORITHMS,
+    ENGINE_EXECUTED,
     AlgorithmChoice,
     PortfolioPlanner,
     make_baseline,
@@ -966,6 +968,13 @@ class ConvolutionEngine:
     ----------
     machine:
         Machine model used for blocking autotuning and tile selection.
+        Defaults to the ``manycore-knl`` profile's spec.
+    profile:
+        Named machine profile (:mod:`repro.machine.profiles`) resolved
+        to ``machine`` -- e.g. ``"edge-neon"`` or ``"desktop-avx2"``.
+        Mutually exclusive with an explicit ``machine=``.  Because
+        wisdom is namespaced by the spec fingerprint, portfolio
+        decisions recorded under one profile are invisible to others.
     max_plans, max_cache_bytes:
         LRU budget of the plan cache.
     wisdom, wisdom_path:
@@ -1003,6 +1012,11 @@ class ConvolutionEngine:
         soft wall-clock budget for one decision's probes.  Probes run
         on the first request for a new shape -- an explicit, bounded
         warm-up cost amortized over every later request.
+    probe_backend:
+        Backend the Winograd-family probes (``winograd``/``nested``)
+        run under; defaults to the engine's own ``backend``, so e.g. a
+        process-backend engine's probes measure the process executor,
+        not the fused one.
     n_workers:
         Worker count for the thread/process backends (defaults to the
         host core count).
@@ -1034,7 +1048,8 @@ class ConvolutionEngine:
     def __init__(
         self,
         *,
-        machine: MachineSpec = KNL_7210,
+        machine: MachineSpec | None = None,
+        profile: str | None = None,
         max_plans: int = 32,
         max_cache_bytes: int = 512 << 20,
         wisdom: Wisdom | None = None,
@@ -1045,6 +1060,7 @@ class ConvolutionEngine:
         algorithm: str = "winograd",
         portfolio_probe: bool = True,
         probe_budget_seconds: float = 0.5,
+        probe_backend: str | None = None,
         n_workers: int | None = None,
         worker_timeout: float = 60.0,
         tracer: Tracer | None = None,
@@ -1065,8 +1081,23 @@ class ConvolutionEngine:
             )
         if n_workers is not None and n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        if probe_backend is not None and probe_backend not in BACKENDS:
+            raise ValueError(
+                f"probe_backend must be one of {BACKENDS}, got {probe_backend!r}"
+            )
+        if machine is None:
+            from repro.machine.profiles import DEFAULT_PROFILE, get_profile
+
+            machine = get_profile(profile if profile is not None else DEFAULT_PROFILE)
+        elif profile is not None:
+            raise ValueError("pass machine= or profile=, not both")
         self.backend = backend
         self.algorithm = algorithm
+        self.profile = profile
+        # Backend the portfolio's Winograd-family probes run under
+        # (default: the engine's own backend, so probes measure exactly
+        # what serving will pay -- including process/thread/compiled).
+        self.probe_backend = probe_backend if probe_backend is not None else backend
         self.n_workers = n_workers if n_workers is not None else (os.cpu_count() or 1)
         self.worker_timeout = worker_timeout
         self.machine = machine
@@ -1209,7 +1240,9 @@ class ConvolutionEngine:
         if algo != "winograd":
             # A backend knob pins the request to the Winograd family;
             # "auto" then has nothing to decide, while an explicit
-            # baseline algorithm would contradict it.
+            # baseline algorithm would contradict it.  "nested" IS the
+            # Winograd family (its inner r = 3 problem runs the normal
+            # pipeline), so backend knobs pass through to it.
             wino_forced = blocked or blocking is not None or backend is not None
             if algo == "auto":
                 if wino_forced:
@@ -1218,10 +1251,16 @@ class ConvolutionEngine:
                     algo = self._decide_algorithm(
                         images, kernels, padding, np.dtype(dtype)
                     ).algorithm
-            elif wino_forced:
+            elif wino_forced and algo != "nested":
                 raise ValueError(
                     f"backend/blocked/blocking apply to the winograd path, "
                     f"not algorithm={algo!r}"
+                )
+            if algo == "nested":
+                return self._run_nested(
+                    images, kernels, padding, np.dtype(dtype), out,
+                    blocked=blocked, blocking=blocking, backend=backend,
+                    tenant=tenant, epilogue=epilogue,
                 )
             if algo != "winograd":
                 return self._run_baseline(
@@ -1555,8 +1594,18 @@ class ConvolutionEngine:
             # Re-enter run() with the algorithm forced: probes time the
             # exact dispatch path serving will use (plan cache, arena,
             # memoized kernel prep) rather than a synthetic harness.
+            # Winograd-family probes additionally pin the probe backend
+            # (engine default: its own), so a process/compiled engine's
+            # decisions are measured under that executor, never a
+            # silently-fused stand-in.
+            kwargs = {}
+            if algo in ENGINE_EXECUTED:
+                kwargs["backend"] = self.probe_backend
             t0 = time.perf_counter()
-            self.run(images, kernels, padding=padding, dtype=dtype, algorithm=algo)
+            self.run(
+                images, kernels, padding=padding, dtype=dtype,
+                algorithm=algo, **kwargs,
+            )
             return time.perf_counter() - t0
 
         choice = self.portfolio.decide(layer, dtype.name, probe_once)
@@ -1598,6 +1647,70 @@ class ConvolutionEngine:
                         images.astype(dtype, copy=False), prepared, layer, out=out
                     )
                 return _apply_epilogue(result, epilogue)
+            finally:
+                self.metrics.histogram("engine.request_seconds").observe(
+                    time.perf_counter() - t0
+                )
+
+    def _run_nested(
+        self, images, kernels, padding, dtype, out,
+        blocked: bool = False, blocking=None, backend: str | None = None,
+        tenant: str | None = None, epilogue=None,
+    ) -> np.ndarray:
+        """One request through the nested-Winograd decomposition.
+
+        The r > 3 kernel is reduced to ONE channel-stacked r = 3 problem
+        (:mod:`repro.core.nested`): the stacked input is gathered into an
+        arena lease, the stacked kernel bank is memoized in the plan
+        cache like a baseline's prepared kernels, and the inner
+        convolution re-enters :meth:`_run` on the normal Winograd path --
+        honoring the request's backend knobs, epilogue and ``out=``, and
+        inheriting the plan cache / FX memoization / fallback chain.
+        """
+        self.metrics.counter("engine.requests.nested").inc()
+        t0 = time.perf_counter()
+        with self.tracer.span("request", backend="nested"):
+            try:
+                layer = self._layer_spec(images.shape, kernels.shape, padding)
+                key = PlanKey(
+                    spec=None,
+                    input_shape=tuple(images.shape),
+                    c_out=kernels.shape[1],
+                    padding=tuple(padding),
+                    dtype=dtype.name,
+                    blocking=None,
+                    backend="nested",
+                    algorithm="nested",
+                    kernel=tuple(kernels.shape[2:]),
+                )
+                entry = self.plans.get_or_create(
+                    key,
+                    build=lambda: BaselinePlanEntry(
+                        key, NestedWinogradExecutor(layer), layer
+                    ),
+                    tenant=tenant,
+                )
+                stacked_kernels = self.plans.baseline_prepared(entry, kernels)
+                executor = entry.impl
+                with self.tracer.span("execute.nested"):
+                    with self.arena.lease(executor.stacked_nbytes(dtype)) as lease:
+                        buf = lease.take(executor.stacked_shape, dtype)
+                        with self.tracer.span("nested.stack"):
+                            executor.stack_input(
+                                images.astype(dtype, copy=False), out=buf
+                            )
+                        result = self._run(
+                            buf, stacked_kernels,
+                            padding=executor.inner_padding, dtype=dtype,
+                            blocked=blocked, blocking=blocking,
+                            backend=backend, algorithm="winograd",
+                            tenant=tenant, out=out, epilogue=epilogue,
+                        )
+                if out is not None and result is not out:
+                    # Non-fused inner backends allocate their own output.
+                    np.copyto(_result_buffer(out, result.shape, dtype), result)
+                    result = out
+                return result
             finally:
                 self.metrics.histogram("engine.request_seconds").observe(
                     time.perf_counter() - t0

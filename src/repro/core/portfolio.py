@@ -1,4 +1,4 @@
-"""Algorithm-portfolio planning: Winograd vs. FFT vs. direct vs. im2col.
+"""Algorithm-portfolio planning: Winograd vs. nested vs. FFT/direct/im2col.
 
 The paper's thesis is that a well-engineered Winograd pipeline wins on
 the layers CNNs actually use -- but its own Sec. 2 concedes the regime
@@ -39,6 +39,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.baselines.base import ConvImplementation, UnsupportedLayer
+from repro.core.nested import nested_supported
 from repro.machine.cost import PORTFOLIO_ALGORITHMS, predict_algorithm_seconds
 from repro.machine.spec import MachineSpec
 from repro.nets.layers import ConvLayerSpec
@@ -48,6 +49,19 @@ from repro.util.wisdom import AlgoWisdomEntry, Wisdom
 
 #: Candidate algorithms, in preference order for ties.
 ALGORITHMS = PORTFOLIO_ALGORITHMS
+
+#: Algorithms the engine itself executes (through its Winograd pipeline)
+#: rather than via a standalone baseline implementation.  ``nested``
+#: reduces an r > 3 layer to one channel-stacked r = 3 Winograd problem
+#: (:mod:`repro.core.nested`), so it probes and runs through the engine
+#: exactly like ``winograd`` does.
+ENGINE_EXECUTED = ("winograd", "nested")
+
+#: One-level fp32 Winograd is numerically unusable past this kernel
+#: extent: Table 3 shows F(m, r) max-abs error blowing past 1e-2 for
+#: r >= 7, so the portfolio never proposes single-level Winograd there
+#: (``nested`` covers that regime within the r = 3 error budget).
+MAX_SINGLE_LEVEL_R = 5
 
 
 def portfolio_key(layer: ConvLayerSpec, dtype: str = "float32") -> str:
@@ -89,7 +103,7 @@ def make_baseline(algorithm: str, machine: MachineSpec) -> ConvImplementation:
         return Im2colBaseline(machine)
     raise ValueError(
         f"no baseline implementation for algorithm {algorithm!r}; "
-        f"expected one of {tuple(a for a in ALGORITHMS if a != 'winograd')}"
+        f"expected one of {tuple(a for a in ALGORITHMS if a not in ENGINE_EXECUTED)}"
     )
 
 
@@ -185,7 +199,15 @@ class PortfolioPlanner:
         scale = self.wisdom.get_calibration(self.fingerprint) or 1.0
         preds: dict[str, float] = {}
         for algo in ALGORITHMS:
-            if algo != "winograd":
+            if algo == "winograd":
+                # fp32 accuracy gate: one-level F(m, r) past r = 5 is
+                # numerically unusable (Table 3) -- nested covers it.
+                if max(layer.kernel) > MAX_SINGLE_LEVEL_R:
+                    continue
+            elif algo == "nested":
+                if not nested_supported(layer.kernel):
+                    continue
+            else:
                 try:
                     make_baseline(algo, self.machine).supports(layer)
                 except UnsupportedLayer:
@@ -223,7 +245,11 @@ class PortfolioPlanner:
         ranked = sorted(preds, key=preds.__getitem__)
         measured: dict[str, float] = {}
         if self.probe and runner is not None and len(ranked) > 1:
-            shortlist = list(dict.fromkeys(ranked[:2] + ["winograd"]))
+            # The shortlist always carries the Winograd-family candidates
+            # the layer supports (one-level and/or nested), so ``auto``
+            # can never lose to the paper's default by more than noise.
+            family = [a for a in ENGINE_EXECUTED if a in preds]
+            shortlist = list(dict.fromkeys(ranked[:2] + family))
             shortlist = [a for a in shortlist if a in preds]
             measured = self._probe(shortlist, runner)
         if measured:

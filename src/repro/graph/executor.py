@@ -212,6 +212,11 @@ class GraphExecutor:
                 x, node.attrs["weights"], fmr=node.attr("fmr"),
                 backend=np_.backend, algorithm="winograd", **kwargs,
             )
+        elif np_.algorithm == "nested":
+            result = engine.run(
+                x, node.attrs["weights"],
+                backend=np_.backend, algorithm="nested", **kwargs,
+            )
         else:
             result = engine.run(
                 x, node.attrs["weights"], algorithm=np_.algorithm, **kwargs,
@@ -242,11 +247,12 @@ def execute_plan_naive(
         if node.op == "conv":
             np_ = plan.node_plans[node.name]
             x = env[node.inputs[0]]
-            if np_.algorithm == "winograd":
+            if np_.algorithm in ("winograd", "nested"):
                 env[node.name] = engine.run(
-                    x, node.attrs["weights"], fmr=node.attr("fmr"),
+                    x, node.attrs["weights"],
+                    fmr=node.attr("fmr") if np_.algorithm == "winograd" else None,
                     padding=tuple(node.attrs["padding"]), dtype=plan.dtype,
-                    backend=np_.backend, algorithm="winograd", tenant=tenant,
+                    backend=np_.backend, algorithm=np_.algorithm, tenant=tenant,
                 )
             else:
                 env[node.name] = engine.run(

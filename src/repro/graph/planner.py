@@ -183,7 +183,7 @@ def plan_graph(
         node_plans[node.name] = NodePlan(
             name=node.name,
             algorithm=algo,
-            backend=req_backend if algo == "winograd" else None,
+            backend=req_backend if algo in ("winograd", "nested") else None,
             source=source,
             epilogues=tuple(epilogues),
             result=tensor,
@@ -228,7 +228,9 @@ def _resolve_algorithm(
             dtype,
         )
         return choice.algorithm, choice.source, None
-    if algo != "winograd" and wino_forced:
+    if algo not in ("winograd", "nested") and wino_forced:
+        # "nested" is Winograd-family: its inner r = 3 problem honors
+        # backend requests, so a pinned backend passes through to it.
         raise ValueError(
             f"backend applies to the winograd path, not algorithm={algo!r}"
         )

@@ -19,6 +19,12 @@ from repro.machine.spec import (
 )
 from repro.machine.cache import CacheSim, CacheStats
 from repro.machine.memory import MemoryModel, TlbModel
+from repro.machine.profiles import (
+    DEFAULT_PROFILE,
+    PROFILES,
+    get_profile,
+    list_profiles,
+)
 from repro.machine.trace import Instr, InstrKind
 from repro.machine.vector import PipelineResult, simulate_pipeline
 
@@ -31,6 +37,10 @@ __all__ = [
     "CacheStats",
     "MemoryModel",
     "TlbModel",
+    "DEFAULT_PROFILE",
+    "PROFILES",
+    "get_profile",
+    "list_profiles",
     "Instr",
     "InstrKind",
     "PipelineResult",

@@ -491,7 +491,7 @@ class WinogradCostModel:
 #: layer invocation, so cross-algorithm comparisons are like-with-like:
 #: Winograd and FFT are charged without their memoized kernel-side work
 #: (transform / spectrum), matching what a warm engine request executes.
-PORTFOLIO_ALGORITHMS = ("winograd", "fft", "direct", "im2col")
+PORTFOLIO_ALGORITHMS = ("winograd", "nested", "fft", "direct", "im2col")
 
 
 def _portfolio_fmr(layer: ConvLayerSpec) -> FmrSpec:
@@ -565,6 +565,43 @@ def _winograd_roofline_seconds(
     return max(compute_s, traffic.seconds(machine))
 
 
+def _nested_roofline_seconds(
+    layer: ConvLayerSpec, machine: MachineSpec, threads_per_core: int
+) -> float:
+    """Model seconds for the nested-Winograd decomposition of an r > 3
+    layer (:mod:`repro.core.nested`).
+
+    The decomposition runs as ONE channel-stacked r = 3 convolution over
+    a ``(B, G*C, out+2, ...)`` input (``G = prod(ceil(r_d/3))``), so its
+    cost is the Winograd prediction for that surrogate layer plus the
+    stacking pass itself: a streaming gather that reads the zero-extended
+    input once per sub-kernel and writes the stacked batch.
+    """
+    from repro.core.nested import nested_geometry, stacked_input_shape
+
+    geom = nested_geometry(layer.kernel)
+    stacked = stacked_input_shape(
+        layer.batch, layer.c_in, layer.image, layer.padding, geom
+    )
+    inner = replace(
+        layer,
+        c_in=stacked[1],
+        image=tuple(stacked[2:]),
+        padding=(0,) * layer.ndim,
+        kernel=geom.sub_kernel,
+    )
+    inner_s = predict_algorithm_seconds(
+        "winograd", inner, machine, threads_per_core=threads_per_core
+    )
+    memory = MemoryModel(machine)
+    stacked_bytes = prod(stacked) * FLOAT_BYTES
+    traffic = memory.combine(
+        memory.read_traffic(stacked_bytes),
+        memory.store_traffic(stacked_bytes, streaming=True),
+    )
+    return inner_s + traffic.seconds(machine)
+
+
 def predict_algorithm_seconds(
     algorithm: str,
     layer: ConvLayerSpec,
@@ -595,6 +632,8 @@ def predict_algorithm_seconds(
             except ValueError:
                 pass
         return _winograd_roofline_seconds(layer, spec, machine)
+    if algorithm == "nested":
+        return _nested_roofline_seconds(layer, machine, threads_per_core)
     if algorithm == "fft":
         from repro.baselines.fft import FftConvBaseline
 

@@ -1,0 +1,123 @@
+"""Named machine-profile registry.
+
+The engine, portfolio planner and wisdom store are all parameterized by a
+:class:`~repro.machine.spec.MachineSpec`, but until now the only way to
+target anything other than the default KNL model was to construct a spec
+by hand.  This module gives the well-known models *names* —
+``manycore-knl``, ``desktop-avx2``, ``xeon-haswell`` and the new
+``edge-neon`` small-cache profile — selectable via
+``ConvolutionEngine(profile=...)`` and ``--profile`` on the CLI.
+
+Each profile's spec is validated once at import (positive extents,
+power-of-two vector width, peak-FLOPS consistency with the per-core
+vector pipeline) so a typo in a hand-edited spec fails loudly instead of
+silently skewing every cost prediction.  Because wisdom is keyed by
+``MachineSpec.fingerprint()``, selecting a different profile automatically
+namespaces portfolio decisions: choices tuned for ``edge-neon`` are never
+served to ``manycore-knl`` and vice versa (arXiv 1903.01521 shows the
+winning kernel really does flip between such machines).
+"""
+
+from __future__ import annotations
+
+from repro.machine.spec import GENERIC_AVX2, KNL_7210, XEON_E7_8890, MachineSpec
+
+#: A small-cache in-order NEON-class edge CPU (128-bit SIMD, S = 4 for
+#: float32, one vector FMA pipe, narrow issue, a shared pocket-sized L2
+#: and ~12 GB/s LPDDR bandwidth).  Modelled on the big cores of a mobile
+#: SoC in the spirit of the ARM mobile-CPU kernel study (arXiv
+#: 1903.01521): the compute/memory balance is so different from KNL that
+#: the portfolio planner's algorithm choice flips on several layers.
+EDGE_NEON = MachineSpec(
+    name="Edge NEON",
+    cores=4,
+    frequency_hz=1.8e9,
+    vector_width=4,
+    vpus_per_core=1,
+    fma_latency=4,
+    vector_registers=32,
+    mem_ops_per_cycle=1,
+    issue_width=2,
+    l1_bytes=32 * 1024,
+    l1_assoc=4,
+    l1_latency=3,
+    l2_bytes=256 * 1024,
+    l2_assoc=8,
+    l2_latency=13,
+    mem_latency=250,
+    line_bytes=64,
+    mem_bandwidth=12e9,
+    tlb_entries=32,
+    page_bytes=4096,
+    max_threads_per_core=1,
+    peak_flops=4 * 8 * 1.8e9,  # 4 cores * (2 flops * 1 VPU * S=4) * 1.8 GHz
+)
+
+#: All named profiles.  Keys are the strings accepted by
+#: ``ConvolutionEngine(profile=...)`` and ``--profile`` on the CLI.
+PROFILES: dict[str, MachineSpec] = {
+    "manycore-knl": KNL_7210,
+    "desktop-avx2": GENERIC_AVX2,
+    "xeon-haswell": XEON_E7_8890,
+    "edge-neon": EDGE_NEON,
+}
+
+#: Profile assumed when neither ``machine=`` nor ``profile=`` is given.
+DEFAULT_PROFILE = "manycore-knl"
+
+
+def validate_spec(spec: MachineSpec) -> None:
+    """Raise ``ValueError`` if a spec is internally inconsistent.
+
+    A profile spec must describe a simulatable CPU: every structural
+    field positive, a power-of-two SIMD width, and an aggregate
+    ``peak_flops`` that matches the per-core vector pipeline within 25%
+    (slack covers turbo/AVX frequency-offset fudge factors like the
+    Haswell profile's 1.18x).
+    """
+    positive = (
+        "cores", "frequency_hz", "vector_width", "vpus_per_core",
+        "vector_registers", "mem_ops_per_cycle", "issue_width",
+        "l1_bytes", "l2_bytes", "line_bytes", "mem_bandwidth",
+        "tlb_entries", "page_bytes", "max_threads_per_core", "peak_flops",
+    )
+    for field in positive:
+        if getattr(spec, field) <= 0:
+            raise ValueError(f"{spec.name}: {field} must be positive")
+    s = spec.vector_width
+    if s & (s - 1):
+        raise ValueError(f"{spec.name}: vector_width {s} is not a power of two")
+    if spec.l1_bytes > spec.l2_bytes:
+        raise ValueError(f"{spec.name}: L1 ({spec.l1_bytes}) larger than L2")
+    pipeline = spec.cores * spec.flops_per_cycle_per_core * spec.frequency_hz
+    if not (0.75 <= spec.peak_flops / pipeline <= 1.25):
+        raise ValueError(
+            f"{spec.name}: peak_flops {spec.peak_flops:.3g} inconsistent with "
+            f"pipeline {pipeline:.3g} (cores * 2 * vpus * S * f)"
+        )
+
+
+def list_profiles() -> tuple[str, ...]:
+    """Registered profile names, registry order."""
+    return tuple(PROFILES)
+
+
+def get_profile(name: str) -> MachineSpec:
+    """Resolve a profile name to its validated :class:`MachineSpec`."""
+    try:
+        spec = PROFILES[name]
+    except KeyError:
+        known = ", ".join(sorted(PROFILES))
+        raise KeyError(f"unknown machine profile {name!r}; known: {known}") from None
+    validate_spec(spec)
+    return spec
+
+
+def profile_fingerprints() -> dict[str, str]:
+    """Map profile name -> wisdom fingerprint (for ``repro wisdom``)."""
+    return {name: spec.fingerprint() for name, spec in PROFILES.items()}
+
+
+for _name in PROFILES:
+    validate_spec(PROFILES[_name])
+del _name

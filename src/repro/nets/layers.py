@@ -125,17 +125,37 @@ TABLE2_LAYERS: tuple[ConvLayerSpec, ...] = (
 )
 
 
+#: Large-kernel showcase layers (ROADMAP item 5): stem / super-resolution
+#: style convolutions with r in {5, 7, 9, 11}, pre-scaled to laptop size.
+#: One-level fp32 Winograd is numerically unusable past r = 5 (Table 3),
+#: so these exercise the nested decomposition (:mod:`repro.core.nested`)
+#: and the baseline portfolio.  Kernel extents and channel mixes follow
+#: AlexNet/GoogLeNet stems and SRCNN; batches/images are benchmark-sized.
+LARGE_KERNEL_LAYERS: tuple[ConvLayerSpec, ...] = (
+    ConvLayerSpec("Stem", "5x5/a", 2, 64, 64, (32, 32), (2, 2), (5, 5)),
+    ConvLayerSpec("Stem", "5x5/b", 2, 64, 64, (24, 24), (2, 2), (5, 5)),
+    ConvLayerSpec("Stem", "7x7", 1, 64, 64, (32, 32), (3, 3), (7, 7)),
+    ConvLayerSpec("SRCNN", "9x9", 2, 64, 64, (16, 16), (4, 4), (9, 9)),
+    ConvLayerSpec("SRCNN", "9x9/w", 1, 96, 96, (16, 16), (4, 4), (9, 9)),
+    ConvLayerSpec("AlexNet", "11x11", 1, 64, 64, (16, 16), (5, 5), (11, 11)),
+)
+
+
+def _all_layers() -> tuple[ConvLayerSpec, ...]:
+    return TABLE2_LAYERS + LARGE_KERNEL_LAYERS + BUDDEN_NET
+
+
 def layers_for_network(network: str) -> tuple[ConvLayerSpec, ...]:
-    """All Table-2 layers of one network (``"VGG"``, ``"FusionNet"``, ...)."""
-    layers = tuple(l for l in TABLE2_LAYERS if l.network == network)
+    """All benchmarked layers of one network (``"VGG"``, ``"Stem"``, ...)."""
+    layers = tuple(l for l in _all_layers() if l.network == network)
     if not layers:
-        known = sorted({l.network for l in TABLE2_LAYERS})
+        known = sorted({l.network for l in _all_layers()})
         raise KeyError(f"unknown network {network!r}; known: {known}")
     return layers
 
 
 def get_layer(network: str, name: str) -> ConvLayerSpec:
-    """Look up one Table-2 row by network and layer name."""
+    """Look up one benchmarked layer by network and layer name."""
     for layer in layers_for_network(network):
         if layer.name == name:
             return layer

@@ -182,6 +182,33 @@ class Wisdom:
         with self._lock:
             return sorted(self._algos.get(fingerprint, {}))
 
+    def summary(self) -> dict:
+        """Introspection snapshot for hygiene tooling (``repro wisdom``).
+
+        Per-fingerprint algorithm-decision counts (with the algorithms'
+        tallies), calibration presence, blocking-entry count and the
+        dropped-stale counter -- everything needed to debug a
+        multi-profile wisdom file without reading its JSON by hand.
+        """
+        with self._lock:
+            fingerprints = {}
+            for fp in sorted(set(self._algos) | set(self._calibration)):
+                bucket = self._algos.get(fp, {})
+                algos: dict[str, int] = {}
+                for entry in bucket.values():
+                    algos[entry.algorithm] = algos.get(entry.algorithm, 0) + 1
+                fingerprints[fp] = {
+                    "entries": len(bucket),
+                    "algorithms": dict(sorted(algos.items())),
+                    "calibration": self._calibration.get(fp),
+                }
+            return {
+                "blocking_entries": len(self._entries),
+                "algo_entries": sum(len(d) for d in self._algos.values()),
+                "stale_dropped": self.stale_dropped,
+                "fingerprints": fingerprints,
+            }
+
     @property
     def algo_count(self) -> int:
         with self._lock:

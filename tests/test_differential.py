@@ -478,3 +478,104 @@ def test_graph_fuzz_topologies_vs_oracle(seed):
     graph = random_graph(np.random.default_rng(2000 + seed))
     with ConvolutionEngine() as engine:
         _assert_graph_differential(engine, graph, None, seed=seed)
+
+
+# ----------------------------------------------------------------------
+# Nested axis: the large-kernel decomposition joins the matrix (PR 10).
+# ``algorithm="nested"`` reduces an r > 3 layer to ONE channel-stacked
+# r = 3 Winograd problem and hands it to whichever backend the request
+# names -- so per backend it inherits that backend's determinism class:
+# thread vs process stays bitwise, every backend stays allclose to the
+# float64 direct oracle, and the engine's nested dispatch is bitwise
+# identical to manually stacking the input/kernels and running the
+# plain Winograd path (the decomposition adds no arithmetic of its
+# own, only data movement).
+# ----------------------------------------------------------------------
+#: (id, batch, channels, spatial, padding, kernel) -- channels chosen
+#: so every stacked channel count G*C stays divisible by the blocked
+#: backend's S = 16.
+NESTED_DIFF_CASES = [
+    ("2d-r5", 2, 16, (12, 12), (2, 2), (5, 5)),
+    ("2d-r7", 1, 16, (14, 14), (3, 3), (7, 7)),
+    ("2d-r9x7-aniso", 1, 16, (12, 12), (2, 3), (9, 7)),
+    ("3d-r5", 1, 16, (7, 7, 7), (1, 1, 1), (5, 5, 5)),
+]
+
+
+def _nested_data(batch, channels, spatial, kernel, seed=0):
+    rng = np.random.default_rng(seed)
+    img = rng.standard_normal((batch, channels) + spatial).astype(np.float32)
+    ker = (
+        rng.standard_normal((channels, channels) + kernel) * 0.2
+    ).astype(np.float32)
+    return img, ker
+
+
+@pytest.mark.parametrize(
+    "batch,channels,spatial,padding,kernel",
+    [c[1:] for c in NESTED_DIFF_CASES],
+    ids=[c[0] for c in NESTED_DIFF_CASES],
+)
+def test_nested_executor_matrix(batch, channels, spatial, padding, kernel):
+    from repro.core.nested import NestedWinogradExecutor
+    from repro.nets.layers import ConvLayerSpec
+
+    img, ker = _nested_data(batch, channels, spatial, kernel)
+    outs = {}
+    with ConvolutionEngine(n_workers=2) as engine:
+        for backend in ENGINE_BACKENDS:
+            if backend == "compiled" and not compiled_available():
+                continue
+            outs[backend] = engine.run(
+                img, ker, padding=padding, algorithm="nested", backend=backend
+            )
+        # Manual decomposition: stack outside the engine, run the plain
+        # Winograd path on the stacked problem.  Must match the engine's
+        # nested dispatch bit for bit.
+        layer = ConvLayerSpec(
+            network="diff", name="nested", batch=batch, c_in=channels,
+            c_out=channels, image=spatial, padding=padding, kernel=kernel,
+        )
+        ex = NestedWinogradExecutor(layer)
+        manual = engine.run(
+            ex.stack_input(img), ex.prepare_kernels(ker),
+            padding=ex.inner_padding, algorithm="winograd", backend="fused",
+        )
+
+    ref = direct_convolution(
+        img.astype(np.float64), ker.astype(np.float64), padding
+    )
+    scale = float(np.abs(ref).max())
+    for name, y in outs.items():
+        assert y.shape == ref.shape, f"{name}: shape {y.shape} != {ref.shape}"
+        np.testing.assert_allclose(
+            y.astype(np.float64), ref, atol=5e-4 * scale, rtol=0,
+            err_msg=f"nested[{name}] vs direct oracle",
+        )
+
+    np.testing.assert_array_equal(
+        outs["process"], outs["thread"],
+        err_msg="nested: process and thread backends must agree bitwise",
+    )
+    np.testing.assert_array_equal(
+        outs["fused"], manual,
+        err_msg="nested dispatch != manual stack + plain Winograd",
+    )
+
+
+def test_nested_repeatable():
+    """Warm re-execution (memoized stacked kernels, plan-cache hit,
+    arena-leased stacking buffer) changes no bits on any backend."""
+    batch, channels, spatial, padding, kernel = NESTED_DIFF_CASES[1][1:]
+    img, ker = _nested_data(batch, channels, spatial, kernel, seed=5)
+    with ConvolutionEngine(n_workers=2) as engine:
+        for backend in ("fused", "thread", "process"):
+            first = engine.run(
+                img, ker, padding=padding, algorithm="nested", backend=backend
+            )
+            second = engine.run(
+                img, ker, padding=padding, algorithm="nested", backend=backend
+            )
+            np.testing.assert_array_equal(
+                first, second, err_msg=f"nested[{backend}] not deterministic"
+            )

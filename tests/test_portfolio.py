@@ -20,10 +20,12 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.baselines.base import UnsupportedLayer
 from repro.baselines.direct import DirectConvBaseline
 from repro.baselines.fft import FftConvBaseline
 from repro.baselines.im2col import Im2colBaseline
 from repro.core.engine import ConvolutionEngine, PlanKey
+from repro.core.nested import nested_supported
 from repro.core.portfolio import (
     ALGORITHMS,
     PortfolioPlanner,
@@ -69,6 +71,12 @@ class TestPredictAlgorithmSeconds:
     @pytest.mark.parametrize("algo", ALGORITHMS)
     def test_positive_finite_for_all_algorithms(self, algo, r):
         layer = _layer(r=r, c_in=16, c_out=16, img=32)
+        if algo == "nested" and not nested_supported(layer.kernel):
+            # Nested is a large-kernel decomposition; asking the cost
+            # model about an r <= 3 layer is a caller bug, not a number.
+            with pytest.raises(UnsupportedLayer):
+                predict_algorithm_seconds(algo, layer, KNL_7210)
+            return
         s = predict_algorithm_seconds(algo, layer, KNL_7210)
         assert np.isfinite(s) and s > 0
 
@@ -83,10 +91,13 @@ class TestPredictAlgorithmSeconds:
         # r=1: Winograd transforms are pure overhead over a channel GEMM.
         one = _layer(r=1, c_in=32, c_out=32, img=64)
         preds = {
-            a: predict_algorithm_seconds(a, one, KNL_7210) for a in ALGORITHMS
+            a: predict_algorithm_seconds(a, one, KNL_7210)
+            for a in ALGORITHMS if a != "nested"  # nested needs r > 3
         }
         assert min(preds, key=preds.__getitem__) in ("direct", "im2col")
-        # Large r, small channels: FFT's O(n log n) wins.
+        # Large r, small channels: FFT's O(n log n) wins (nested included
+        # in the ranking -- its stacked-channel GEMM cannot catch FFT at
+        # 16 channels).
         seven = _layer(r=7, c_in=16, c_out=16, img=64)
         preds = {
             a: predict_algorithm_seconds(a, seven, KNL_7210) for a in ALGORITHMS
@@ -116,10 +127,13 @@ class TestCalibration:
 
     def test_uniform_scale_preserves_ranking(self):
         layer = _layer(r=7, c_in=16, c_out=16, img=64)
-        raw = {a: predict_algorithm_seconds(a, layer, KNL_7210) for a in ALGORITHMS}
         wisdom = Wisdom()
         planner = PortfolioPlanner(KNL_7210, wisdom, probe=False)
         unscaled = planner.candidates(layer)
+        # r=7 offers the full crossover set minus one-level Winograd
+        # (numerically barred) -- nested stands in for the family.
+        assert set(unscaled) == {"nested", "fft", "direct", "im2col"}
+        raw = {a: predict_algorithm_seconds(a, layer, KNL_7210) for a in unscaled}
         wisdom.set_calibration(planner.fingerprint, 123.0)
         scaled = planner.candidates(layer)
         assert sorted(unscaled, key=unscaled.__getitem__) == sorted(
@@ -463,6 +477,121 @@ class TestAlgoWisdom:
 
 
 # ----------------------------------------------------------------------
+# Nested candidate gating + probe backends (large-kernel subsystem)
+# ----------------------------------------------------------------------
+class TestNestedPortfolio:
+    def test_candidate_sets_by_kernel_extent(self):
+        planner = PortfolioPlanner(KNL_7210, Wisdom(), probe=False)
+        by_r = {
+            r: set(planner.candidates(_layer(r=r, c_in=16, c_out=16)))
+            for r in (3, 5, 7)
+        }
+        # r=3: nested is pointless (it IS one-level there).
+        assert by_r[3] == {"winograd", "fft", "direct", "im2col"}
+        # r=5: both family members compete.
+        assert by_r[5] == {"winograd", "nested", "fft", "direct", "im2col"}
+        # r=7: one-level fp32 Winograd is numerically barred (Table 3);
+        # nested carries the family.
+        assert by_r[7] == {"nested", "fft", "direct", "im2col"}
+
+    def test_nested_always_in_probe_shortlist_for_large_r(self):
+        planner = PortfolioPlanner(
+            KNL_7210, Wisdom(), probe=True, probe_repeats=1
+        )
+        probed: list[str] = []
+        planner.decide(
+            _layer(r=7, c_in=16, c_out=16, img=24),
+            runner=lambda algo: probed.append(algo) or 1e-3,
+        )
+        assert "nested" in probed
+        assert "winograd" not in probed
+
+
+class TestProbeBackend:
+    def test_process_engine_probes_under_process_backend(self):
+        # Regression: an "auto" engine pinned to the process backend
+        # must probe the Winograd family under that backend -- a probe
+        # measured on fused would misrank what serving actually pays.
+        layer = _layer(r=7, c_in=16, c_out=16, img=16)
+        images, kernels = _arrays(layer)
+        with ConvolutionEngine(
+            backend="process", algorithm="auto", n_workers=2
+        ) as eng:
+            assert eng.probe_backend == "process"
+            eng.run(images, kernels, padding=layer.padding)
+            (decision,) = eng.algorithm_decisions()
+            assert decision["source"] == "probed"
+            assert eng.metrics.counter_value("engine.requests.process") >= 1
+
+    def test_probe_backend_override(self):
+        layer = _layer(r=5, c_in=16, c_out=16, img=16)
+        images, kernels = _arrays(layer)
+        with ConvolutionEngine(
+            algorithm="auto", probe_backend="thread", n_workers=2
+        ) as eng:
+            assert eng.probe_backend == "thread"
+            eng.run(images, kernels, padding=layer.padding)
+            # The family probes ran under the requested backend.
+            assert eng.metrics.counter_value("engine.requests.thread") >= 1
+
+    def test_probe_backend_validated(self):
+        with pytest.raises(ValueError, match="probe_backend"):
+            ConvolutionEngine(probe_backend="bogus")
+
+
+class TestProfileWisdomIsolation:
+    def test_edge_neon_decisions_invisible_to_knl(self):
+        from repro.machine.profiles import get_profile
+
+        neon, knl = get_profile("edge-neon"), get_profile("manycore-knl")
+        w = Wisdom()
+        layer = _layer(r=7, c_in=16, c_out=16)
+        PortfolioPlanner(neon, w, probe=False).decide(layer)
+        choice = PortfolioPlanner(knl, w, probe=False).decide(layer)
+        # The edge decision must not be served to the manycore planner:
+        # its decision is fresh (model-ranked), not a wisdom replay.
+        assert choice.source == "predicted"
+        key = portfolio_key(layer)
+        assert w.algo_get(neon.fingerprint(), key) is not None
+        assert w.algo_get(knl.fingerprint(), key) is not None
+
+    def test_merge_keeps_both_profile_buckets(self):
+        from repro.machine.profiles import get_profile
+
+        neon_fp = get_profile("edge-neon").fingerprint()
+        knl_fp = get_profile("manycore-knl").fingerprint()
+        a, b = Wisdom(), Wisdom()
+        a.algo_put(knl_fp, "k", AlgoWisdomEntry("fft", measured={"fft": 1.0}))
+        b.algo_put(
+            neon_fp, "k",
+            AlgoWisdomEntry("winograd", measured={"winograd": 0.5}),
+        )
+        a.merge(b, prefer="faster")
+        # Same key, different machines: merge must not cross buckets.
+        assert a.algo_get(knl_fp, "k").algorithm == "fft"
+        assert a.algo_get(neon_fp, "k").algorithm == "winograd"
+        assert a.algo_count == 2
+
+    def test_summary_reports_per_fingerprint_counts(self):
+        from repro.machine.profiles import get_profile
+
+        neon_fp = get_profile("edge-neon").fingerprint()
+        w = Wisdom()
+        w.algo_put(neon_fp, "k1", AlgoWisdomEntry("fft"))
+        w.algo_put(neon_fp, "k2", AlgoWisdomEntry("nested"))
+        w.set_calibration(neon_fp, 2.0)
+        w.put("blk", WisdomEntry(30, 8, 8, 2, 1e-3))
+        s = w.summary()
+        assert s["blocking_entries"] == 1
+        assert s["algo_entries"] == 2
+        assert s["fingerprints"][neon_fp]["entries"] == 2
+        assert s["fingerprints"][neon_fp]["algorithms"] == {
+            "fft": 1, "nested": 1,
+        }
+        assert s["fingerprints"][neon_fp]["calibration"] == 2.0
+
+
+# ----------------------------------------------------------------------
 # Differential fuzz: every portfolio member vs the oracle
 # ----------------------------------------------------------------------
 class TestDifferentialFuzz:
@@ -487,6 +616,8 @@ class TestDifferentialFuzz:
             scale = max(np.abs(ref).max(), 1.0)
             with ConvolutionEngine(algorithm="auto") as eng:
                 for algo in ("auto",) + tuple(a for a in ALGORITHMS):
+                    if algo == "nested" and not nested_supported(layer.kernel):
+                        continue
                     kw = {} if algo == "auto" else {"algorithm": algo}
                     out = eng.run(images, kernels, padding=layer.padding, **kw)
                     err = np.abs(out - ref).max() / scale
